@@ -1,0 +1,92 @@
+// Shared helpers for the paper-reproduction benches: workload construction,
+// scaled paper parameters, and CSV emission alongside the stdout tables.
+//
+// Every bench accepts:
+//   --scale X     multiply the paper's training-set sizes by X
+//                 (default 1/16 so the full grid runs in ~a minute on a
+//                 laptop; use --scale 1 for the paper's 0.2M..6.4M records)
+//   --procs a,b,c override the processor counts
+//   --csv DIR     where to drop the CSV (default ./bench_results)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/scalparc.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+
+namespace scalparc::bench {
+
+// The paper's training-set sizes (records), reconstructed from §5: "up to
+// 6.4 million records" with six curves in Figure 3.
+inline std::vector<std::uint64_t> paper_sizes(double scale) {
+  const std::uint64_t base[] = {200000, 400000, 800000,
+                                1600000, 3200000, 6400000};
+  std::vector<std::uint64_t> sizes;
+  for (const std::uint64_t s : base) {
+    sizes.push_back(static_cast<std::uint64_t>(static_cast<double>(s) * scale));
+  }
+  return sizes;
+}
+
+// The paper's processor counts (Cray T3D, up to 128 PEs).
+inline std::vector<std::int64_t> paper_procs() { return {2, 4, 8, 16, 32, 64, 128}; }
+
+// The evaluation workload: 7 attributes, 2 classes, SPRINT-style generator.
+inline data::QuestGenerator paper_generator(std::uint64_t seed = 1) {
+  data::GeneratorConfig config;
+  config.seed = seed;
+  config.function = data::LabelFunction::kF2;
+  config.num_attributes = 7;
+  return data::QuestGenerator(config);
+}
+
+// Induction options used for all paper benches: unlimited growth except for
+// a generous depth cap, exactly as the algorithm description assumes.
+inline core::InductionControls paper_controls() {
+  core::InductionControls controls;
+  controls.options.max_depth = 24;
+  return controls;
+}
+
+class CsvWriter {
+ public:
+  CsvWriter(const util::CliArgs& args, const std::string& filename,
+            const std::string& header) {
+    const std::string dir = args.get_string("csv", "bench_results");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    path_ = dir + "/" + filename;
+    out_.open(path_);
+    if (out_) out_ << header << '\n';
+  }
+
+  template <typename... Args>
+  void row(const char* format, Args... values) {
+    if (!out_) return;
+    char line[512];
+    std::snprintf(line, sizeof(line), format, values...);
+    out_ << line << '\n';
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+// "0.2m"-style rendering of a record count, as the paper labels its curves.
+inline std::string size_label(std::uint64_t records) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.4gk",
+                static_cast<double>(records) / 1000.0);
+  return buffer;
+}
+
+}  // namespace scalparc::bench

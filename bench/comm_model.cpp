@@ -1,0 +1,82 @@
+// Communication-subsystem calibration table (§5's methodology).
+//
+// The paper: "We benchmarked the combination of Cray's tuned MPI
+// implementation and the underlying communication subsystem assuming a
+// linear model of communication. On an average, we obtained a latency of
+// _ us and bandwidth of _ MB/sec for point-to-point communications, and a
+// latency of _ us per processor and bandwidth of _ MB/sec for the
+// all-to-all collective communication operations."
+//
+// We run the same measurement against our runtime: time (on the virtual
+// clock) a small and a large transfer, and solve the linear model
+// t = latency + bytes/bandwidth for each operation class. The recovered
+// point-to-point numbers must match the CostModel constants; the all-to-all
+// numbers are *emergent* (p-1 buffered sends per rank) and show the
+// per-processor latency shape the paper reports.
+//
+//   ./comm_model [--csv DIR]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mp/collectives.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+  const auto model = mp::CostModel::cray_t3d();
+
+  bench::CsvWriter csv(args, "comm_model.csv",
+                       "op,procs,latency_us,bandwidth_mb_s");
+
+  // --- point-to-point -------------------------------------------------------
+  const auto p2p_time = [&](std::size_t bytes) {
+    const auto result = mp::run_ranks(2, model, [&](mp::Comm& comm) {
+      if (comm.rank() == 0) {
+        const std::vector<std::byte> payload(bytes);
+        comm.send_bytes(1, 0, payload);
+      } else {
+        (void)comm.recv_bytes(0, 0);
+      }
+    });
+    return result.modeled_seconds;
+  };
+  const double t_small = p2p_time(8);
+  const double t_large = p2p_time(1 << 20);
+  const double p2p_bw = static_cast<double>((1 << 20) - 8) / (t_large - t_small);
+  const double p2p_lat = t_small - 8.0 / p2p_bw;
+  std::printf("point-to-point: latency %.1f us, bandwidth %.1f MB/s\n",
+              p2p_lat * 1e6, p2p_bw / 1e6);
+  csv.row("p2p,2,%.3f,%.3f", p2p_lat * 1e6, p2p_bw / 1e6);
+
+  // --- all-to-all personalized ---------------------------------------------
+  std::printf("\nall-to-all personalized exchange (per-rank volume V):\n");
+  std::printf("%6s %18s %18s %22s\n", "procs", "latency(us)",
+              "bandwidth(MB/s)", "latency per proc (us)");
+  for (const int p : {4, 8, 16, 32, 64}) {
+    const auto a2a_time = [&](std::size_t bytes_per_dest) {
+      const auto result = mp::run_ranks(p, model, [&](mp::Comm& comm) {
+        std::vector<std::vector<std::byte>> send(
+            static_cast<std::size_t>(comm.size()));
+        for (auto& buf : send) buf.assign(bytes_per_dest, std::byte{0});
+        (void)mp::alltoallv(comm, send);
+      });
+      return result.modeled_seconds;
+    };
+    const double small = a2a_time(8);
+    const double large = a2a_time(1 << 14);
+    const double total_small = 8.0 * (p - 1);
+    const double total_large = static_cast<double>(1 << 14) * (p - 1);
+    const double bw = (total_large - total_small) / (large - small);
+    const double lat = small - total_small / bw;
+    std::printf("%6d %18.1f %18.1f %22.2f\n", p, lat * 1e6, bw / 1e6,
+                lat * 1e6 / p);
+    csv.row("alltoall,%d,%.3f,%.3f", p, lat * 1e6, bw / 1e6);
+  }
+
+  std::printf(
+      "\nThe all-to-all latency grows ~linearly with p (constant latency per\n"
+      "processor) while its effective bandwidth stays flat — the same linear\n"
+      "model shape the paper reports for the Cray T3D.\n");
+  std::printf("\nCSV written to %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 3(a): ScalParC runtime scalability.
+//
+// Paper: parallel runtime (log scale) vs processor count for six training
+// sizes, 0.2M .. 6.4M records, on up to 128 Cray T3D processors; the quoted
+// observations are (i) relative speedups decrease with p for a fixed size
+// because overheads grow, and (ii) relative speedups improve for larger
+// sizes because the computation-to-communication ratio grows.
+//
+// We reproduce the same series with the cost-model-backed simulation: each
+// (size, p) cell runs the full ScalParC fit on p ranks, with per-rank work
+// metered and every message priced by the Cray T3D calibration; the reported
+// time is the maximum virtual clock. A serial (p=1) run provides the
+// speedup baseline.
+//
+//   ./fig3a_runtime [--scale X] [--procs 2,4,...] [--csv DIR]
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0 / 16.0);
+  const auto sizes = bench::paper_sizes(scale);
+  const auto procs = args.get_int_list("procs", bench::paper_procs());
+  const auto generator = bench::paper_generator();
+  const auto controls = bench::paper_controls();
+  const auto model = mp::CostModel::cray_t3d();
+
+  bench::CsvWriter csv(args, "fig3a_runtime.csv",
+                       "records,procs,modeled_seconds,speedup_vs_serial");
+
+  std::printf("Figure 3(a): parallel runtime scalability (scale %.4g of paper sizes)\n\n",
+              scale);
+  std::printf("%10s %6s %16s %10s\n", "records", "procs", "modeled-time(s)",
+              "speedup");
+
+  std::map<std::uint64_t, double> serial_time;
+  for (const std::uint64_t n : sizes) {
+    const auto serial = core::ScalParC::fit_generated(generator, n, 1, controls, model);
+    serial_time[n] = serial.run.modeled_seconds;
+    for (const std::int64_t p : procs) {
+      const auto report = core::ScalParC::fit_generated(
+          generator, n, static_cast<int>(p), controls, model);
+      const double t = report.run.modeled_seconds;
+      const double speedup = serial_time[n] / t;
+      std::printf("%10s %6lld %16.3f %10.2f\n", bench::size_label(n).c_str(),
+                  static_cast<long long>(p), t, speedup);
+      csv.row("%llu,%lld,%.6f,%.4f", static_cast<unsigned long long>(n),
+              static_cast<long long>(p), t, speedup);
+    }
+    std::printf("\n");
+  }
+
+  // The paper's quoted relative-speedup observations, recomputed.
+  const auto rel = [&](std::uint64_t n, int p_from, int p_to) {
+    const auto a = core::ScalParC::fit_generated(generator, n, p_from, controls, model);
+    const auto b = core::ScalParC::fit_generated(generator, n, p_to, controls, model);
+    return a.run.modeled_seconds / b.run.modeled_seconds;
+  };
+  if (sizes.size() >= 6) {
+    std::printf("relative speedups (paper §5 quotes these for its sizes):\n");
+    std::printf("  %s:  8 -> 32 procs: %.2fx (ideal 4x)\n",
+                bench::size_label(sizes[3]).c_str(), rel(sizes[3], 8, 32));
+    std::printf("  %s: 64 -> 128 procs: %.2fx (ideal 2x)\n",
+                bench::size_label(sizes[3]).c_str(), rel(sizes[3], 64, 128));
+    std::printf("  %s: 64 -> 128 procs: %.2fx\n",
+                bench::size_label(sizes[4]).c_str(), rel(sizes[4], 64, 128));
+    std::printf("  %s: 64 -> 128 procs: %.2fx (larger size => closer to ideal)\n",
+                bench::size_label(sizes[5]).c_str(), rel(sizes[5], 64, 128));
+  }
+  std::printf("\nCSV written to %s\n", csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 3(b): ScalParC memory scalability.
+//
+// Paper: memory required per processor vs processor count for the six
+// training sizes. Observations: (i) for small p, memory per processor drops
+// by almost exactly 2x when p doubles (the O(N/p) data structures dominate);
+// (ii) for large p the curves flatten because some collective-communication
+// buffers grow with p.
+//
+// We account every major allocation (attribute lists, node table, count
+// matrices, communication staging buffers) against the owning rank's
+// MemoryMeter and report the maximum per-rank peak.
+//
+//   ./fig3b_memory [--scale X] [--procs 2,4,...] [--csv DIR]
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0 / 16.0);
+  const auto sizes = bench::paper_sizes(scale);
+  const auto procs = args.get_int_list("procs", bench::paper_procs());
+  const auto generator = bench::paper_generator();
+  const auto controls = bench::paper_controls();
+
+  bench::CsvWriter csv(args, "fig3b_memory.csv",
+                       "records,procs,peak_mb_per_rank,halving_factor");
+
+  std::printf("Figure 3(b): memory requirements per processor (scale %.4g)\n\n",
+              scale);
+  std::printf("%10s %6s %18s %16s\n", "records", "procs", "peak MB/processor",
+              "halving factor");
+
+  for (const std::uint64_t n : sizes) {
+    double previous_mb = 0.0;
+    for (const std::int64_t p : procs) {
+      const auto report = core::ScalParC::fit_generated(
+          generator, n, static_cast<int>(p), controls, mp::CostModel::zero());
+      const double mb =
+          static_cast<double>(report.run.max_peak_bytes_per_rank()) / 1e6;
+      const double factor = previous_mb > 0.0 ? previous_mb / mb : 0.0;
+      if (previous_mb > 0.0) {
+        std::printf("%10s %6lld %18.3f %16.2f\n", bench::size_label(n).c_str(),
+                    static_cast<long long>(p), mb, factor);
+      } else {
+        std::printf("%10s %6lld %18.3f %16s\n", bench::size_label(n).c_str(),
+                    static_cast<long long>(p), mb, "-");
+      }
+      csv.row("%llu,%lld,%.6f,%.4f", static_cast<unsigned long long>(n),
+              static_cast<long long>(p), mb, factor);
+      previous_mb = mb;
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "A halving factor near 2.00 at small p and visibly below 2.00 at the\n"
+      "largest p reproduces the paper's observation that collective buffers\n"
+      "grow with the processor count.\n");
+  std::printf("\nCSV written to %s\n", csv.path().c_str());
+  return 0;
+}

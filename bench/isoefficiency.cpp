@@ -1,0 +1,87 @@
+// Isoefficiency analysis (the scalability framework of Kumar et al.'s
+// "Introduction to Parallel Computing", which §3 uses to define runtime
+// scalability: overhead To = p*Tp - Ts must stay O(Ts)).
+//
+// This bench maps efficiency E(N, p) = T1(N) / (p * Tp(N, p)) over a grid
+// and reports, for each processor count, the smallest training size that
+// sustains a target efficiency — the isoefficiency curve. For a scalable
+// formulation the required N grows polynomially (here ~linearly) in p; an
+// unscalable one (replicated-hash SPRINT) needs superlinear growth or can
+// never reach the target.
+//
+//   ./isoefficiency [--target 0.5] [--procs 2,4,...] [--csv DIR] [--sprint]
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "sprint/parallel_sprint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+  const double target = args.get_double("target", 0.5);
+  const auto procs = args.get_int_list("procs", {2, 4, 8, 16, 32, 64});
+  const bool use_sprint = args.get_bool("sprint", false);
+  const auto generator = bench::paper_generator();
+  const auto controls = bench::paper_controls();
+  const auto model = mp::CostModel::cray_t3d();
+
+  const std::vector<std::uint64_t> sizes = {4000,  8000,   16000, 32000,
+                                            64000, 128000, 256000};
+
+  bench::CsvWriter csv(args, use_sprint ? "isoefficiency_sprint.csv"
+                                        : "isoefficiency.csv",
+                       "records,procs,efficiency");
+
+  const auto fit_time = [&](std::uint64_t n, int p) {
+    if (use_sprint && p > 1) {
+      return sprint::fit_parallel_sprint_generated(generator, n, p, controls, model)
+          .run.modeled_seconds;
+    }
+    return core::ScalParC::fit_generated(generator, n, p, controls, model)
+        .run.modeled_seconds;
+  };
+
+  std::printf("Isoefficiency map (%s), target E >= %.2f\n\n",
+              use_sprint ? "parallel SPRINT baseline" : "ScalParC", target);
+  std::printf("%10s", "records\\p");
+  for (const std::int64_t p : procs) std::printf(" %7lld", static_cast<long long>(p));
+  std::printf("\n");
+
+  std::map<std::uint64_t, double> serial;
+  std::map<std::int64_t, std::uint64_t> iso_n;
+  for (const std::uint64_t n : sizes) {
+    serial[n] = fit_time(n, 1);
+    std::printf("%10s", bench::size_label(n).c_str());
+    for (const std::int64_t p : procs) {
+      const double tp = fit_time(n, static_cast<int>(p));
+      const double efficiency = serial[n] / (static_cast<double>(p) * tp);
+      std::printf(" %7.2f", efficiency);
+      csv.row("%llu,%lld,%.4f", static_cast<unsigned long long>(n),
+              static_cast<long long>(p), efficiency);
+      if (efficiency >= target && iso_n.find(p) == iso_n.end()) {
+        iso_n[p] = n;
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nisoefficiency curve (smallest N with E >= %.2f):\n", target);
+  std::printf("%6s %12s %18s\n", "procs", "records", "records/proc");
+  for (const std::int64_t p : procs) {
+    const auto it = iso_n.find(p);
+    if (it == iso_n.end()) {
+      std::printf("%6lld %12s %18s\n", static_cast<long long>(p), ">max", "-");
+    } else {
+      std::printf("%6lld %12llu %18.0f\n", static_cast<long long>(p),
+                  static_cast<unsigned long long>(it->second),
+                  static_cast<double>(it->second) / static_cast<double>(p));
+    }
+  }
+  std::printf(
+      "\nA scalable formulation keeps records/proc roughly flat (isoefficiency\n"
+      "~linear in p). Run with --sprint to see the replicated-hash baseline\n"
+      "fail to hold the target as p grows.\n");
+  std::printf("\nCSV written to %s\n", csv.path().c_str());
+  return 0;
+}

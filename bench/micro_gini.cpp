@@ -1,0 +1,91 @@
+// Microbenchmark M2: the split-determination inner loops — the incremental
+// gini scan over a sorted continuous list (the dominant O(N) cost of
+// FindSplitII) and the categorical split searches.
+#include <benchmark/benchmark.h>
+
+#include "core/count_matrix.hpp"
+#include "core/gini.hpp"
+#include "core/split_finder.hpp"
+#include "data/attribute_list.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace scalparc;
+
+std::vector<data::ContinuousEntry> sorted_entries(std::size_t n, int classes) {
+  util::Rng rng(9);
+  std::vector<data::ContinuousEntry> entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    entries[i].value = static_cast<double>(i) + rng.next_double();
+    entries[i].rid = static_cast<std::int64_t>(i);
+    entries[i].cls = static_cast<std::int32_t>(rng.next_below(
+        static_cast<std::uint64_t>(classes)));
+  }
+  return entries;
+}
+
+void BM_GiniScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int classes = static_cast<int>(state.range(1));
+  const auto entries = sorted_entries(n, classes);
+  std::vector<std::int64_t> totals(static_cast<std::size_t>(classes), 0);
+  for (const auto& e : entries) ++totals[static_cast<std::size_t>(e.cls)];
+  const std::vector<std::int64_t> zeros(static_cast<std::size_t>(classes), 0);
+  for (auto _ : state) {
+    core::BinaryGiniScanner scanner(totals, zeros);
+    core::SplitCandidate best;
+    core::scan_continuous_segment(entries, scanner, false, 0.0, 0, best);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_GiniScan)->Args({1 << 16, 2})->Args({1 << 18, 2})->Args({1 << 16, 8});
+
+void BM_GiniOfSplit(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  core::CountMatrix matrix(rows, 2);
+  util::Rng rng(4);
+  for (int v = 0; v < rows; ++v) {
+    matrix.at(v, 0) = static_cast<std::int64_t>(rng.next_below(100));
+    matrix.at(v, 1) = static_cast<std::int64_t>(rng.next_below(100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::gini_of_split(matrix));
+  }
+}
+BENCHMARK(BM_GiniOfSplit)->Arg(5)->Arg(20)->Arg(64);
+
+void BM_CategoricalMultiway(benchmark::State& state) {
+  const int card = static_cast<int>(state.range(0));
+  core::CountMatrix matrix(card, 2);
+  util::Rng rng(4);
+  for (int v = 0; v < card; ++v) {
+    matrix.at(v, 0) = static_cast<std::int64_t>(rng.next_below(100));
+    matrix.at(v, 1) = static_cast<std::int64_t>(rng.next_below(100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_categorical_split(
+        matrix, 0, core::CategoricalSplit::kMultiWay));
+  }
+}
+BENCHMARK(BM_CategoricalMultiway)->Arg(5)->Arg(20);
+
+void BM_CategoricalGreedySubset(benchmark::State& state) {
+  const int card = static_cast<int>(state.range(0));
+  core::CountMatrix matrix(card, 2);
+  util::Rng rng(4);
+  for (int v = 0; v < card; ++v) {
+    matrix.at(v, 0) = static_cast<std::int64_t>(rng.next_below(100));
+    matrix.at(v, 1) = static_cast<std::int64_t>(rng.next_below(100));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_categorical_split(
+        matrix, 0, core::CategoricalSplit::kBinarySubset));
+  }
+}
+BENCHMARK(BM_CategoricalGreedySubset)->Arg(5)->Arg(20)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Microbenchmark M1: the Presort primitives — parallel sample sort and the
+// rebalancing shift — measured with google-benchmark (wall time of the
+// threaded simulation; the communication pattern is the object of interest,
+// not distributed-memory speedup, since all ranks share this machine).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "data/attribute_list.hpp"
+#include "mp/runtime.hpp"
+#include "sort/rebalance.hpp"
+#include "sort/sample_sort.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace scalparc;
+
+std::vector<data::ContinuousEntry> random_entries(std::uint64_t seed,
+                                                  std::size_t count,
+                                                  std::int64_t first_rid) {
+  util::Rng rng(seed);
+  std::vector<data::ContinuousEntry> entries(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    entries[i].value = rng.next_double(0.0, 1e6);
+    entries[i].rid = first_rid + static_cast<std::int64_t>(i);
+  }
+  return entries;
+}
+
+void BM_SerialSortBaseline(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto entries = random_entries(1, n, 0);
+    state.ResumeTiming();
+    std::sort(entries.begin(), entries.end(), data::ContinuousEntryLess{});
+    benchmark::DoNotOptimize(entries.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SerialSortBaseline)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18);
+
+void BM_SampleSort(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n_total = static_cast<std::size_t>(state.range(1));
+  const std::size_t per_rank = n_total / static_cast<std::size_t>(p);
+  for (auto _ : state) {
+    mp::run_ranks(p, mp::CostModel::zero(), [&](mp::Comm& comm) {
+      auto local = random_entries(100 + static_cast<std::uint64_t>(comm.rank()),
+                                  per_rank,
+                                  comm.rank() * static_cast<std::int64_t>(per_rank));
+      auto sorted =
+          sort::sample_sort(comm, std::move(local), data::ContinuousEntryLess{});
+      benchmark::DoNotOptimize(sorted.data());
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n_total) * state.iterations());
+}
+BENCHMARK(BM_SampleSort)
+    ->Args({2, 1 << 16})
+    ->Args({4, 1 << 16})
+    ->Args({8, 1 << 16})
+    ->Args({4, 1 << 18})
+    ->UseRealTime();
+
+void BM_SampleSortPlusRebalance(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const auto n_total = static_cast<std::size_t>(state.range(1));
+  const std::size_t per_rank = n_total / static_cast<std::size_t>(p);
+  for (auto _ : state) {
+    mp::run_ranks(p, mp::CostModel::zero(), [&](mp::Comm& comm) {
+      auto local = random_entries(7 + static_cast<std::uint64_t>(comm.rank()),
+                                  per_rank,
+                                  comm.rank() * static_cast<std::int64_t>(per_rank));
+      auto sorted =
+          sort::sample_sort(comm, std::move(local), data::ContinuousEntryLess{});
+      auto balanced = sort::rebalance_equal(comm, std::move(sorted));
+      benchmark::DoNotOptimize(balanced.data());
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n_total) * state.iterations());
+}
+BENCHMARK(BM_SampleSortPlusRebalance)->Args({4, 1 << 16})->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

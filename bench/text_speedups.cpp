@@ -1,0 +1,87 @@
+// Text table T1: the scalar results quoted in the paper's §5 prose.
+//
+// Paper (OCR-garbled numerals; the sentences are):
+//   * "for 1.6 million records, ScalParC achieved a relative speedup of _
+//      while going from 8 to 32 processors, and a relative speedup of _
+//      while going from 64 to 128 processors"  [interpreting the garbled
+//      processor counts consistently with Figure 3's axis]
+//   * "while going from 64 to 128 processors, the relative speedup obtained
+//      for 6.4 million records was _ and ... for 3.2 million records was _"
+//   * "ScalParC could classify 6.4 million records in just _ seconds on 128
+//      processors"
+//
+// This bench recomputes every quoted quantity at the requested scale and
+// emits one row per claim so EXPERIMENTS.md can track paper-vs-measured.
+//
+//   ./text_speedups [--scale X] [--csv DIR]
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0 / 16.0);
+  const auto sizes = bench::paper_sizes(scale);
+  const auto generator = bench::paper_generator();
+  const auto controls = bench::paper_controls();
+  const auto model = mp::CostModel::cray_t3d();
+
+  bench::CsvWriter csv(args, "text_speedups.csv",
+                       "claim,records,procs_from,procs_to,value,ideal");
+
+  const auto time_of = [&](std::uint64_t n, int p) {
+    return core::ScalParC::fit_generated(generator, n, p, controls, model)
+        .run.modeled_seconds;
+  };
+
+  std::printf("Text table T1: quoted scalar results (scale %.4g of paper sizes)\n\n", scale);
+
+  const std::uint64_t n16 = sizes[3];  // 1.6M at scale 1
+  const std::uint64_t n32 = sizes[4];  // 3.2M
+  const std::uint64_t n64 = sizes[5];  // 6.4M
+
+  {
+    const double s = time_of(n16, 8) / time_of(n16, 32);
+    std::printf("  %-11s  8->32 procs : relative speedup %5.2f (ideal 4.00)\n",
+                bench::size_label(n16).c_str(), s);
+    csv.row("rel_speedup,%llu,8,32,%.4f,4.0",
+            static_cast<unsigned long long>(n16), s);
+  }
+  {
+    const double s = time_of(n16, 64) / time_of(n16, 128);
+    std::printf("  %-11s 64->128 procs: relative speedup %5.2f (ideal 2.00)\n",
+                bench::size_label(n16).c_str(), s);
+    csv.row("rel_speedup,%llu,64,128,%.4f,2.0",
+            static_cast<unsigned long long>(n16), s);
+  }
+  {
+    const double s = time_of(n32, 64) / time_of(n32, 128);
+    std::printf("  %-11s 64->128 procs: relative speedup %5.2f (ideal 2.00)\n",
+                bench::size_label(n32).c_str(), s);
+    csv.row("rel_speedup,%llu,64,128,%.4f,2.0",
+            static_cast<unsigned long long>(n32), s);
+  }
+  {
+    const double s = time_of(n64, 64) / time_of(n64, 128);
+    std::printf("  %-11s 64->128 procs: relative speedup %5.2f (ideal 2.00)\n",
+                bench::size_label(n64).c_str(), s);
+    csv.row("rel_speedup,%llu,64,128,%.4f,2.0",
+            static_cast<unsigned long long>(n64), s);
+    std::printf("  => larger training sets give better relative speedups: %s\n",
+                time_of(n64, 64) / time_of(n64, 128) >
+                        time_of(n32, 64) / time_of(n32, 128)
+                    ? "reproduced"
+                    : "NOT reproduced");
+  }
+  {
+    const double t = time_of(n64, 128);
+    std::printf("  %-11s on 128 procs : classified in %.2f modeled seconds\n",
+                bench::size_label(n64).c_str(), t);
+    csv.row("classify_time,%llu,128,128,%.4f,0",
+            static_cast<unsigned long long>(n64), t);
+  }
+
+  std::printf("\nCSV written to %s\n", csv.path().c_str());
+  return 0;
+}

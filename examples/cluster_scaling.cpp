@@ -1,0 +1,56 @@
+// Simulated-cluster scaling demo: fixes the training-set size and sweeps the
+// processor count, printing the modeled (Cray-T3D-calibrated) runtime,
+// relative speedup, per-rank communication volume and per-rank memory — a
+// miniature of the paper's Figure 3 for interactive exploration.
+//
+//   ./examples/cluster_scaling [--records N] [--procs 1,2,4,8,16] [--function F2]
+#include <cstdio>
+#include <vector>
+
+#include "core/scalparc.hpp"
+#include "data/synthetic.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+  const std::uint64_t records =
+      static_cast<std::uint64_t>(args.get_int("records", 50000));
+  const std::vector<std::int64_t> procs =
+      args.get_int_list("procs", {1, 2, 4, 8, 16});
+
+  data::GeneratorConfig config;
+  config.seed = 7;
+  config.function = data::parse_label_function(args.get_string("function", "F2"));
+  const data::QuestGenerator generator(config);
+
+  std::printf("ScalParC scaling on a simulated cluster (%llu records)\n\n",
+              static_cast<unsigned long long>(records));
+  std::printf(
+      "  procs  modeled-time(s)  speedup  efficiency  MB-sent/rank  MB-mem/rank"
+      "  | presort  findsplit  performsplit\n");
+
+  double t1 = 0.0;
+  for (const std::int64_t p : procs) {
+    const core::FitReport report = core::ScalParC::fit_generated(
+        generator, records, static_cast<int>(p), core::InductionControls{},
+        mp::CostModel::cray_t3d());
+    const double t = report.run.modeled_seconds;
+    if (p == procs.front()) t1 = t * static_cast<double>(p);
+    const double speedup = t1 / t;
+    std::printf(
+        "  %5lld %16.3f %8.2f %11.2f %13.3f %12.3f  | %7.3f %10.3f %13.3f\n",
+        static_cast<long long>(p), t, speedup,
+        speedup / static_cast<double>(p),
+        static_cast<double>(report.run.max_bytes_sent_per_rank()) / 1e6,
+        static_cast<double>(report.run.max_peak_bytes_per_rank()) / 1e6,
+        report.stats.presort_seconds, report.stats.findsplit_seconds,
+        report.stats.performsplit_seconds);
+  }
+
+  std::printf(
+      "\nThe modeled time combines each rank's metered computation with the\n"
+      "communication cost model (latency + bytes/bandwidth per message);\n"
+      "see src/mp/costmodel.hpp for the calibration.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "core/gini.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace scalparc::core {
+
+double gini_of_counts(std::span<const std::int64_t> class_counts) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : class_counts) total += c;
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::int64_t c : class_counts) {
+    const double f = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += f * f;
+  }
+  return 1.0 - sum_sq;
+}
+
+double entropy_of_counts(std::span<const std::int64_t> class_counts) {
+  std::int64_t total = 0;
+  for (const std::int64_t c : class_counts) total += c;
+  if (total == 0) return 0.0;
+  double entropy = 0.0;
+  for (const std::int64_t c : class_counts) {
+    if (c == 0) continue;
+    const double f = static_cast<double>(c) / static_cast<double>(total);
+    entropy -= f * std::log2(f);
+  }
+  return entropy;
+}
+
+double impurity_of_counts(std::span<const std::int64_t> class_counts,
+                          SplitCriterion criterion) {
+  return criterion == SplitCriterion::kGini ? gini_of_counts(class_counts)
+                                            : entropy_of_counts(class_counts);
+}
+
+double impurity_of_split(const CountMatrix& matrix, SplitCriterion criterion) {
+  const std::int64_t n = matrix.total();
+  if (n == 0) return 0.0;
+  double impurity = 0.0;
+  for (int i = 0; i < matrix.rows(); ++i) {
+    const std::int64_t ni = matrix.row_total(i);
+    if (ni == 0) continue;
+    const auto row = matrix.flat().subspan(
+        static_cast<std::size_t>(i) * static_cast<std::size_t>(matrix.cols()),
+        static_cast<std::size_t>(matrix.cols()));
+    impurity += (static_cast<double>(ni) / static_cast<double>(n)) *
+                impurity_of_counts(row, criterion);
+  }
+  return impurity;
+}
+
+BinaryImpurityScanner::BinaryImpurityScanner(
+    std::span<const std::int64_t> node_totals,
+    std::span<const std::int64_t> below_start, SplitCriterion criterion)
+    : totals_(node_totals.begin(), node_totals.end()),
+      below_(below_start.begin(), below_start.end()),
+      criterion_(criterion) {
+  if (totals_.size() != below_.size() || totals_.empty()) {
+    throw std::invalid_argument("BinaryImpurityScanner: histogram size mismatch");
+  }
+  for (std::size_t j = 0; j < totals_.size(); ++j) {
+    node_total_ += totals_[j];
+    below_total_ += below_[j];
+    if (below_[j] > totals_[j]) {
+      throw std::invalid_argument("BinaryImpurityScanner: below exceeds totals");
+    }
+  }
+}
+
+void BinaryImpurityScanner::advance(std::int32_t cls) {
+  ++below_[static_cast<std::size_t>(cls)];
+  ++below_total_;
+}
+
+double BinaryImpurityScanner::current_impurity() const {
+  const std::int64_t above_total = node_total_ - below_total_;
+  if (below_total_ == 0 || above_total == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double n = static_cast<double>(node_total_);
+  if (criterion_ == SplitCriterion::kGini) {
+    double below_sq = 0.0;
+    double above_sq = 0.0;
+    for (std::size_t j = 0; j < totals_.size(); ++j) {
+      const double fb =
+          static_cast<double>(below_[j]) / static_cast<double>(below_total_);
+      const double fa = static_cast<double>(totals_[j] - below_[j]) /
+                        static_cast<double>(above_total);
+      below_sq += fb * fb;
+      above_sq += fa * fa;
+    }
+    return (static_cast<double>(below_total_) / n) * (1.0 - below_sq) +
+           (static_cast<double>(above_total) / n) * (1.0 - above_sq);
+  }
+  double below_h = 0.0;
+  double above_h = 0.0;
+  for (std::size_t j = 0; j < totals_.size(); ++j) {
+    if (below_[j] > 0) {
+      const double fb =
+          static_cast<double>(below_[j]) / static_cast<double>(below_total_);
+      below_h -= fb * std::log2(fb);
+    }
+    const std::int64_t above = totals_[j] - below_[j];
+    if (above > 0) {
+      const double fa =
+          static_cast<double>(above) / static_cast<double>(above_total);
+      above_h -= fa * std::log2(fa);
+    }
+  }
+  return (static_cast<double>(below_total_) / n) * below_h +
+         (static_cast<double>(above_total) / n) * above_h;
+}
+
+}  // namespace scalparc::core

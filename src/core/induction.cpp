@@ -1,0 +1,646 @@
+#include "core/induction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+#include "core/count_matrix.hpp"
+#include "core/gini.hpp"
+#include "core/node_table.hpp"
+#include "core/split_finder.hpp"
+#include "core/splitter.hpp"
+#include "data/attribute_list.hpp"
+#include "mp/collectives.hpp"
+#include "sort/rebalance.hpp"
+#include "sort/sample_sort.hpp"
+
+namespace scalparc::core {
+
+namespace {
+
+using data::AttributeKind;
+using data::CategoricalEntry;
+using data::ContinuousEntry;
+
+// Element for the boundary exscan in FindSplitII: the last attribute value
+// of a node's segment on each rank; combine keeps the rightmost non-empty.
+struct Boundary {
+  double value = 0.0;
+  std::uint8_t has = 0;
+};
+
+struct RightmostOp {
+  Boundary operator()(const Boundary& left, const Boundary& right) const {
+    return right.has != 0 ? right : left;
+  }
+};
+
+struct ContList {
+  int attribute = -1;
+  std::vector<ContinuousEntry> entries;
+  std::vector<std::size_t> offsets;  // per-active-node segment bounds
+  std::vector<std::int32_t> child;   // per-entry child slot (split phases)
+  util::ScopedAllocation mem;
+};
+
+struct CatList {
+  int attribute = -1;
+  std::int32_t cardinality = 0;
+  int coordinator = 0;  // rank that reduces/owns this attribute's matrices
+  std::vector<CategoricalEntry> entries;
+  std::vector<std::size_t> offsets;
+  std::vector<std::int32_t> child;
+  util::ScopedAllocation mem;
+  // Coordinator-only: this level's global count matrices, laid out
+  // [active node][value][class].
+  std::vector<std::int64_t> global_counts;
+};
+
+struct ActiveNode {
+  int tree_id = -1;
+  int depth = 0;
+  std::int64_t total = 0;
+  std::vector<std::int64_t> class_totals;
+};
+
+std::int32_t majority_class(std::span<const std::int64_t> counts) {
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < counts.size(); ++j) {
+    if (counts[j] > counts[best]) best = j;
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+bool is_pure(std::span<const std::int64_t> counts) {
+  int non_zero = 0;
+  for (const std::int64_t c : counts) non_zero += c > 0;
+  return non_zero <= 1;
+}
+
+template <typename Entry>
+std::span<const Entry> segment_of(const std::vector<Entry>& entries,
+                                  const std::vector<std::size_t>& offsets,
+                                  std::size_t node) {
+  return std::span<const Entry>(entries.data() + offsets[node],
+                                offsets[node + 1] - offsets[node]);
+}
+
+}  // namespace
+
+InductionResult induce_tree_distributed(mp::Comm& comm,
+                                        const data::Dataset& local_block,
+                                        std::int64_t first_rid,
+                                        std::uint64_t total_records,
+                                        const InductionControls& controls) {
+  const InductionOptions& options = controls.options;
+  const data::Schema& schema = local_block.schema();
+  const int p = comm.size();
+  const int c = schema.num_classes();
+
+  if (total_records == 0) {
+    throw std::invalid_argument("induce_tree_distributed: empty training set");
+  }
+  if (options.max_depth < 0 || options.min_split_records < 2 ||
+      options.node_table_update_block < 0) {
+    throw std::invalid_argument("induce_tree_distributed: bad options");
+  }
+
+  // SPMD argument consistency: every rank must pass the same total, schema
+  // and options. A mismatch would otherwise corrupt results silently (e.g.
+  // misaligned count-matrix reductions), so fingerprint and compare.
+  {
+    std::uint64_t fp = 0xcbf29ce484222325ULL;  // FNV-1a
+    const auto mix = [&fp](std::uint64_t v) {
+      fp = (fp ^ v) * 0x100000001b3ULL;
+    };
+    mix(total_records);
+    mix(static_cast<std::uint64_t>(schema.num_classes()));
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      const data::AttributeInfo& info = schema.attribute(a);
+      mix(static_cast<std::uint64_t>(info.kind));
+      mix(static_cast<std::uint64_t>(info.cardinality));
+      for (const char ch : info.name) mix(static_cast<std::uint64_t>(ch));
+    }
+    mix(static_cast<std::uint64_t>(options.max_depth));
+    mix(static_cast<std::uint64_t>(options.min_split_records));
+    mix(static_cast<std::uint64_t>(options.criterion));
+    mix(static_cast<std::uint64_t>(options.categorical_split));
+    mix(static_cast<std::uint64_t>(options.categorical_reduction));
+    mix(static_cast<std::uint64_t>(controls.strategy));
+    const std::uint64_t lo = mp::allreduce_value(comm, fp, mp::MinOp{});
+    const std::uint64_t hi = mp::allreduce_value(comm, fp, mp::MaxOp{});
+    if (lo != hi) {
+      throw std::invalid_argument(
+          "induce_tree_distributed: ranks disagree on schema/options/total");
+    }
+  }
+
+  InductionResult result;
+  result.tree = DecisionTree(schema);
+  InductionStats& stats = result.stats;
+
+  // -------------------------------------------------------------------------
+  // Build the local fragments of all attribute lists.
+  // -------------------------------------------------------------------------
+  std::vector<ContList> cont_lists;
+  std::vector<CatList> cat_lists;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.attribute(a).kind == AttributeKind::kContinuous) {
+      ContList list;
+      list.attribute = a;
+      list.entries = data::build_continuous_list(local_block, a, first_rid);
+      cont_lists.push_back(std::move(list));
+    } else {
+      CatList list;
+      list.attribute = a;
+      list.cardinality = schema.attribute(a).cardinality;
+      list.coordinator = a % p;
+      list.entries = data::build_categorical_list(local_block, a, first_rid);
+      cat_lists.push_back(std::move(list));
+    }
+  }
+
+  // Presort: sample sort every continuous list, then shift back to equal
+  // fragments so per-rank load stays balanced.
+  const std::vector<std::size_t> equal_sizes =
+      sort::equal_partition_sizes(total_records, p);
+  for (ContList& list : cont_lists) {
+    list.entries = sort::sample_sort(comm, std::move(list.entries),
+                                     data::ContinuousEntryLess{});
+    list.entries = sort::rebalance(comm, std::move(list.entries), equal_sizes);
+    list.mem = util::ScopedAllocation(comm.meter(),
+                                      util::MemCategory::kAttributeLists,
+                                      list.entries.size() * sizeof(ContinuousEntry));
+  }
+  for (CatList& list : cat_lists) {
+    list.mem = util::ScopedAllocation(comm.meter(),
+                                      util::MemCategory::kAttributeLists,
+                                      list.entries.size() * sizeof(CategoricalEntry));
+  }
+  stats.presort_seconds = comm.vtime();
+
+  // -------------------------------------------------------------------------
+  // Root node.
+  // -------------------------------------------------------------------------
+  std::vector<std::int64_t> local_histogram(static_cast<std::size_t>(c), 0);
+  for (const std::int32_t label : local_block.labels()) {
+    if (label < 0 || label >= c) {
+      throw std::invalid_argument("induce_tree_distributed: label out of range");
+    }
+    ++local_histogram[static_cast<std::size_t>(label)];
+  }
+  const std::vector<std::int64_t> root_totals =
+      mp::allreduce_vec(comm, std::span<const std::int64_t>(local_histogram),
+                        mp::SumOp{});
+
+  TreeNode root;
+  root.is_leaf = true;
+  root.class_counts = root_totals;
+  root.num_records = static_cast<std::int64_t>(total_records);
+  root.majority_class = majority_class(root_totals);
+  root.depth = 0;
+  result.tree.add_node(std::move(root));
+
+  std::vector<ActiveNode> active;
+  if (!is_pure(root_totals) &&
+      static_cast<std::int64_t>(total_records) >= options.min_split_records &&
+      options.max_depth > 0) {
+    ActiveNode node;
+    node.tree_id = 0;
+    node.depth = 0;
+    node.total = static_cast<std::int64_t>(total_records);
+    node.class_totals = root_totals;
+    active.push_back(std::move(node));
+  }
+
+  for (ContList& list : cont_lists) list.offsets = {0, list.entries.size()};
+  for (CatList& list : cat_lists) list.offsets = {0, list.entries.size()};
+
+  // Splitting-phase state. ScalParC keeps the rid -> child mapping in a
+  // distributed node table (O(N/p) per rank); the SPRINT baseline replicates
+  // the full mapping on every rank (O(N) per rank).
+  const bool replicated =
+      controls.strategy == SplittingStrategy::kReplicatedHash;
+  std::optional<NodeTable> node_table;
+  std::vector<std::int32_t> replicated_child;
+  std::vector<std::uint32_t> replicated_epoch_of;
+  std::uint32_t replicated_epoch = 0;
+  util::ScopedAllocation replicated_mem;
+  if (replicated) {
+    replicated_child.assign(total_records, -1);
+    replicated_epoch_of.assign(total_records, 0);
+    replicated_mem = util::ScopedAllocation(
+        comm.meter(), util::MemCategory::kNodeTable,
+        total_records * (sizeof(std::int32_t) + sizeof(std::uint32_t)));
+  } else {
+    node_table.emplace(comm, total_records);
+  }
+  const std::int64_t default_block = static_cast<std::int64_t>(
+      (total_records + static_cast<std::uint64_t>(p) - 1) /
+      static_cast<std::uint64_t>(p));
+  const std::int64_t update_block = options.node_table_update_block == 0
+                                        ? default_block
+                                        : options.node_table_update_block;
+
+  struct ReplicatedUpdate {
+    std::int64_t rid = 0;
+    std::int32_t child = 0;
+    std::int32_t pad = 0;
+  };
+  const auto publish_assignments = [&](std::span<const std::int64_t> rids,
+                                       std::span<const std::int32_t> children) {
+    if (!replicated) {
+      node_table->begin_level();
+      node_table->update(rids, children, update_block);
+      return;
+    }
+    ++replicated_epoch;
+    std::vector<ReplicatedUpdate> local(rids.size());
+    for (std::size_t i = 0; i < rids.size(); ++i) {
+      local[i] = ReplicatedUpdate{rids[i], children[i], 0};
+    }
+    const std::vector<ReplicatedUpdate> all = mp::allgatherv_concat(
+        comm, std::span<const ReplicatedUpdate>(local));
+    for (const ReplicatedUpdate& u : all) {
+      replicated_child[static_cast<std::size_t>(u.rid)] = u.child;
+      replicated_epoch_of[static_cast<std::size_t>(u.rid)] = replicated_epoch;
+    }
+    comm.add_work(static_cast<double>(local.size() + all.size()));
+  };
+  const auto lookup_assignments =
+      [&](std::span<const std::int64_t> rids) -> std::vector<std::int32_t> {
+    if (!replicated) return node_table->enquire(rids);
+    std::vector<std::int32_t> out(rids.size());
+    for (std::size_t i = 0; i < rids.size(); ++i) {
+      const auto rid = static_cast<std::size_t>(rids[i]);
+      if (replicated_epoch_of[rid] != replicated_epoch) {
+        throw std::logic_error(
+            "induction: record was not assigned a child this level");
+      }
+      out[i] = replicated_child[rid];
+    }
+    comm.add_work(static_cast<double>(rids.size()));
+    return out;
+  };
+
+  // -------------------------------------------------------------------------
+  // Level loop.
+  // -------------------------------------------------------------------------
+  while (!active.empty()) {
+    const std::size_t m = active.size();
+    const std::uint64_t level_start_bytes = comm.stats().bytes_sent;
+    const double level_start_vtime = comm.vtime();
+
+    // ---------------- FindSplitI + FindSplitII -----------------------------
+    std::vector<SplitCandidate> best(m);
+
+    for (ContList& list : cont_lists) {
+      // Local class counts per (node, class) and their parallel prefix.
+      std::vector<std::int64_t> local_counts(m * static_cast<std::size_t>(c), 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (const ContinuousEntry& e : segment_of(list.entries, list.offsets, i)) {
+          ++local_counts[i * static_cast<std::size_t>(c) +
+                         static_cast<std::size_t>(e.cls)];
+        }
+      }
+      comm.add_work(static_cast<double>(list.entries.size()));
+      util::ScopedAllocation counts_mem(
+          comm.meter(), util::MemCategory::kCountMatrices,
+          2 * local_counts.size() * sizeof(std::int64_t));
+      const std::vector<std::int64_t> below_start = mp::exscan_vec(
+          comm, std::span<const std::int64_t>(local_counts), mp::SumOp{},
+          std::int64_t{0});
+
+      // Boundary values: the last attribute value of each node's segment on
+      // any earlier rank.
+      std::vector<Boundary> boundary(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto seg = segment_of(list.entries, list.offsets, i);
+        if (!seg.empty()) boundary[i] = Boundary{seg.back().value, 1};
+      }
+      const std::vector<Boundary> prev = mp::exscan_vec(
+          comm, std::span<const Boundary>(boundary), RightmostOp{}, Boundary{});
+
+      for (std::size_t i = 0; i < m; ++i) {
+        BinaryImpurityScanner scanner(
+            active[i].class_totals,
+            std::span<const std::int64_t>(below_start)
+                .subspan(i * static_cast<std::size_t>(c),
+                         static_cast<std::size_t>(c)),
+            options.criterion);
+        const std::size_t work = scan_continuous_segment(
+            segment_of(list.entries, list.offsets, i), scanner,
+            prev[i].has != 0, prev[i].value,
+            static_cast<std::int32_t>(list.attribute), best[i]);
+        comm.add_work(static_cast<double>(work));
+      }
+    }
+
+    for (CatList& list : cat_lists) {
+      const std::size_t card = static_cast<std::size_t>(list.cardinality);
+      std::vector<std::int64_t> local_counts(
+          m * card * static_cast<std::size_t>(c), 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (const CategoricalEntry& e : segment_of(list.entries, list.offsets, i)) {
+          ++local_counts[(i * card + static_cast<std::size_t>(e.value)) *
+                             static_cast<std::size_t>(c) +
+                         static_cast<std::size_t>(e.cls)];
+        }
+      }
+      comm.add_work(static_cast<double>(list.entries.size()));
+      util::ScopedAllocation counts_mem(
+          comm.meter(), util::MemCategory::kCountMatrices,
+          local_counts.size() * sizeof(std::int64_t));
+      const bool all_ranks = options.categorical_reduction ==
+                             CategoricalReduction::kAllRanks;
+      std::vector<std::int64_t> global =
+          all_ranks ? mp::allreduce_vec(comm,
+                                        std::span<const std::int64_t>(local_counts),
+                                        mp::SumOp{})
+                    : mp::reduce_vec(comm,
+                                     std::span<const std::int64_t>(local_counts),
+                                     mp::SumOp{}, list.coordinator);
+      if (all_ranks || comm.rank() == list.coordinator) {
+        list.global_counts = std::move(global);
+        for (std::size_t i = 0; i < m; ++i) {
+          const CountMatrix matrix = CountMatrix::from_flat(
+              list.cardinality, c,
+              std::span<const std::int64_t>(list.global_counts)
+                  .subspan(i * card * static_cast<std::size_t>(c),
+                           card * static_cast<std::size_t>(c)));
+          const SplitCandidate candidate = best_categorical_split(
+              matrix, static_cast<std::int32_t>(list.attribute),
+              options.categorical_split, options.criterion);
+          if (candidate_less(candidate, best[i])) best[i] = candidate;
+        }
+      } else {
+        list.global_counts.clear();
+      }
+    }
+
+    best = mp::allreduce_vec(comm, std::span<const SplitCandidate>(best),
+                             CandidateMinOp{});
+    stats.findsplit_seconds += comm.vtime() - level_start_vtime;
+    const double split_phase_start_vtime = comm.vtime();
+
+    // ---------------- Decide which nodes split -----------------------------
+    std::vector<bool> will_split(m, false);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!best[i].valid()) continue;
+      const double node_impurity =
+          impurity_of_counts(active[i].class_totals, options.criterion);
+      will_split[i] = best[i].gini < node_impurity - options.min_gini_improvement;
+    }
+
+    // Categorical winners need the value -> child mapping, which only the
+    // attribute's coordinator can build (it holds the global matrix).
+    std::vector<std::vector<std::int32_t>> value_to_child(m);
+    for (CatList& list : cat_lists) {
+      std::vector<std::size_t> winner_nodes;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (will_split[i] && best[i].attribute == list.attribute) {
+          winner_nodes.push_back(i);
+        }
+      }
+      if (winner_nodes.empty()) continue;
+      const bool all_ranks = options.categorical_reduction ==
+                             CategoricalReduction::kAllRanks;
+      const std::size_t card = static_cast<std::size_t>(list.cardinality);
+      std::vector<std::int32_t> flat;
+      if (all_ranks || comm.rank() == list.coordinator) {
+        flat.reserve(winner_nodes.size() * card);
+        for (const std::size_t i : winner_nodes) {
+          const CountMatrix matrix = CountMatrix::from_flat(
+              list.cardinality, c,
+              std::span<const std::int64_t>(list.global_counts)
+                  .subspan(i * card * static_cast<std::size_t>(c),
+                           card * static_cast<std::size_t>(c)));
+          const std::vector<std::int32_t> mapping =
+              best[i].kind == SplitKind::kCategoricalMultiWay
+                  ? value_to_child_multiway(matrix)
+                  : value_to_child_subset(matrix, best[i].subset);
+          flat.insert(flat.end(), mapping.begin(), mapping.end());
+        }
+      }
+      // With the allreduce everybody already holds the mapping; otherwise
+      // the coordinator distributes it.
+      if (!all_ranks) mp::bcast(comm, flat, list.coordinator);
+      if (flat.size() != winner_nodes.size() * card) {
+        throw std::logic_error("induction: bad value_to_child broadcast");
+      }
+      for (std::size_t k = 0; k < winner_nodes.size(); ++k) {
+        value_to_child[winner_nodes[k]].assign(
+            flat.begin() + static_cast<std::ptrdiff_t>(k * card),
+            flat.begin() + static_cast<std::ptrdiff_t>((k + 1) * card));
+      }
+    }
+
+    std::vector<int> num_children(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!will_split[i]) continue;
+      if (best[i].kind == SplitKind::kContinuous) {
+        num_children[i] = 2;
+      } else {
+        num_children[i] = num_children_of(value_to_child[i]);
+        if (num_children[i] < 2) {
+          throw std::logic_error("induction: categorical split with <2 children");
+        }
+      }
+    }
+
+    // ---------------- PerformSplitI ----------------------------------------
+    // Assign child slots on the splitting attributes' own lists, collect the
+    // node-table updates, and count (node, child, class) locally.
+    std::vector<std::size_t> kid_offset(m + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      kid_offset[i + 1] = kid_offset[i] +
+                          static_cast<std::size_t>(num_children[i]) *
+                              static_cast<std::size_t>(c);
+    }
+    std::vector<std::int64_t> local_kid_counts(kid_offset[m], 0);
+    std::vector<std::int64_t> update_rids;
+    std::vector<std::int32_t> update_children;
+
+    for (ContList& list : cont_lists) {
+      list.child.assign(list.entries.size(), -1);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i] || best[i].attribute != list.attribute) continue;
+        const auto seg = segment_of(list.entries, list.offsets, i);
+        std::span<std::int32_t> out(list.child.data() + list.offsets[i], seg.size());
+        assign_children_continuous(seg, best[i].threshold, out);
+        for (std::size_t k = 0; k < seg.size(); ++k) {
+          update_rids.push_back(seg[k].rid);
+          update_children.push_back(out[k]);
+          ++local_kid_counts[kid_offset[i] +
+                             static_cast<std::size_t>(out[k]) *
+                                 static_cast<std::size_t>(c) +
+                             static_cast<std::size_t>(seg[k].cls)];
+        }
+        comm.add_work(static_cast<double>(seg.size()));
+      }
+    }
+    for (CatList& list : cat_lists) {
+      list.child.assign(list.entries.size(), -1);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i] || best[i].attribute != list.attribute) continue;
+        const auto seg = segment_of(list.entries, list.offsets, i);
+        std::span<std::int32_t> out(list.child.data() + list.offsets[i], seg.size());
+        assign_children_categorical(seg, value_to_child[i], out);
+        for (std::size_t k = 0; k < seg.size(); ++k) {
+          update_rids.push_back(seg[k].rid);
+          update_children.push_back(out[k]);
+          ++local_kid_counts[kid_offset[i] +
+                             static_cast<std::size_t>(out[k]) *
+                                 static_cast<std::size_t>(c) +
+                             static_cast<std::size_t>(seg[k].cls)];
+        }
+        comm.add_work(static_cast<double>(seg.size()));
+      }
+    }
+
+    std::vector<std::int64_t> global_kid_counts;
+    if (!local_kid_counts.empty()) {
+      global_kid_counts = mp::allreduce_vec(
+          comm, std::span<const std::int64_t>(local_kid_counts), mp::SumOp{});
+    }
+
+    // Create the children in the tree (identically on every rank) and build
+    // the next level's active set.
+    std::vector<ActiveNode> next_active;
+    // child_slot_target[i][slot]: index into next_active, or -1 if the child
+    // became a leaf.
+    std::vector<std::vector<int>> child_slot_target(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      TreeNode& node = result.tree.node(active[i].tree_id);
+      if (!will_split[i]) continue;  // node stays a leaf
+      node.is_leaf = false;
+      node.split.attribute = best[i].attribute;
+      node.split.num_children = num_children[i];
+      if (best[i].kind == SplitKind::kContinuous) {
+        node.split.kind = AttributeKind::kContinuous;
+        node.split.threshold = best[i].threshold;
+      } else {
+        node.split.kind = AttributeKind::kCategorical;
+        node.split.value_to_child = value_to_child[i];
+      }
+      child_slot_target[i].assign(static_cast<std::size_t>(num_children[i]), -1);
+      for (int slot = 0; slot < num_children[i]; ++slot) {
+        const std::span<const std::int64_t> counts =
+            std::span<const std::int64_t>(global_kid_counts)
+                .subspan(kid_offset[i] + static_cast<std::size_t>(slot) *
+                                             static_cast<std::size_t>(c),
+                         static_cast<std::size_t>(c));
+        TreeNode child;
+        child.is_leaf = true;
+        child.class_counts.assign(counts.begin(), counts.end());
+        child.num_records =
+            std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+        child.majority_class = majority_class(counts);
+        child.depth = active[i].depth + 1;
+        const int child_id = result.tree.add_node(std::move(child));
+        result.tree.node(active[i].tree_id).children.push_back(child_id);
+        const TreeNode& stored = result.tree.node(child_id);
+        const bool splittable = !is_pure(stored.class_counts) &&
+                                stored.num_records >= options.min_split_records &&
+                                stored.depth < options.max_depth;
+        if (splittable) {
+          ActiveNode next;
+          next.tree_id = child_id;
+          next.depth = stored.depth;
+          next.total = stored.num_records;
+          next.class_totals = stored.class_counts;
+          child_slot_target[i][static_cast<std::size_t>(slot)] =
+              static_cast<int>(next_active.size());
+          next_active.push_back(std::move(next));
+        }
+      }
+    }
+
+    // Scatter this level's rid -> child assignments.
+    publish_assignments(update_rids, update_children);
+
+    // ---------------- PerformSplitII ---------------------------------------
+    // For every list: enquire children for segments whose node split on a
+    // different attribute, then rebuild the list grouped by the next level's
+    // active nodes (dropping records that landed in leaves).
+    const auto rebuild = [&](auto& list) {
+      using Entry = std::decay_t<decltype(list.entries[0])>;
+      // Enquiry for entries not assigned in PerformSplitI.
+      std::vector<std::int64_t> enquiry_rids;
+      for (std::size_t i = 0; i < m; ++i) {
+        // The splitting attribute's own list was assigned in PerformSplitI.
+        if (!will_split[i] || best[i].attribute == list.attribute) continue;
+        for (const Entry& e : segment_of(list.entries, list.offsets, i)) {
+          enquiry_rids.push_back(e.rid);
+        }
+      }
+      const std::vector<std::int32_t> answers = lookup_assignments(enquiry_rids);
+      std::size_t cursor = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i] || best[i].attribute == list.attribute) continue;
+        for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
+          list.child[idx] = answers[cursor++];
+        }
+      }
+
+      // Stable grouped placement into the next level's layout.
+      std::vector<std::size_t> new_sizes(next_active.size(), 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i]) continue;
+        for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
+          const int target =
+              child_slot_target[i][static_cast<std::size_t>(list.child[idx])];
+          if (target >= 0) ++new_sizes[static_cast<std::size_t>(target)];
+        }
+      }
+      std::vector<std::size_t> new_offsets = sort::offsets_from_sizes(new_sizes);
+      std::vector<Entry> new_entries(new_offsets.back());
+      std::vector<std::size_t> cursors(new_offsets.begin(), new_offsets.end() - 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i]) continue;
+        for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
+          const int target =
+              child_slot_target[i][static_cast<std::size_t>(list.child[idx])];
+          if (target >= 0) {
+            new_entries[cursors[static_cast<std::size_t>(target)]++] =
+                list.entries[idx];
+          }
+        }
+      }
+      comm.add_work(static_cast<double>(list.entries.size()));
+      list.entries = std::move(new_entries);
+      list.offsets = std::move(new_offsets);
+      list.child.clear();
+      list.child.shrink_to_fit();
+      list.mem.resize(list.entries.size() * sizeof(Entry));
+    };
+    for (ContList& list : cont_lists) rebuild(list);
+    for (CatList& list : cat_lists) rebuild(list);
+
+    // ---------------- Level bookkeeping ------------------------------------
+    stats.performsplit_seconds += comm.vtime() - split_phase_start_vtime;
+    ++stats.levels;
+    if (controls.collect_level_stats) {
+      LevelStats level;
+      level.level = stats.levels;
+      level.active_nodes = static_cast<std::int64_t>(m);
+      std::int64_t records = 0;
+      for (const ActiveNode& node : active) records += node.total;
+      level.active_records = records;
+      const std::uint64_t sent = comm.stats().bytes_sent - level_start_bytes;
+      level.max_bytes_sent_per_rank =
+          mp::allreduce_value(comm, sent, mp::MaxOp{});
+      level.vtime_end = comm.vtime();
+      stats.per_level.push_back(level);
+    }
+
+    active = std::move(next_active);
+  }
+
+  stats.total_seconds = comm.vtime();
+  return result;
+}
+
+}  // namespace scalparc::core

@@ -1,0 +1,87 @@
+// Breadth-first distributed tree induction: the ScalParC algorithm (§4).
+//
+//   Presort                sample sort + shift of every continuous list
+//   per level l:
+//     FindSplitI           parallel prefix of continuous class counts;
+//                          reduction of categorical count matrices to a
+//                          designated coordinator per attribute
+//     FindSplitII          local gini scans; global min-allreduce of the
+//                          best candidate per node
+//     PerformSplitI        split the splitting attributes' lists, scatter
+//                          rid -> child into the distributed node table
+//                          (blocked to O(N/p) buffer memory)
+//     PerformSplitII       enquire the node table for every non-splitting
+//                          list and split it consistently
+//
+// Every rank runs this collectively and returns an identical tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/tree.hpp"
+#include "data/dataset.hpp"
+#include "mp/comm.hpp"
+
+namespace scalparc::core {
+
+struct LevelStats {
+  int level = 0;
+  std::int64_t active_nodes = 0;
+  // Global count of records still attached to a splittable node.
+  std::int64_t active_records = 0;
+  // Max over ranks of bytes sent during this level (collected only when
+  // options.collect_level_stats is set in InductionControls).
+  std::uint64_t max_bytes_sent_per_rank = 0;
+  double vtime_end = 0.0;
+};
+
+struct InductionStats {
+  double presort_seconds = 0.0;     // modeled virtual time of Presort
+  double total_seconds = 0.0;       // modeled virtual time of the whole fit
+  // Modeled time spent in split determination (FindSplitI+II) and in the
+  // splitting phase (PerformSplitI+II), summed over levels.
+  double findsplit_seconds = 0.0;
+  double performsplit_seconds = 0.0;
+  int levels = 0;
+  std::vector<LevelStats> per_level;
+};
+
+struct InductionResult {
+  DecisionTree tree;
+  InductionStats stats;
+};
+
+// How the rid -> child mapping of the splitting phase is realized. The two
+// strategies produce identical trees; they differ exactly on the axis the
+// paper's scalability argument is about.
+enum class SplittingStrategy : int {
+  // ScalParC: distributed node table, O(N/p) memory and communication per
+  // processor per level (§3.3).
+  kDistributedHash = 0,
+  // Parallel SPRINT: the full mapping is replicated on every processor via
+  // an allgather, O(N) memory and communication per processor per level
+  // (the formulation §3.2 shows to be unscalable).
+  kReplicatedHash = 1,
+};
+
+struct InductionControls {
+  InductionOptions options;
+  SplittingStrategy strategy = SplittingStrategy::kDistributedHash;
+  // Collect per-level statistics (adds two small collectives per level).
+  bool collect_level_stats = false;
+};
+
+// Collective: every rank passes its block of records (record `row` of
+// `local_block` has global id `first_rid + row`) and the global total.
+// Blocks must tile [0, total_records) exactly; every rank must pass the same
+// schema, controls and total. Throws std::invalid_argument for an empty
+// global training set.
+InductionResult induce_tree_distributed(mp::Comm& comm,
+                                        const data::Dataset& local_block,
+                                        std::int64_t first_rid,
+                                        std::uint64_t total_records,
+                                        const InductionControls& controls);
+
+}  // namespace scalparc::core

@@ -1,0 +1,34 @@
+#include "core/node_table.hpp"
+
+namespace scalparc::core {
+
+void NodeTable::update(std::span<const std::int64_t> rids,
+                       std::span<const std::int32_t> children,
+                       std::int64_t block_limit) {
+  if (rids.size() != children.size()) {
+    throw std::invalid_argument("NodeTable::update: rid/child size mismatch");
+  }
+  std::vector<DistributedHashTable<NodeTableEntry>::Update> updates(rids.size());
+  for (std::size_t i = 0; i < rids.size(); ++i) {
+    updates[i].key = rids[i];
+    updates[i].value = NodeTableEntry{children[i], epoch_};
+  }
+  table_.update(updates, block_limit);
+}
+
+std::vector<std::int32_t> NodeTable::enquire(
+    std::span<const std::int64_t> rids) {
+  std::vector<NodeTableEntry> entries = table_.enquire(rids);
+  std::vector<std::int32_t> children(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].epoch != epoch_) {
+      throw std::logic_error(
+          "NodeTable::enquire: record was not assigned a child this level "
+          "(stale entry)");
+    }
+    children[i] = entries[i].child;
+  }
+  return children;
+}
+
+}  // namespace scalparc::core

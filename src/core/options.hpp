@@ -1,0 +1,55 @@
+// Induction options shared by ScalParC and the baseline classifiers.
+#pragma once
+
+#include <cstdint>
+
+namespace scalparc::core {
+
+enum class CategoricalSplit : int {
+  // The paper's default: one child per categorical value present at the node.
+  kMultiWay = 0,
+  // The footnote's alternative: two children characterized by a value
+  // subset, chosen greedily (SLIQ-style). Implemented as an extension.
+  kBinarySubset = 1,
+};
+
+// Impurity measure optimized by the split search. The paper uses gini;
+// entropy (C4.5-style information gain) is provided as an extension — the
+// split with minimal weighted child impurity maximizes information gain.
+enum class SplitCriterion : int {
+  kGini = 0,
+  kEntropy = 1,
+};
+
+// How categorical count matrices become global in FindSplitI (ablation,
+// DESIGN.md §6.3). Both produce identical trees.
+enum class CategoricalReduction : int {
+  // The paper: "a processor is designated to coordinate the computation of
+  // the global count matrices for all the nodes" — reduce to one rank per
+  // attribute, which evaluates candidates and broadcasts the winning
+  // value -> child mappings.
+  kCoordinator = 0,
+  // Alternative: allreduce the matrices so every rank holds them; redundant
+  // candidate evaluation on all ranks, but no broadcast round.
+  kAllRanks = 1,
+};
+
+struct InductionOptions {
+  // Hard depth cap (root is depth 0). 64 never binds in practice; tests use
+  // small values to exercise the cutoff.
+  int max_depth = 64;
+  // Nodes with fewer records than this become leaves (labelled by majority).
+  std::int64_t min_split_records = 2;
+  // A split must improve on the node's own gini by more than this to be
+  // taken; 0 reproduces the paper (stop only when pure / no valid split).
+  double min_gini_improvement = 0.0;
+  SplitCriterion criterion = SplitCriterion::kGini;
+  CategoricalSplit categorical_split = CategoricalSplit::kMultiWay;
+  CategoricalReduction categorical_reduction = CategoricalReduction::kCoordinator;
+  // Node-table updates are sent in blocks of at most this many entries per
+  // rank per round, to bound communication buffer memory (§3.3.2). 0 means
+  // "N/p", the paper's choice. Benches ablate this (A1).
+  std::int64_t node_table_update_block = 0;
+};
+
+}  // namespace scalparc::core

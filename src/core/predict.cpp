@@ -1,0 +1,131 @@
+#include "core/predict.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "mp/collectives.hpp"
+
+namespace scalparc::core {
+
+ConfusionMatrix::ConfusionMatrix(std::int32_t num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) *
+                 static_cast<std::size_t>(num_classes),
+             0) {
+  if (num_classes < 2) {
+    throw std::invalid_argument("ConfusionMatrix: need at least two classes");
+  }
+}
+
+void ConfusionMatrix::record(std::int32_t actual, std::int32_t predicted) {
+  if (actual < 0 || actual >= num_classes_ || predicted < 0 ||
+      predicted >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::record: class out of range");
+  }
+  ++cells_[static_cast<std::size_t>(actual) *
+               static_cast<std::size_t>(num_classes_) +
+           static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::int64_t ConfusionMatrix::at(std::int32_t actual,
+                                 std::int32_t predicted) const {
+  return cells_.at(static_cast<std::size_t>(actual) *
+                       static_cast<std::size_t>(num_classes_) +
+                   static_cast<std::size_t>(predicted));
+}
+
+std::int64_t ConfusionMatrix::correct() const {
+  std::int64_t sum = 0;
+  for (std::int32_t k = 0; k < num_classes_; ++k) sum += at(k, k);
+  return sum;
+}
+
+double ConfusionMatrix::accuracy() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct()) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(std::int32_t cls) const {
+  std::int64_t row = 0;
+  for (std::int32_t j = 0; j < num_classes_; ++j) row += at(cls, j);
+  return row == 0 ? 0.0 : static_cast<double>(at(cls, cls)) / static_cast<double>(row);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream out;
+  out << "actual\\predicted";
+  for (std::int32_t j = 0; j < num_classes_; ++j) out << '\t' << j;
+  out << '\n';
+  for (std::int32_t i = 0; i < num_classes_; ++i) {
+    out << i;
+    for (std::int32_t j = 0; j < num_classes_; ++j) out << '\t' << at(i, j);
+    out << '\n';
+  }
+  return out.str();
+}
+
+ConfusionMatrix ConfusionMatrix::from_cells(std::int32_t num_classes,
+                                            std::span<const std::int64_t> cells) {
+  ConfusionMatrix matrix(num_classes);
+  if (cells.size() != matrix.cells_.size()) {
+    throw std::invalid_argument("ConfusionMatrix::from_cells: size mismatch");
+  }
+  matrix.cells_.assign(cells.begin(), cells.end());
+  matrix.total_ = 0;
+  for (const std::int64_t cell : matrix.cells_) {
+    if (cell < 0) {
+      throw std::invalid_argument("ConfusionMatrix::from_cells: negative cell");
+    }
+    matrix.total_ += cell;
+  }
+  return matrix;
+}
+
+ConfusionMatrix evaluate_distributed(mp::Comm& comm, const DecisionTree& tree,
+                                     const data::Dataset& local_block) {
+  const std::int32_t num_classes = tree.schema().num_classes();
+  std::vector<std::int64_t> local(
+      static_cast<std::size_t>(num_classes) * static_cast<std::size_t>(num_classes),
+      0);
+  for (std::size_t row = 0; row < local_block.num_records(); ++row) {
+    const std::int32_t actual = local_block.label(row);
+    const std::int32_t predicted = tree.predict(local_block, row);
+    ++local[static_cast<std::size_t>(actual) * static_cast<std::size_t>(num_classes) +
+            static_cast<std::size_t>(predicted)];
+  }
+  comm.add_work(static_cast<double>(local_block.num_records()));
+  const std::vector<std::int64_t> global = mp::allreduce_vec(
+      comm, std::span<const std::int64_t>(local), mp::SumOp{});
+  return ConfusionMatrix::from_cells(num_classes, global);
+}
+
+ConfusionMatrix evaluate(const DecisionTree& tree, const data::Dataset& dataset) {
+  ConfusionMatrix matrix(dataset.schema().num_classes());
+  for (std::size_t row = 0; row < dataset.num_records(); ++row) {
+    matrix.record(dataset.label(row), tree.predict(dataset, row));
+  }
+  return matrix;
+}
+
+double holdout_accuracy(const DecisionTree& tree,
+                        const data::QuestGenerator& generator,
+                        std::uint64_t first_rid, std::size_t count) {
+  if (count == 0) return 0.0;
+  constexpr std::size_t kBatch = 8192;
+  std::size_t correct = 0;
+  std::uint64_t rid = first_rid;
+  std::size_t remaining = count;
+  while (remaining > 0) {
+    const std::size_t n = remaining < kBatch ? remaining : kBatch;
+    const data::Dataset batch = generator.generate(rid, n);
+    for (std::size_t row = 0; row < n; ++row) {
+      correct += tree.predict(batch, row) == batch.label(row);
+    }
+    rid += n;
+    remaining -= n;
+  }
+  return static_cast<double>(correct) / static_cast<double>(count);
+}
+
+}  // namespace scalparc::core

@@ -1,0 +1,59 @@
+// Model evaluation helpers: confusion matrix, accuracy, held-out accuracy
+// against the synthetic generator's ground truth.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "mp/comm.hpp"
+
+namespace scalparc::core {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int32_t num_classes);
+
+  void record(std::int32_t actual, std::int32_t predicted);
+
+  std::int64_t at(std::int32_t actual, std::int32_t predicted) const;
+  std::int64_t total() const { return total_; }
+  std::int64_t correct() const;
+  double accuracy() const;
+  // Recall of one class (0 if the class never occurs).
+  double recall(std::int32_t cls) const;
+
+  std::string to_string() const;
+
+  // Wire access for distributed aggregation.
+  std::span<const std::int64_t> cells() const { return cells_; }
+  static ConfusionMatrix from_cells(std::int32_t num_classes,
+                                    std::span<const std::int64_t> cells);
+
+ private:
+  std::int32_t num_classes_;
+  std::vector<std::int64_t> cells_;
+  std::int64_t total_ = 0;
+};
+
+// Applies `tree` to every row of `dataset` and tallies the outcome.
+ConfusionMatrix evaluate(const DecisionTree& tree, const data::Dataset& dataset);
+
+// Collective distributed evaluation: each rank scores its block of the
+// evaluation set; every rank returns the *global* confusion matrix (one
+// small allreduce). Blocks may be empty on some ranks.
+ConfusionMatrix evaluate_distributed(mp::Comm& comm, const DecisionTree& tree,
+                                     const data::Dataset& local_block);
+
+// Accuracy of `tree` on `count` freshly generated held-out records starting
+// at `first_rid` (use an id range disjoint from training). Labels are the
+// generator's noisy labels, matching what a real held-out set would contain.
+double holdout_accuracy(const DecisionTree& tree,
+                        const data::QuestGenerator& generator,
+                        std::uint64_t first_rid, std::size_t count);
+
+}  // namespace scalparc::core

@@ -1,0 +1,96 @@
+#include "core/pruning.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "data/schema.hpp"
+
+namespace scalparc::core {
+
+namespace {
+
+std::int64_t errors_at(const TreeNode& node) {
+  std::int64_t best = 0;
+  for (const std::int64_t count : node.class_counts) {
+    if (count > best) best = count;
+  }
+  return node.num_records - best;
+}
+
+double split_description_bits(const DecisionTree& tree, const TreeNode& node) {
+  double bits = std::log2(static_cast<double>(tree.schema().num_attributes()));
+  if (node.split.kind == data::AttributeKind::kContinuous) {
+    bits += std::log2(static_cast<double>(node.num_records) + 1.0);
+  } else {
+    bits += static_cast<double>(node.split.value_to_child.size());
+  }
+  return bits;
+}
+
+// Returns the MDL cost of the subtree rooted at `id`, collapsing it to a
+// leaf whenever that is no more expensive.
+double prune_subtree(DecisionTree& tree, int id, int& collapsed) {
+  TreeNode& node = tree.node(id);
+  const double leaf_cost = 1.0 + static_cast<double>(errors_at(node));
+  if (node.is_leaf) return leaf_cost;
+
+  double split_cost = 1.0 + split_description_bits(tree, node);
+  for (const int child : node.children) {
+    split_cost += prune_subtree(tree, child, collapsed);
+  }
+  if (leaf_cost <= split_cost) {
+    // `node` reference is still valid: prune_subtree never adds nodes.
+    node.is_leaf = true;
+    node.children.clear();
+    node.split = SplitDecision{};
+    ++collapsed;
+    return leaf_cost;
+  }
+  return split_cost;
+}
+
+// Drops unreachable nodes and renumbers ids depth-first.
+DecisionTree compact(const DecisionTree& tree) {
+  DecisionTree out(tree.schema());
+  // Pre-order copy; children ids are patched after each node is placed.
+  struct Frame {
+    int old_id;
+    int new_parent;
+    int slot;
+  };
+  std::vector<Frame> stack{{tree.root(), -1, -1}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    TreeNode copy = tree.node(frame.old_id);
+    const std::vector<int> old_children = copy.children;
+    copy.children.assign(old_children.size(), -1);
+    const int new_id = out.add_node(std::move(copy));
+    if (frame.new_parent >= 0) {
+      out.node(frame.new_parent).children[static_cast<std::size_t>(frame.slot)] =
+          new_id;
+    }
+    // Push in reverse so children are numbered left to right.
+    for (int slot = static_cast<int>(old_children.size()) - 1; slot >= 0; --slot) {
+      stack.push_back(
+          Frame{old_children[static_cast<std::size_t>(slot)], new_id, slot});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PruneReport mdl_prune(DecisionTree& tree) {
+  PruneReport report;
+  report.nodes_before = tree.num_nodes();
+  if (tree.empty()) return report;
+  int collapsed = 0;
+  prune_subtree(tree, tree.root(), collapsed);
+  if (collapsed > 0) tree = compact(tree);
+  report.subtrees_collapsed = collapsed;
+  report.nodes_after = tree.num_nodes();
+  return report;
+}
+
+}  // namespace scalparc::core

@@ -1,0 +1,32 @@
+// MDL-based tree pruning (extension).
+//
+// The paper concentrates on the induction step and leaves pruning out of
+// scope (§2); we provide the SLIQ-style MDL pruning pass as a documented
+// extension so the library covers the full classifier lifecycle. A subtree
+// is collapsed into a leaf when the description length of "leaf + its
+// errors" does not exceed the description length of "split + children":
+//
+//   cost(leaf)  = 1 + errors(t)
+//   cost(split) = 1 + L_split + sum_children cost(child)
+//   L_split     = log2(num_attributes)
+//               + log2(num_records(t))         for a continuous threshold
+//               + cardinality                  for a categorical mapping
+//
+// Costs are in bits; errors are counted on the training distribution stored
+// in the nodes' class histograms.
+#pragma once
+
+#include "core/tree.hpp"
+
+namespace scalparc::core {
+
+struct PruneReport {
+  int nodes_before = 0;
+  int nodes_after = 0;
+  int subtrees_collapsed = 0;
+};
+
+// Prunes in place (bottom-up) and compacts node ids. Idempotent.
+PruneReport mdl_prune(DecisionTree& tree);
+
+}  // namespace scalparc::core

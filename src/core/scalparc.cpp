@@ -1,0 +1,68 @@
+#include "core/scalparc.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sort/partition_util.hpp"
+
+namespace scalparc::core {
+
+InductionResult ScalParC::fit_rank(mp::Comm& comm,
+                                   const data::Dataset& local_block,
+                                   std::int64_t first_rid,
+                                   std::uint64_t total_records,
+                                   const InductionControls& controls) {
+  return induce_tree_distributed(comm, local_block, first_rid, total_records,
+                                 controls);
+}
+
+FitReport ScalParC::fit(const data::Dataset& training, int nranks,
+                        const InductionControls& controls,
+                        const mp::CostModel& model) {
+  if (nranks <= 0) throw std::invalid_argument("ScalParC::fit: nranks must be positive");
+  const std::uint64_t total = training.num_records();
+  const std::vector<std::size_t> sizes = sort::equal_partition_sizes(total, nranks);
+  const std::vector<std::size_t> offsets = sort::offsets_from_sizes(sizes);
+
+  std::vector<InductionResult> results(static_cast<std::size_t>(nranks));
+  mp::RunResult run = mp::run_ranks(nranks, model, [&](mp::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const data::Dataset block = training.slice(offsets[r], offsets[r + 1]);
+    results[r] = fit_rank(comm, block, static_cast<std::int64_t>(offsets[r]),
+                          total, controls);
+  });
+
+  FitReport report;
+  report.tree = std::move(results[0].tree);
+  report.stats = std::move(results[0].stats);
+  report.run = std::move(run);
+  return report;
+}
+
+FitReport ScalParC::fit_generated(const data::QuestGenerator& generator,
+                                  std::uint64_t total_records, int nranks,
+                                  const InductionControls& controls,
+                                  const mp::CostModel& model) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("ScalParC::fit_generated: nranks must be positive");
+  }
+  const std::vector<std::size_t> sizes =
+      sort::equal_partition_sizes(total_records, nranks);
+  const std::vector<std::size_t> offsets = sort::offsets_from_sizes(sizes);
+
+  std::vector<InductionResult> results(static_cast<std::size_t>(nranks));
+  mp::RunResult run = mp::run_ranks(nranks, model, [&](mp::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const data::Dataset block = generator.generate(offsets[r], sizes[r]);
+    results[r] = fit_rank(comm, block, static_cast<std::int64_t>(offsets[r]),
+                          total_records, controls);
+  });
+
+  FitReport report;
+  report.tree = std::move(results[0].tree);
+  report.stats = std::move(results[0].stats);
+  report.run = std::move(run);
+  return report;
+}
+
+}  // namespace scalparc::core

@@ -1,0 +1,53 @@
+// Public entry points of the ScalParC library.
+//
+// Two usage styles:
+//  * `fit_rank` — call from inside your own mp::run_ranks body: each rank
+//    passes its block of the training set (SPMD, collective).
+//  * `fit` / `fit_generated` — convenience drivers that stand up a simulated
+//    cluster of `nranks` ranks, partition (or generate) the data per rank,
+//    induce the tree, and return it together with the per-rank communication
+//    statistics, memory peaks and modeled Cray-T3D-calibrated runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "core/induction.hpp"
+#include "core/tree.hpp"
+#include "data/dataset.hpp"
+#include "data/synthetic.hpp"
+#include "mp/costmodel.hpp"
+#include "mp/runtime.hpp"
+
+namespace scalparc::core {
+
+struct FitReport {
+  DecisionTree tree;         // identical on every rank; rank 0's copy
+  InductionStats stats;      // rank 0's induction statistics
+  mp::RunResult run;         // per-rank comm stats, memory peaks, timings
+};
+
+class ScalParC {
+ public:
+  // Collective per-rank fit; see induce_tree_distributed for the contract.
+  static InductionResult fit_rank(mp::Comm& comm,
+                                  const data::Dataset& local_block,
+                                  std::int64_t first_rid,
+                                  std::uint64_t total_records,
+                                  const InductionControls& controls = {});
+
+  // Partitions `training` into contiguous equal blocks over `nranks`
+  // simulated ranks and fits. With nranks == 1 this is the serial algorithm.
+  static FitReport fit(const data::Dataset& training, int nranks,
+                       const InductionControls& controls = {},
+                       const mp::CostModel& model = mp::CostModel::zero());
+
+  // Like fit(), but every rank generates its own block of
+  // `total_records` Quest records — no global materialization, so training
+  // sets of hundreds of millions of records fit in simulation.
+  static FitReport fit_generated(const data::QuestGenerator& generator,
+                                 std::uint64_t total_records, int nranks,
+                                 const InductionControls& controls = {},
+                                 const mp::CostModel& model = mp::CostModel::zero());
+};
+
+}  // namespace scalparc::core

@@ -1,0 +1,131 @@
+#include "core/split_finder.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace scalparc::core {
+
+bool candidate_less(const SplitCandidate& a, const SplitCandidate& b) {
+  if (a.gini != b.gini) return a.gini < b.gini;
+  if (a.attribute != b.attribute) return a.attribute < b.attribute;
+  if (a.kind != b.kind) return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+  if (a.threshold != b.threshold) return a.threshold < b.threshold;
+  return a.subset < b.subset;
+}
+
+std::size_t scan_continuous_segment(std::span<const data::ContinuousEntry> segment,
+                                    BinaryImpurityScanner& scanner, bool has_prev,
+                                    double prev_value, std::int32_t attribute,
+                                    SplitCandidate& best) {
+  double prev = prev_value;
+  bool has = has_prev;
+  for (const data::ContinuousEntry& entry : segment) {
+    if (has && entry.value != prev) {
+      // Candidate "A < entry.value": the left partition is exactly the
+      // records advanced so far (all have value <= prev < entry.value).
+      const double g = scanner.current_impurity();
+      SplitCandidate candidate;
+      candidate.gini = g;
+      candidate.attribute = attribute;
+      candidate.kind = SplitKind::kContinuous;
+      candidate.threshold = entry.value;
+      if (candidate_less(candidate, best)) best = candidate;
+    }
+    scanner.advance(entry.cls);
+    prev = entry.value;
+    has = true;
+  }
+  return segment.size();
+}
+
+namespace {
+
+// Gini of the binary split defined by `subset` (bit v set -> value v on the
+// left), or +inf if either side is empty.
+double subset_impurity(const CountMatrix& matrix, std::uint64_t subset,
+                       SplitCriterion criterion) {
+  const int c = matrix.cols();
+  std::vector<std::int64_t> left(static_cast<std::size_t>(c), 0);
+  std::vector<std::int64_t> right(static_cast<std::size_t>(c), 0);
+  for (int v = 0; v < matrix.rows(); ++v) {
+    auto& side = (subset >> v) & 1u ? left : right;
+    for (int j = 0; j < c; ++j) side[static_cast<std::size_t>(j)] += matrix.at(v, j);
+  }
+  std::int64_t nl = 0;
+  std::int64_t nr = 0;
+  for (int j = 0; j < c; ++j) {
+    nl += left[static_cast<std::size_t>(j)];
+    nr += right[static_cast<std::size_t>(j)];
+  }
+  if (nl == 0 || nr == 0) return std::numeric_limits<double>::infinity();
+  const double n = static_cast<double>(nl + nr);
+  return (static_cast<double>(nl) / n) * impurity_of_counts(left, criterion) +
+         (static_cast<double>(nr) / n) * impurity_of_counts(right, criterion);
+}
+
+SplitCandidate multiway_candidate(const CountMatrix& matrix,
+                                  std::int32_t attribute,
+                                  SplitCriterion criterion) {
+  SplitCandidate candidate;
+  int non_empty = 0;
+  for (int v = 0; v < matrix.rows(); ++v) non_empty += matrix.row_total(v) > 0;
+  if (non_empty < 2) return candidate;  // a 1-way "split" is no split
+  candidate.gini = impurity_of_split(matrix, criterion);
+  candidate.attribute = attribute;
+  candidate.kind = SplitKind::kCategoricalMultiWay;
+  return candidate;
+}
+
+SplitCandidate subset_candidate(const CountMatrix& matrix,
+                                std::int32_t attribute,
+                                SplitCriterion criterion) {
+  SplitCandidate candidate;
+  if (matrix.rows() > 64) {
+    throw std::invalid_argument(
+        "best_categorical_split: subset mode limited to cardinality <= 64");
+  }
+  // Greedy forward selection (SLIQ-style): repeatedly move the value that
+  // most improves the split into the left subset; keep the best seen.
+  std::uint64_t subset = 0;
+  double best_gini = std::numeric_limits<double>::infinity();
+  std::uint64_t best_subset = 0;
+  for (;;) {
+    double round_best = std::numeric_limits<double>::infinity();
+    int round_value = -1;
+    for (int v = 0; v < matrix.rows(); ++v) {
+      if ((subset >> v) & 1u) continue;
+      if (matrix.row_total(v) == 0) continue;
+      const double g = subset_impurity(matrix, subset | (std::uint64_t{1} << v), criterion);
+      if (g < round_best) {
+        round_best = g;
+        round_value = v;
+      }
+    }
+    if (round_value < 0) break;  // no move keeps both sides non-empty
+    subset |= std::uint64_t{1} << round_value;
+    if (round_best < best_gini) {
+      best_gini = round_best;
+      best_subset = subset;
+    }
+  }
+  if (best_gini == std::numeric_limits<double>::infinity()) return candidate;
+  candidate.gini = best_gini;
+  candidate.attribute = attribute;
+  candidate.kind = SplitKind::kCategoricalSubset;
+  candidate.subset = best_subset;
+  return candidate;
+}
+
+}  // namespace
+
+SplitCandidate best_categorical_split(const CountMatrix& matrix,
+                                      std::int32_t attribute,
+                                      CategoricalSplit mode,
+                                      SplitCriterion criterion) {
+  if (mode == CategoricalSplit::kMultiWay) {
+    return multiway_candidate(matrix, attribute, criterion);
+  }
+  return subset_candidate(matrix, attribute, criterion);
+}
+
+}  // namespace scalparc::core

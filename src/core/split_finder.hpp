@@ -1,0 +1,75 @@
+// Split determination (FindSplitI / FindSplitII, §4).
+//
+// A SplitCandidate is the wire form of one possible split of one node. It is
+// totally ordered by (gini, attribute, kind, threshold, subset) so that an
+// element-wise min-allreduce over per-node candidate arrays yields the same
+// winner on every rank and for every processor count.
+//
+// Continuous splits follow the paper's condition "A < v for some value v in
+// its domain": candidates are evaluated at every distinct attribute value v,
+// with the records strictly below v forming the left partition.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "core/count_matrix.hpp"
+#include "core/gini.hpp"
+#include "core/options.hpp"
+#include "data/attribute_list.hpp"
+
+namespace scalparc::core {
+
+enum class SplitKind : std::int32_t {
+  kContinuous = 0,
+  kCategoricalMultiWay = 1,
+  kCategoricalSubset = 2,
+};
+
+struct SplitCandidate {
+  double gini = std::numeric_limits<double>::infinity();
+  std::int32_t attribute = -1;
+  SplitKind kind = SplitKind::kContinuous;
+  // Continuous: the value v of the winning "A < v" condition.
+  double threshold = 0.0;
+  // kCategoricalSubset: bit v set means value v goes to child 0. Limits
+  // subset splits to cardinality <= 64 (checked by best_categorical_split).
+  std::uint64_t subset = 0;
+
+  bool valid() const { return gini < std::numeric_limits<double>::infinity(); }
+};
+
+// Strict total order; `a < b` means a is the preferred candidate.
+bool candidate_less(const SplitCandidate& a, const SplitCandidate& b);
+
+// Combine functor selecting the preferred candidate (for min-allreduce).
+struct CandidateMinOp {
+  SplitCandidate operator()(const SplitCandidate& a,
+                            const SplitCandidate& b) const {
+    return candidate_less(b, a) ? b : a;
+  }
+};
+
+// Scans one local fragment of a node's sorted continuous-attribute segment,
+// improving `best` in place. `scanner` must be positioned at the fragment
+// start (below-counts from the FindSplitI parallel prefix); `has_prev` /
+// `prev_value` describe the last attribute value on any earlier rank within
+// the same node (from the boundary exscan). Returns the number of work units
+// performed (one per entry).
+std::size_t scan_continuous_segment(std::span<const data::ContinuousEntry> segment,
+                                    BinaryImpurityScanner& scanner, bool has_prev,
+                                    double prev_value, std::int32_t attribute,
+                                    SplitCandidate& best);
+
+// Best categorical split of a node given its *global* count matrix
+// (rows = value codes, cols = classes). Multi-way: one child per value with
+// records; requires at least two non-empty values. Subset mode additionally
+// evaluates a greedy binary partition of the values (footnote of §2) and is
+// limited to cardinality <= 64. Returns an invalid candidate if no split
+// exists.
+SplitCandidate best_categorical_split(
+    const CountMatrix& matrix, std::int32_t attribute, CategoricalSplit mode,
+    SplitCriterion criterion = SplitCriterion::kGini);
+
+}  // namespace scalparc::core

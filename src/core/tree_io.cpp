@@ -1,0 +1,178 @@
+#include "core/tree_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace scalparc::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("tree_io: " + what);
+}
+
+std::string double_to_hex(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%a", value);
+  return buffer;
+}
+
+double hex_to_double(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) fail("bad threshold '" + text + "'");
+  return value;
+}
+
+}  // namespace
+
+void save_tree(const DecisionTree& tree, std::ostream& out) {
+  const data::Schema& schema = tree.schema();
+  out << "scalparc-tree v1\n";
+  out << "classes " << schema.num_classes() << '\n';
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const data::AttributeInfo& info = schema.attribute(a);
+    if (info.kind == data::AttributeKind::kContinuous) {
+      out << "attr " << info.name << " cont\n";
+    } else {
+      out << "attr " << info.name << " cat " << info.cardinality << '\n';
+    }
+  }
+  out << "nodes " << tree.num_nodes() << '\n';
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& node = tree.node(id);
+    out << "node " << id << ' ';
+    if (node.is_leaf) {
+      out << "leaf";
+    } else {
+      out << (node.split.kind == data::AttributeKind::kContinuous ? "cont"
+                                                                  : "cat");
+    }
+    out << ' ' << node.depth << ' ' << node.num_records << ' '
+        << node.majority_class;
+    for (const std::int64_t count : node.class_counts) out << ' ' << count;
+    if (!node.is_leaf) {
+      out << ' ' << node.split.attribute;
+      if (node.split.kind == data::AttributeKind::kContinuous) {
+        out << ' ' << double_to_hex(node.split.threshold);
+      } else {
+        out << ' ' << node.split.num_children;
+        for (const std::int32_t slot : node.split.value_to_child) {
+          out << ' ' << slot;
+        }
+      }
+      for (const int child : node.children) out << ' ' << child;
+    }
+    out << '\n';
+  }
+}
+
+void save_tree_file(const DecisionTree& tree, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  save_tree(tree, out);
+}
+
+DecisionTree load_tree(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "scalparc-tree v1") {
+    fail("missing 'scalparc-tree v1' header");
+  }
+  std::int32_t num_classes = 0;
+  if (!(in >> line >> num_classes) || line != "classes" || num_classes < 2) {
+    fail("bad classes line");
+  }
+
+  std::vector<data::AttributeInfo> attributes;
+  std::string token;
+  for (;;) {
+    if (!(in >> token)) fail("unexpected end of input");
+    if (token == "nodes") break;
+    if (token != "attr") fail("expected 'attr' or 'nodes', got '" + token + "'");
+    std::string name;
+    std::string kind;
+    if (!(in >> name >> kind)) fail("bad attr line");
+    if (kind == "cont") {
+      attributes.push_back(data::Schema::continuous(name));
+    } else if (kind == "cat") {
+      std::int32_t cardinality = 0;
+      if (!(in >> cardinality)) fail("bad categorical cardinality");
+      attributes.push_back(data::Schema::categorical(name, cardinality));
+    } else {
+      fail("bad attribute kind '" + kind + "'");
+    }
+  }
+
+  int num_nodes = 0;
+  if (!(in >> num_nodes) || num_nodes < 0) fail("bad node count");
+  DecisionTree tree(data::Schema(std::move(attributes), num_classes));
+  const data::Schema& schema = tree.schema();
+
+  for (int expected = 0; expected < num_nodes; ++expected) {
+    int id = 0;
+    std::string kind;
+    if (!(in >> token >> id >> kind) || token != "node" || id != expected) {
+      fail("bad node line (expected node " + std::to_string(expected) + ")");
+    }
+    TreeNode node;
+    if (!(in >> node.depth >> node.num_records >> node.majority_class)) {
+      fail("bad node header");
+    }
+    node.class_counts.resize(static_cast<std::size_t>(num_classes));
+    for (auto& count : node.class_counts) {
+      if (!(in >> count)) fail("bad class counts");
+    }
+    if (kind == "leaf") {
+      node.is_leaf = true;
+    } else if (kind == "cont" || kind == "cat") {
+      node.is_leaf = false;
+      if (!(in >> node.split.attribute)) fail("bad split attribute");
+      if (node.split.attribute < 0 ||
+          node.split.attribute >= schema.num_attributes()) {
+        fail("split attribute out of range");
+      }
+      if (kind == "cont") {
+        node.split.kind = data::AttributeKind::kContinuous;
+        node.split.num_children = 2;
+        if (!(in >> token)) fail("bad threshold");
+        node.split.threshold = hex_to_double(token);
+      } else {
+        node.split.kind = data::AttributeKind::kCategorical;
+        if (!(in >> node.split.num_children) || node.split.num_children < 2) {
+          fail("bad child count");
+        }
+        const std::int32_t cardinality =
+            schema.attribute(node.split.attribute).cardinality;
+        node.split.value_to_child.resize(static_cast<std::size_t>(cardinality));
+        for (auto& slot : node.split.value_to_child) {
+          if (!(in >> slot)) fail("bad value_to_child");
+        }
+      }
+      node.children.resize(static_cast<std::size_t>(node.split.num_children));
+      for (auto& child : node.children) {
+        if (!(in >> child) || child < 0 || child >= num_nodes) {
+          fail("bad child id");
+        }
+      }
+    } else {
+      fail("bad node kind '" + kind + "'");
+    }
+    tree.add_node(std::move(node));
+  }
+  return tree;
+}
+
+DecisionTree load_tree_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open '" + path + "' for reading");
+  return load_tree(in);
+}
+
+}  // namespace scalparc::core

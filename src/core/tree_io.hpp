@@ -1,0 +1,34 @@
+// Decision-tree model persistence.
+//
+// A line-oriented text format that round-trips the full model (schema,
+// structure, splits, class histograms) so trained classifiers can be stored
+// and served without retraining:
+//
+//   scalparc-tree v1
+//   classes <C>
+//   attr <name> cont | attr <name> cat <K>
+//   nodes <count>
+//   node <id> leaf  <depth> <records> <majority> <count...>
+//   node <id> cont  <depth> <records> <majority> <count...>
+//        <attribute> <threshold-hex> <child0> <child1>          (one line)
+//   node <id> cat   <depth> <records> <majority> <count...>
+//        <attribute> <num_children> <value_to_child...> <children...>
+//
+// Thresholds are serialized as hex doubles so the round trip is exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/tree.hpp"
+
+namespace scalparc::core {
+
+void save_tree(const DecisionTree& tree, std::ostream& out);
+void save_tree_file(const DecisionTree& tree, const std::string& path);
+
+// Throws std::runtime_error on malformed input.
+DecisionTree load_tree(std::istream& in);
+DecisionTree load_tree_file(const std::string& path);
+
+}  // namespace scalparc::core

@@ -1,0 +1,31 @@
+#include "data/attribute_list.hpp"
+
+namespace scalparc::data {
+
+std::vector<ContinuousEntry> build_continuous_list(const Dataset& block,
+                                                   int attribute,
+                                                   std::int64_t first_rid) {
+  const auto column = block.continuous_column(attribute);
+  std::vector<ContinuousEntry> list(block.num_records());
+  for (std::size_t row = 0; row < block.num_records(); ++row) {
+    list[row].value = column[row];
+    list[row].rid = first_rid + static_cast<std::int64_t>(row);
+    list[row].cls = block.label(row);
+  }
+  return list;
+}
+
+std::vector<CategoricalEntry> build_categorical_list(const Dataset& block,
+                                                     int attribute,
+                                                     std::int64_t first_rid) {
+  const auto column = block.categorical_column(attribute);
+  std::vector<CategoricalEntry> list(block.num_records());
+  for (std::size_t row = 0; row < block.num_records(); ++row) {
+    list[row].rid = first_rid + static_cast<std::int64_t>(row);
+    list[row].value = column[row];
+    list[row].cls = block.label(row);
+  }
+  return list;
+}
+
+}  // namespace scalparc::data

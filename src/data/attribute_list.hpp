@@ -1,0 +1,48 @@
+// Attribute lists: the vertical fragmentation of the training set (§2).
+//
+// Each attribute's values are stored as a separate list of
+// (value, record id, class label) triples. Continuous lists are sorted by
+// (value, rid) once during Presort and stay sorted forever; categorical
+// lists remain in record-id order. In a parallel run each rank holds a
+// horizontal fragment of every list.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace scalparc::data {
+
+struct ContinuousEntry {
+  double value = 0.0;
+  std::int64_t rid = 0;
+  std::int32_t cls = 0;
+  std::int32_t pad = 0;  // keeps the struct trivially hashable/copyable at 24B
+};
+
+struct CategoricalEntry {
+  std::int64_t rid = 0;
+  std::int32_t value = 0;
+  std::int32_t cls = 0;
+};
+
+// Total order used for the presort: by value, ties broken by rid so that
+// parallel and serial sorts agree exactly.
+struct ContinuousEntryLess {
+  bool operator()(const ContinuousEntry& a, const ContinuousEntry& b) const {
+    if (a.value != b.value) return a.value < b.value;
+    return a.rid < b.rid;
+  }
+};
+
+// Builds the local fragment of attribute `attribute`'s list from a dataset
+// block whose first record has global id `first_rid`.
+std::vector<ContinuousEntry> build_continuous_list(const Dataset& block,
+                                                   int attribute,
+                                                   std::int64_t first_rid);
+std::vector<CategoricalEntry> build_categorical_list(const Dataset& block,
+                                                     int attribute,
+                                                     std::int64_t first_rid);
+
+}  // namespace scalparc::data

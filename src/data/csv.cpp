@@ -1,0 +1,143 @@
+#include "data/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace scalparc::data {
+
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    auto pos = line.find(sep, start);
+    if (pos == std::string::npos) pos = line.size();
+    parts.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("csv: " + what);
+}
+
+}  // namespace
+
+void write_csv(const Dataset& dataset, std::ostream& out) {
+  const Schema& schema = dataset.schema();
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    const AttributeInfo& info = schema.attribute(a);
+    out << info.name;
+    if (info.kind == AttributeKind::kContinuous) {
+      out << ":cont";
+    } else {
+      out << ":cat:" << info.cardinality;
+    }
+    out << ',';
+  }
+  out << "class:" << schema.num_classes() << '\n';
+
+  std::ostringstream row;
+  row.precision(17);  // round-trip exact doubles
+  for (std::size_t r = 0; r < dataset.num_records(); ++r) {
+    row.str({});
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (schema.attribute(a).kind == AttributeKind::kContinuous) {
+        row << dataset.continuous_value(a, r);
+      } else {
+        row << dataset.categorical_value(a, r);
+      }
+      row << ',';
+    }
+    row << dataset.label(r) << '\n';
+    out << row.str();
+  }
+}
+
+void write_csv_file(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_csv(dataset, out);
+}
+
+Dataset read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty input (missing header)");
+
+  std::vector<AttributeInfo> attributes;
+  std::int32_t num_classes = -1;
+  for (const std::string& column : split(line, ',')) {
+    const std::vector<std::string> parts = split(column, ':');
+    if (parts.size() == 2 && parts[0] == "class") {
+      num_classes = static_cast<std::int32_t>(std::strtol(parts[1].c_str(), nullptr, 10));
+      continue;
+    }
+    if (num_classes != -1) fail("class column must be last");
+    if (parts.size() == 2 && parts[1] == "cont") {
+      attributes.push_back(Schema::continuous(parts[0]));
+    } else if (parts.size() == 3 && parts[1] == "cat") {
+      attributes.push_back(Schema::categorical(
+          parts[0],
+          static_cast<std::int32_t>(std::strtol(parts[2].c_str(), nullptr, 10))));
+    } else {
+      fail("malformed header column '" + column + "'");
+    }
+  }
+  if (num_classes < 2) fail("header must end with class:<C>, C >= 2");
+
+  Dataset dataset(Schema(std::move(attributes), num_classes));
+  const Schema& schema = dataset.schema();
+  std::vector<double> cont(static_cast<std::size_t>(schema.num_continuous()));
+  std::vector<std::int32_t> cat(static_cast<std::size_t>(schema.num_categorical()));
+
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = split(line, ',');
+    if (static_cast<int>(cells.size()) != schema.num_attributes() + 1) {
+      fail("row " + std::to_string(line_number) + " has " +
+           std::to_string(cells.size()) + " cells, expected " +
+           std::to_string(schema.num_attributes() + 1));
+    }
+    std::size_t c = 0;
+    std::size_t g = 0;
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      const std::string& cell = cells[static_cast<std::size_t>(a)];
+      char* end = nullptr;
+      if (schema.attribute(a).kind == AttributeKind::kContinuous) {
+        cont[c++] = std::strtod(cell.c_str(), &end);
+      } else {
+        cat[g++] = static_cast<std::int32_t>(std::strtol(cell.c_str(), &end, 10));
+      }
+      if (end == cell.c_str()) {
+        fail("row " + std::to_string(line_number) + ": bad value '" + cell + "'");
+      }
+    }
+    const std::int32_t label =
+        static_cast<std::int32_t>(std::strtol(cells.back().c_str(), nullptr, 10));
+    dataset.append(std::span<const double>(cont.data(), c),
+                   std::span<const std::int32_t>(cat.data(), g), label);
+  }
+  try {
+    dataset.validate();
+  } catch (const std::exception& e) {
+    fail(e.what());
+  }
+  return dataset;
+}
+
+Dataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open '" + path + "' for reading");
+  return read_csv(in);
+}
+
+}  // namespace scalparc::data

@@ -1,0 +1,25 @@
+// Schema-aware CSV serialization for datasets.
+//
+// Format: one header line describing the columns, then one line per record.
+//   header column:  <name>:cont            continuous attribute
+//                   <name>:cat:<K>         categorical attribute, K values
+//                   class:<C>              label column (must be last)
+//   example:        salary:cont,elevel:cat:5,class:2
+// Categorical values and labels are written as integer codes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace scalparc::data {
+
+void write_csv(const Dataset& dataset, std::ostream& out);
+void write_csv_file(const Dataset& dataset, const std::string& path);
+
+// Throws std::runtime_error on malformed headers or rows.
+Dataset read_csv(std::istream& in);
+Dataset read_csv_file(const std::string& path);
+
+}  // namespace scalparc::data

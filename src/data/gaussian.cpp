@@ -1,0 +1,109 @@
+#include "data/gaussian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace scalparc::data {
+
+GaussianGenerator::GaussianGenerator(GaussianConfig config)
+    : config_(config) {
+  if (config_.num_classes < 2) {
+    throw std::invalid_argument("GaussianGenerator: need at least two classes");
+  }
+  if (config_.num_continuous < 1) {
+    throw std::invalid_argument("GaussianGenerator: need continuous attributes");
+  }
+  if (config_.num_categorical < 0 ||
+      (config_.num_categorical > 0 && config_.categorical_cardinality < 2)) {
+    throw std::invalid_argument("GaussianGenerator: bad categorical setup");
+  }
+  std::vector<AttributeInfo> attributes;
+  for (int d = 0; d < config_.num_continuous; ++d) {
+    std::string name = "x";
+    name += std::to_string(d);
+    attributes.push_back(Schema::continuous(std::move(name)));
+  }
+  for (int g = 0; g < config_.num_categorical; ++g) {
+    std::string name = "g";
+    name += std::to_string(g);
+    attributes.push_back(
+        Schema::categorical(std::move(name), config_.categorical_cardinality));
+  }
+  schema_ = Schema(std::move(attributes), config_.num_classes);
+
+  // Class centers on a deterministic random walk so no axis separates all
+  // classes trivially.
+  util::Rng rng(config_.seed ^ 0xABCDEF0123456789ULL);
+  centers_.resize(static_cast<std::size_t>(config_.num_classes) *
+                  static_cast<std::size_t>(config_.num_continuous));
+  for (std::int32_t k = 0; k < config_.num_classes; ++k) {
+    for (int d = 0; d < config_.num_continuous; ++d) {
+      centers_[static_cast<std::size_t>(k) *
+                   static_cast<std::size_t>(config_.num_continuous) +
+               static_cast<std::size_t>(d)] =
+          static_cast<double>(k) * config_.separation *
+              (rng.next_bool(0.5) ? 1.0 : -1.0) +
+          rng.next_double(-1.0, 1.0);
+    }
+  }
+}
+
+util::Rng GaussianGenerator::record_rng(std::uint64_t rid) const {
+  std::uint64_t s = config_.seed + 0x51ED2701B4E2A37FULL;
+  (void)util::splitmix64(s);
+  s ^= 0x9E3779B97F4A7C15ULL * (rid + 7);
+  return util::Rng(util::splitmix64(s));
+}
+
+std::int32_t GaussianGenerator::label(std::uint64_t rid) const {
+  util::Rng rng = record_rng(rid);
+  return static_cast<std::int32_t>(
+      rng.next_below(static_cast<std::uint64_t>(config_.num_classes)));
+}
+
+void GaussianGenerator::fill(Dataset& out, std::uint64_t first_rid,
+                             std::size_t count) const {
+  if (!(out.schema() == schema_)) {
+    throw std::invalid_argument("GaussianGenerator::fill: schema mismatch");
+  }
+  std::vector<double> cont(static_cast<std::size_t>(config_.num_continuous));
+  std::vector<std::int32_t> cat(static_cast<std::size_t>(config_.num_categorical));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t rid = first_rid + i;
+    util::Rng rng = record_rng(rid);
+    const auto cls = static_cast<std::int32_t>(
+        rng.next_below(static_cast<std::uint64_t>(config_.num_classes)));
+    for (int d = 0; d < config_.num_continuous; ++d) {
+      // Box-Muller from two uniforms.
+      const double u1 = rng.next_double();
+      const double u2 = rng.next_double();
+      const double normal =
+          std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(6.283185307179586 * u2);
+      cont[static_cast<std::size_t>(d)] =
+          centers_[static_cast<std::size_t>(cls) *
+                       static_cast<std::size_t>(config_.num_continuous) +
+                   static_cast<std::size_t>(d)] +
+          normal;
+    }
+    for (int g = 0; g < config_.num_categorical; ++g) {
+      if (rng.next_bool(config_.categorical_bias)) {
+        cat[static_cast<std::size_t>(g)] =
+            cls % config_.categorical_cardinality;
+      } else {
+        cat[static_cast<std::size_t>(g)] = static_cast<std::int32_t>(
+            rng.next_below(static_cast<std::uint64_t>(config_.categorical_cardinality)));
+      }
+    }
+    out.append(cont, cat, cls);
+  }
+}
+
+Dataset GaussianGenerator::generate(std::uint64_t first_rid,
+                                    std::size_t count) const {
+  Dataset out(schema_);
+  fill(out, first_rid, count);
+  return out;
+}
+
+}  // namespace scalparc::data

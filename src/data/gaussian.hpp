@@ -1,0 +1,57 @@
+// Multi-class Gaussian-mixture synthetic data.
+//
+// The Quest generator is two-class; this companion generator produces
+// k-class problems over d continuous attributes (one isotropic Gaussian
+// blob per class, optionally with a few categorical attributes whose value
+// distribution is class-dependent). It exercises every c > 2 code path —
+// count matrices, gini/entropy over many classes, multi-way prediction —
+// and, like QuestGenerator, is per-record deterministic so parallel ranks
+// generate their blocks independently.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/schema.hpp"
+#include "util/random.hpp"
+
+namespace scalparc::data {
+
+struct GaussianConfig {
+  std::uint64_t seed = 1;
+  std::int32_t num_classes = 3;
+  int num_continuous = 4;
+  // Categorical attributes: each has this cardinality and is biased toward
+  // the code (class % cardinality) with probability `categorical_bias`.
+  int num_categorical = 1;
+  std::int32_t categorical_cardinality = 4;
+  double categorical_bias = 0.6;
+  // Distance between adjacent class centers, in standard deviations; larger
+  // values make the classes more separable.
+  double separation = 3.0;
+};
+
+class GaussianGenerator {
+ public:
+  explicit GaussianGenerator(GaussianConfig config);
+
+  const GaussianConfig& config() const { return config_; }
+  const Schema& schema() const { return schema_; }
+
+  // True class of record `rid` (uniform over classes).
+  std::int32_t label(std::uint64_t rid) const;
+
+  void fill(Dataset& out, std::uint64_t first_rid, std::size_t count) const;
+  Dataset generate(std::uint64_t first_rid, std::size_t count) const;
+
+ private:
+  util::Rng record_rng(std::uint64_t rid) const;
+
+  GaussianConfig config_;
+  Schema schema_;
+  // Per-class center per continuous attribute.
+  std::vector<double> centers_;
+};
+
+}  // namespace scalparc::data

@@ -1,0 +1,79 @@
+#include "data/schema.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace scalparc::data {
+
+Schema::Schema(std::vector<AttributeInfo> attributes, std::int32_t num_classes)
+    : attributes_(std::move(attributes)), num_classes_(num_classes) {
+  validate();
+}
+
+AttributeInfo Schema::continuous(std::string name) {
+  return AttributeInfo{std::move(name), AttributeKind::kContinuous, 0};
+}
+
+AttributeInfo Schema::categorical(std::string name, std::int32_t cardinality) {
+  return AttributeInfo{std::move(name), AttributeKind::kCategorical, cardinality};
+}
+
+const AttributeInfo& Schema::attribute(int index) const {
+  return attributes_.at(static_cast<std::size_t>(index));
+}
+
+int Schema::num_continuous() const {
+  int n = 0;
+  for (const auto& a : attributes_) n += a.kind == AttributeKind::kContinuous;
+  return n;
+}
+
+int Schema::num_categorical() const {
+  return num_attributes() - num_continuous();
+}
+
+int Schema::find(const std::string& name) const {
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (attributes_[static_cast<std::size_t>(i)].name == name) return i;
+  }
+  return -1;
+}
+
+void Schema::validate() const {
+  if (attributes_.empty()) {
+    throw std::invalid_argument("Schema: at least one attribute is required");
+  }
+  if (num_classes_ < 2) {
+    throw std::invalid_argument("Schema: at least two classes are required");
+  }
+  std::set<std::string> names;
+  for (const auto& a : attributes_) {
+    if (a.name.empty()) {
+      throw std::invalid_argument("Schema: attribute names must be non-empty");
+    }
+    if (!names.insert(a.name).second) {
+      throw std::invalid_argument("Schema: duplicate attribute name '" + a.name + "'");
+    }
+    if (a.kind == AttributeKind::kCategorical && a.cardinality <= 0) {
+      throw std::invalid_argument(
+          "Schema: categorical attribute '" + a.name +
+          "' must have positive cardinality");
+    }
+  }
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (num_classes_ != other.num_classes_) return false;
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    const auto& a = attributes_[i];
+    const auto& b = other.attributes_[i];
+    if (a.name != b.name || a.kind != b.kind) return false;
+    if (a.kind == AttributeKind::kCategorical && a.cardinality != b.cardinality) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scalparc::data

@@ -1,0 +1,56 @@
+// Training-set schema: attribute names, kinds and cardinalities.
+//
+// Mirrors the paper's data model (§1): records have continuous attributes
+// (ordered real domain) and categorical attributes (finite discrete domain);
+// one distinguished categorical attribute is the class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalparc::data {
+
+enum class AttributeKind : std::int8_t {
+  kContinuous = 0,
+  kCategorical = 1,
+};
+
+struct AttributeInfo {
+  std::string name;
+  AttributeKind kind = AttributeKind::kContinuous;
+  // Number of distinct values for categorical attributes (codes are
+  // 0..cardinality-1); ignored for continuous attributes.
+  std::int32_t cardinality = 0;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::vector<AttributeInfo> attributes, std::int32_t num_classes);
+
+  static AttributeInfo continuous(std::string name);
+  static AttributeInfo categorical(std::string name, std::int32_t cardinality);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const AttributeInfo& attribute(int index) const;
+  std::int32_t num_classes() const { return num_classes_; }
+
+  int num_continuous() const;
+  int num_categorical() const;
+
+  // Index of the attribute named `name`, or -1.
+  int find(const std::string& name) const;
+
+  // Throws std::invalid_argument on empty attribute set, fewer than two
+  // classes, non-positive categorical cardinality or duplicate names.
+  void validate() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<AttributeInfo> attributes_;
+  std::int32_t num_classes_ = 0;
+};
+
+}  // namespace scalparc::data

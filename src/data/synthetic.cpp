@@ -1,0 +1,229 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace scalparc::data {
+
+namespace {
+
+bool in_range(double x, double lo, double hi) { return lo <= x && x <= hi; }
+
+// Age band index: 0 = under 40, 1 = 40..59, 2 = 60 and over. All of F2-F5
+// are defined over these three bands.
+int age_band(double age) {
+  if (age < 40.0) return 0;
+  if (age < 60.0) return 1;
+  return 2;
+}
+
+}  // namespace
+
+LabelFunction parse_label_function(const std::string& name) {
+  if (name == "F1" || name == "f1" || name == "1") return LabelFunction::kF1;
+  if (name == "F2" || name == "f2" || name == "2") return LabelFunction::kF2;
+  if (name == "F3" || name == "f3" || name == "3") return LabelFunction::kF3;
+  if (name == "F4" || name == "f4" || name == "4") return LabelFunction::kF4;
+  if (name == "F5" || name == "f5" || name == "5") return LabelFunction::kF5;
+  if (name == "F6" || name == "f6" || name == "6") return LabelFunction::kF6;
+  if (name == "F7" || name == "f7" || name == "7") return LabelFunction::kF7;
+  if (name == "F8" || name == "f8" || name == "8") return LabelFunction::kF8;
+  if (name == "F9" || name == "f9" || name == "9") return LabelFunction::kF9;
+  if (name == "F10" || name == "f10" || name == "10") return LabelFunction::kF10;
+  throw std::invalid_argument("unknown label function: " + name);
+}
+
+std::int32_t quest_label(const QuestRecord& r, LabelFunction function) {
+  bool group_a = false;
+  switch (function) {
+    case LabelFunction::kF1:
+      group_a = r.age < 40.0 || r.age >= 60.0;
+      break;
+    case LabelFunction::kF2: {
+      static constexpr double kLo[3] = {50e3, 75e3, 25e3};
+      static constexpr double kHi[3] = {100e3, 125e3, 75e3};
+      const int b = age_band(r.age);
+      group_a = in_range(r.salary, kLo[b], kHi[b]);
+      break;
+    }
+    case LabelFunction::kF3: {
+      static constexpr int kELo[3] = {0, 1, 2};
+      static constexpr int kEHi[3] = {1, 3, 4};
+      const int b = age_band(r.age);
+      group_a = r.elevel >= kELo[b] && r.elevel <= kEHi[b];
+      break;
+    }
+    case LabelFunction::kF4: {
+      // Per age band: if elevel falls in the band's "inner" education range,
+      // one salary window applies, otherwise another.
+      static constexpr int kELo[3] = {0, 1, 2};
+      static constexpr int kEHi[3] = {1, 3, 4};
+      static constexpr double kInLo[3] = {25e3, 50e3, 50e3};
+      static constexpr double kInHi[3] = {75e3, 100e3, 100e3};
+      static constexpr double kOutLo[3] = {50e3, 75e3, 25e3};
+      static constexpr double kOutHi[3] = {100e3, 125e3, 75e3};
+      const int b = age_band(r.age);
+      const bool inner = r.elevel >= kELo[b] && r.elevel <= kEHi[b];
+      group_a = inner ? in_range(r.salary, kInLo[b], kInHi[b])
+                      : in_range(r.salary, kOutLo[b], kOutHi[b]);
+      break;
+    }
+    case LabelFunction::kF5: {
+      // Per age band: the salary window selects which loan window applies.
+      static constexpr double kSLo[3] = {50e3, 75e3, 25e3};
+      static constexpr double kSHi[3] = {100e3, 125e3, 75e3};
+      static constexpr double kInLo[3] = {100e3, 200e3, 300e3};
+      static constexpr double kInHi[3] = {300e3, 400e3, 500e3};
+      static constexpr double kOutLo[3] = {200e3, 300e3, 100e3};
+      static constexpr double kOutHi[3] = {400e3, 500e3, 300e3};
+      const int b = age_band(r.age);
+      const bool inner = in_range(r.salary, kSLo[b], kSHi[b]);
+      group_a = inner ? in_range(r.loan, kInLo[b], kInHi[b])
+                      : in_range(r.loan, kOutLo[b], kOutHi[b]);
+      break;
+    }
+    case LabelFunction::kF6: {
+      static constexpr double kLo[3] = {50e3, 75e3, 25e3};
+      static constexpr double kHi[3] = {100e3, 125e3, 75e3};
+      const int b = age_band(r.age);
+      group_a = in_range(r.salary + r.commission, kLo[b], kHi[b]);
+      break;
+    }
+    case LabelFunction::kF7:
+      group_a = 0.67 * (r.salary + r.commission) - 0.2 * r.loan - 20e3 > 0.0;
+      break;
+    case LabelFunction::kF8:
+      // Disposable income with an education penalty.
+      group_a = (2.0 / 3.0) * (r.salary + r.commission) -
+                    5000.0 * static_cast<double>(r.elevel) - 20e3 >
+                0.0;
+      break;
+    case LabelFunction::kF9:
+      // As F8 plus the outstanding loan.
+      group_a = (2.0 / 3.0) * (r.salary + r.commission) -
+                    5000.0 * static_cast<double>(r.elevel) - 0.2 * r.loan -
+                    10e3 >
+                0.0;
+      break;
+    case LabelFunction::kF10: {
+      // Home equity accrues after 20 years of ownership. The offset is
+      // chosen so both groups are well represented under the generator's
+      // attribute distributions.
+      const double equity =
+          0.1 * r.hvalue * std::max(r.hyears - 20.0, 0.0);
+      group_a = (2.0 / 3.0) * (r.salary + r.commission) -
+                    5000.0 * static_cast<double>(r.elevel) + 0.2 * equity -
+                    50e3 >
+                0.0;
+      break;
+    }
+  }
+  return group_a ? 1 : 0;
+}
+
+QuestGenerator::QuestGenerator(GeneratorConfig config) : config_(config) {
+  if (config_.num_attributes < 1 || config_.num_attributes > 9) {
+    throw std::invalid_argument("QuestGenerator: num_attributes must be 1..9");
+  }
+  if (config_.label_noise < 0.0 || config_.label_noise > 1.0) {
+    throw std::invalid_argument("QuestGenerator: label_noise must be in [0,1]");
+  }
+  const std::vector<AttributeInfo> all = {
+      Schema::continuous("salary"),
+      Schema::continuous("commission"),
+      Schema::continuous("age"),
+      Schema::categorical("elevel", 5),
+      Schema::categorical("car", 20),
+      Schema::categorical("zipcode", 9),
+      Schema::continuous("hvalue"),
+      Schema::continuous("hyears"),
+      Schema::continuous("loan"),
+  };
+  schema_ = Schema(
+      std::vector<AttributeInfo>(all.begin(),
+                                 all.begin() + config_.num_attributes),
+      /*num_classes=*/2);
+}
+
+util::Rng QuestGenerator::record_rng(std::uint64_t rid) const {
+  // Two rounds of SplitMix over (seed, rid) give well-separated streams.
+  std::uint64_t s = config_.seed;
+  (void)util::splitmix64(s);
+  s ^= 0x9E3779B97F4A7C15ULL * (rid + 1);
+  return util::Rng(util::splitmix64(s));
+}
+
+QuestRecord QuestGenerator::raw(std::uint64_t rid) const {
+  util::Rng rng = record_rng(rid);
+  QuestRecord r;
+  r.salary = rng.next_double(20e3, 150e3);
+  const double commission_draw = rng.next_double(10e3, 75e3);
+  r.commission = r.salary >= 75e3 ? 0.0 : commission_draw;
+  r.age = rng.next_double(20.0, 80.0);
+  r.elevel = static_cast<std::int32_t>(rng.next_int(0, 4));
+  r.car = static_cast<std::int32_t>(rng.next_int(0, 19));
+  r.zipcode = static_cast<std::int32_t>(rng.next_int(0, 8));
+  const double k = static_cast<double>(r.zipcode + 1);
+  r.hvalue = rng.next_double(k * 50e3, k * 150e3);
+  r.hyears = rng.next_double(1.0, 30.0);
+  r.loan = rng.next_double(0.0, 500e3);
+  return r;
+}
+
+std::int32_t QuestGenerator::clean_label(std::uint64_t rid) const {
+  return quest_label(raw(rid), config_.function);
+}
+
+std::int32_t QuestGenerator::label(std::uint64_t rid) const {
+  std::int32_t y = clean_label(rid);
+  if (config_.label_noise > 0.0) {
+    // Separate stream from the attribute draws so adding noise never
+    // perturbs attribute values.
+    std::uint64_t s = config_.seed ^ 0xC0FFEE123456789ULL;
+    s += rid * 0xD1B54A32D192ED03ULL;
+    util::Rng rng(util::splitmix64(s));
+    if (rng.next_bool(config_.label_noise)) y = 1 - y;
+  }
+  return y;
+}
+
+void QuestGenerator::fill(Dataset& out, std::uint64_t first_rid,
+                          std::size_t count) const {
+  if (!(out.schema() == schema_)) {
+    throw std::invalid_argument("QuestGenerator::fill: schema mismatch");
+  }
+  std::vector<double> cont(static_cast<std::size_t>(schema_.num_continuous()));
+  std::vector<std::int32_t> cat(static_cast<std::size_t>(schema_.num_categorical()));
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t rid = first_rid + i;
+    const QuestRecord r = raw(rid);
+    const double all_cont[] = {r.salary, r.commission, r.age,
+                               r.hvalue, r.hyears,     r.loan};
+    const std::int32_t all_cat[] = {r.elevel, r.car, r.zipcode};
+    // Attribute order is salary, commission, age, elevel, car, zipcode,
+    // hvalue, hyears, loan; slot the prefix into kind-specific arrays.
+    std::size_t c = 0;
+    std::size_t g = 0;
+    for (int a = 0; a < schema_.num_attributes(); ++a) {
+      if (schema_.attribute(a).kind == AttributeKind::kContinuous) {
+        cont[c] = all_cont[c];
+        ++c;
+      } else {
+        cat[g] = all_cat[g];
+        ++g;
+      }
+    }
+    out.append(std::span<const double>(cont.data(), c),
+               std::span<const std::int32_t>(cat.data(), g), label(rid));
+  }
+}
+
+Dataset QuestGenerator::generate(std::uint64_t first_rid,
+                                 std::size_t count) const {
+  Dataset out(schema_);
+  fill(out, first_rid, count);
+  return out;
+}
+
+}  // namespace scalparc::data

@@ -1,0 +1,45 @@
+#include "mp/comm.hpp"
+
+#include <stdexcept>
+
+#include "mp/runtime.hpp"
+
+namespace scalparc::mp {
+
+Comm::Comm(Hub& hub, int rank, const CostModel& model,
+           util::MemoryMeter* meter)
+    : hub_(hub), rank_(rank), model_(model), meter_(meter) {
+  if (rank < 0 || rank >= hub.size()) {
+    throw std::invalid_argument("Comm: rank out of range");
+  }
+}
+
+int Comm::size() const { return hub_.size(); }
+
+void Comm::send_bytes(int dst, std::int64_t tag,
+                      std::span<const std::byte> bytes) {
+  if (dst < 0 || dst >= size()) {
+    throw std::invalid_argument("Comm::send_bytes: destination out of range");
+  }
+  // Sender pays per-message CPU overhead; the message lands at the receiver
+  // no earlier than now + wire time.
+  vtime_ += model_.send_overhead_s;
+  Message message;
+  message.tag = tag;
+  message.arrival_vtime = vtime_ + model_.wire_seconds(bytes.size());
+  message.payload.assign(bytes.begin(), bytes.end());
+  stats_.record_send(current_op_, bytes.size());
+  hub_.channel(rank_, dst).push(std::move(message));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, std::int64_t tag) {
+  if (src < 0 || src >= size()) {
+    throw std::invalid_argument("Comm::recv_bytes: source out of range");
+  }
+  Message message = hub_.channel(src, rank_).pop(tag);
+  if (message.arrival_vtime > vtime_) vtime_ = message.arrival_vtime;
+  stats_.record_receive(message.payload.size());
+  return std::move(message.payload);
+}
+
+}  // namespace scalparc::mp

@@ -1,0 +1,114 @@
+// Rank-local handle to the in-process message-passing runtime.
+//
+// A Comm is what MPI_COMM_WORLD is to an MPI program: it knows this rank's
+// id, the world size, and provides point-to-point send/recv. Collective
+// operations are free-function templates in mp/collectives.hpp built on top
+// of these primitives.
+//
+// Tag discipline: user-level point-to-point uses non-negative tags chosen by
+// the caller; collectives draw from a private, strictly decreasing negative
+// tag sequence advanced identically on every rank (SPMD), so messages from
+// distinct operations can never be confused even if one rank runs far ahead
+// of another (sends are buffered and never block).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "mp/costmodel.hpp"
+#include "mp/message.hpp"
+#include "mp/stats.hpp"
+#include "util/memory_meter.hpp"
+
+namespace scalparc::mp {
+
+class Hub;  // defined in runtime.hpp
+
+template <typename T>
+concept WireType = std::is_trivially_copyable_v<T>;
+
+class Comm {
+ public:
+  Comm(Hub& hub, int rank, const CostModel& model,
+       util::MemoryMeter* meter = nullptr);
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const;
+  bool is_root() const { return rank_ == 0; }
+  const CostModel& model() const { return model_; }
+
+  // --- point to point ------------------------------------------------------
+  void send_bytes(int dst, std::int64_t tag, std::span<const std::byte> bytes);
+  std::vector<std::byte> recv_bytes(int src, std::int64_t tag);
+
+  template <WireType T>
+  void send(int dst, std::int64_t tag, std::span<const T> values) {
+    send_bytes(dst, tag, std::as_bytes(values));
+  }
+  template <WireType T>
+  void send_value(int dst, std::int64_t tag, const T& value) {
+    send(dst, tag, std::span<const T>(&value, 1));
+  }
+  template <WireType T>
+  std::vector<T> recv(int src, std::int64_t tag) {
+    std::vector<std::byte> raw = recv_bytes(src, tag);
+    std::vector<T> values(raw.size() / sizeof(T));
+    std::memcpy(values.data(), raw.data(), values.size() * sizeof(T));
+    return values;
+  }
+  template <WireType T>
+  T recv_value(int src, std::int64_t tag) {
+    return recv<T>(src, tag).at(0);
+  }
+
+  // --- modeled time and accounting -----------------------------------------
+  // Advances this rank's virtual clock by `units` work units (one unit = one
+  // record-field visit; see CostModel).
+  void add_work(double units) {
+    vtime_ += units * model_.seconds_per_work_unit;
+    stats_.work_units += units;
+  }
+  double vtime() const { return vtime_; }
+  void set_vtime(double t) { vtime_ = t; }
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+  util::MemoryMeter* meter() const { return meter_; }
+
+  // Tag source for collectives; advanced identically on all ranks.
+  std::int64_t next_collective_tag() { return --collective_tag_; }
+
+  // RAII attribution of point-to-point traffic to a collective class.
+  class OpScope {
+   public:
+    OpScope(Comm& comm, CommOp op) : comm_(comm), saved_(comm.current_op_) {
+      comm_.current_op_ = op;
+      comm_.stats_.record_call(op);
+    }
+    ~OpScope() { comm_.current_op_ = saved_; }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    Comm& comm_;
+    CommOp saved_;
+  };
+
+ private:
+  Hub& hub_;
+  int rank_;
+  CostModel model_;
+  util::MemoryMeter* meter_;
+  CommStats stats_;
+  double vtime_ = 0.0;
+  std::int64_t collective_tag_ = 0;
+  CommOp current_op_ = CommOp::kPointToPoint;
+};
+
+}  // namespace scalparc::mp

@@ -1,0 +1,45 @@
+#include "mp/mailbox.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace scalparc::mp {
+
+void Channel::push(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  ready_.notify_all();
+}
+
+Message Channel::pop(std::int64_t tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = std::find_if(queue_.begin(), queue_.end(), [tag](const Message& m) {
+      return m.tag == tag;
+    });
+    if (it != queue_.end()) {
+      Message out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+    if (poisoned_) throw RankAborted{};
+    ready_.wait(lock);
+  }
+}
+
+void Channel::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool Channel::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.empty();
+}
+
+}  // namespace scalparc::mp

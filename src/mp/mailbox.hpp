@@ -1,0 +1,51 @@
+// Point-to-point channels between ranks.
+//
+// Each (source, destination) pair has a dedicated FIFO channel. Sends are
+// buffered (never block); receives block until a message with the requested
+// tag is available. Because sends are buffered, higher-level exchange
+// patterns (pairwise all-to-all, trees) cannot deadlock.
+//
+// If a rank dies with an exception, the runtime poisons every channel so
+// that peers blocked in pop() wake up and unwind (RankAborted) instead of
+// deadlocking the whole run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "mp/message.hpp"
+
+namespace scalparc::mp {
+
+// Thrown out of Channel::pop when the run has been aborted by another rank.
+struct RankAborted : std::runtime_error {
+  RankAborted() : std::runtime_error("message-passing run aborted by a peer rank") {}
+};
+
+class Channel {
+ public:
+  void push(Message message);
+
+  // Blocks until a message whose tag equals `tag` is present, removes it and
+  // returns it. Messages with other tags are left queued (a fast sender may
+  // have already pushed messages for a later operation). Throws RankAborted
+  // if the channel is poisoned while waiting.
+  Message pop(std::int64_t tag);
+
+  // Wakes all waiters with RankAborted; subsequent pops also throw.
+  void poison();
+
+  // True if any message is queued (used by shutdown sanity checks).
+  bool empty() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace scalparc::mp

@@ -1,0 +1,20 @@
+// Wire-level message for the in-process message-passing runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace scalparc::mp {
+
+struct Message {
+  // Matching key. Collectives tag messages with a per-communicator sequence
+  // number so that a rank running ahead can never confuse two operations.
+  std::int64_t tag = 0;
+  // Modeled arrival time at the receiver (seconds on the virtual clock):
+  // sender_vtime + latency + bytes * seconds_per_byte.
+  double arrival_vtime = 0.0;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace scalparc::mp

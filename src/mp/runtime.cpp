@@ -1,0 +1,87 @@
+#include "mp/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "util/stopwatch.hpp"
+
+namespace scalparc::mp {
+
+Hub::Hub(int nranks) : nranks_(nranks) {
+  if (nranks <= 0) throw std::invalid_argument("Hub: nranks must be positive");
+  channels_ = std::vector<Channel>(static_cast<std::size_t>(nranks) *
+                                   static_cast<std::size_t>(nranks));
+}
+
+bool Hub::all_channels_empty() const {
+  return std::all_of(channels_.begin(), channels_.end(),
+                     [](const Channel& c) { return c.empty(); });
+}
+
+void Hub::poison_all() {
+  for (Channel& c : channels_) c.poison();
+}
+
+CommStats RunResult::total_stats() const {
+  CommStats total;
+  for (const RankOutcome& r : ranks) total += r.stats;
+  return total;
+}
+
+std::size_t RunResult::max_peak_bytes_per_rank() const {
+  std::size_t peak = 0;
+  for (const RankOutcome& r : ranks) peak = std::max(peak, r.meter.peak_bytes());
+  return peak;
+}
+
+std::uint64_t RunResult::max_bytes_sent_per_rank() const {
+  std::uint64_t peak = 0;
+  for (const RankOutcome& r : ranks) peak = std::max(peak, r.stats.bytes_sent);
+  return peak;
+}
+
+RunResult run_ranks(int nranks, const CostModel& model,
+                    const std::function<void(Comm&)>& body) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("run_ranks: nranks must be positive");
+  }
+  Hub hub(nranks);
+  RunResult result;
+  result.ranks.resize(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  util::Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      RankOutcome& outcome = result.ranks[static_cast<std::size_t>(r)];
+      Comm comm(hub, r, model, &outcome.meter);
+      try {
+        body(comm);
+      } catch (const RankAborted&) {
+        // Secondary failure caused by another rank's abort; not reported.
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        hub.poison_all();
+      }
+      outcome.stats = comm.stats();
+      outcome.vtime_seconds = comm.vtime();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds = wall.elapsed_seconds();
+
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  for (const RankOutcome& r : result.ranks) {
+    result.modeled_seconds = std::max(result.modeled_seconds, r.vtime_seconds);
+  }
+  return result;
+}
+
+}  // namespace scalparc::mp

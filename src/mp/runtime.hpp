@@ -1,0 +1,69 @@
+// Thread-backed SPMD runtime: spawns one thread per rank, runs the supplied
+// body on each, and collects per-rank statistics, memory peaks and modeled
+// time. This substitutes for "MPI on the Cray T3D" (see DESIGN.md §2):
+// ranks share nothing except messages, so communication volume and pattern
+// match a true distributed-memory run.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "mp/comm.hpp"
+#include "mp/costmodel.hpp"
+#include "mp/mailbox.hpp"
+#include "mp/stats.hpp"
+#include "util/memory_meter.hpp"
+
+namespace scalparc::mp {
+
+// Shared state between the ranks of one run: the p x p channel matrix.
+class Hub {
+ public:
+  explicit Hub(int nranks);
+
+  int size() const { return nranks_; }
+
+  // Channel carrying messages from `src` to `dst`.
+  Channel& channel(int src, int dst) {
+    return channels_[static_cast<std::size_t>(src) *
+                         static_cast<std::size_t>(nranks_) +
+                     static_cast<std::size_t>(dst)];
+  }
+
+  // True when every channel has been drained (sanity check after a run).
+  bool all_channels_empty() const;
+
+  // Aborts the run: wakes every blocked receiver with RankAborted.
+  void poison_all();
+
+ private:
+  int nranks_;
+  std::vector<Channel> channels_;
+};
+
+struct RankOutcome {
+  CommStats stats;
+  util::MemoryMeter meter;
+  double vtime_seconds = 0.0;
+};
+
+struct RunResult {
+  // Modeled parallel runtime: max over ranks of the final virtual clock.
+  double modeled_seconds = 0.0;
+  // Actual wall-clock time of the threaded run (noisy when oversubscribed).
+  double wall_seconds = 0.0;
+  std::vector<RankOutcome> ranks;
+
+  CommStats total_stats() const;
+  std::size_t max_peak_bytes_per_rank() const;
+  std::uint64_t max_bytes_sent_per_rank() const;
+};
+
+// Runs `body(comm)` on `nranks` ranks and returns the aggregated result.
+// Any exception thrown by a rank is rethrown on the calling thread after all
+// ranks have been joined.
+RunResult run_ranks(int nranks, const CostModel& model,
+                    const std::function<void(Comm&)>& body);
+
+}  // namespace scalparc::mp

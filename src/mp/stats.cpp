@@ -1,0 +1,42 @@
+#include "mp/stats.hpp"
+
+namespace scalparc::mp {
+
+std::string_view comm_op_name(CommOp op) {
+  switch (op) {
+    case CommOp::kPointToPoint:
+      return "p2p";
+    case CommOp::kBarrier:
+      return "barrier";
+    case CommOp::kBroadcast:
+      return "bcast";
+    case CommOp::kReduce:
+      return "reduce";
+    case CommOp::kAllreduce:
+      return "allreduce";
+    case CommOp::kScan:
+      return "scan";
+    case CommOp::kGather:
+      return "gather";
+    case CommOp::kAllgather:
+      return "allgather";
+    case CommOp::kAlltoall:
+      return "alltoall";
+  }
+  return "unknown";
+}
+
+CommStats& CommStats::operator+=(const CommStats& other) {
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  messages_sent += other.messages_sent;
+  messages_received += other.messages_received;
+  for (int i = 0; i < kNumCommOps; ++i) {
+    bytes_sent_by_op[i] += other.bytes_sent_by_op[i];
+    calls_by_op[i] += other.calls_by_op[i];
+  }
+  work_units += other.work_units;
+  return *this;
+}
+
+}  // namespace scalparc::mp

@@ -1,0 +1,56 @@
+// Per-rank communication and work accounting.
+//
+// Every byte a rank sends or receives is attributed to the communication
+// operation class that caused it, so benches can report e.g. "bytes moved by
+// the splitting phase's all-to-all exchanges per processor" — the quantity
+// the paper's scalability argument is about.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace scalparc::mp {
+
+enum class CommOp : int {
+  kPointToPoint = 0,
+  kBarrier = 1,
+  kBroadcast = 2,
+  kReduce = 3,
+  kAllreduce = 4,
+  kScan = 5,
+  kGather = 6,
+  kAllgather = 7,
+  kAlltoall = 8,
+};
+inline constexpr int kNumCommOps = 9;
+
+std::string_view comm_op_name(CommOp op);
+
+struct CommStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::array<std::uint64_t, kNumCommOps> bytes_sent_by_op{};
+  std::array<std::uint64_t, kNumCommOps> calls_by_op{};
+  // Abstract computation units reported via Comm::add_work (one unit is one
+  // record-field visit; see CostModel::seconds_per_work_unit).
+  double work_units = 0.0;
+
+  void record_send(CommOp op, std::uint64_t bytes) {
+    bytes_sent += bytes;
+    ++messages_sent;
+    bytes_sent_by_op[static_cast<int>(op)] += bytes;
+  }
+  void record_receive(std::uint64_t bytes) {
+    bytes_received += bytes;
+    ++messages_received;
+  }
+  void record_call(CommOp op) { ++calls_by_op[static_cast<int>(op)]; }
+
+  // Element-wise accumulation, used to aggregate ranks into totals.
+  CommStats& operator+=(const CommStats& other);
+};
+
+}  // namespace scalparc::mp

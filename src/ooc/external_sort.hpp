@@ -1,0 +1,86 @@
+// External merge sort over spill files.
+//
+// The one-time presort of SLIQ/SPRINT-style classifiers is exactly this
+// when the attribute lists do not fit in memory: sort memory-budget-sized
+// runs, then k-way merge. Used by the out-of-core serial SPRINT variant
+// (ooc_sprint) for its Presort phase.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "ooc/spill_file.hpp"
+
+namespace scalparc::ooc {
+
+// Sorts the records of `input` with at most `memory_budget_records` held in
+// memory at once during run generation; returns a new sorted file.
+template <typename T, typename Less>
+TempFile external_sort(const TempFile& input, std::size_t memory_budget_records,
+                       Less less, IoStats* stats = nullptr) {
+  if (memory_budget_records == 0) {
+    throw std::invalid_argument("external_sort: zero memory budget");
+  }
+
+  // Phase 1: sorted runs.
+  std::vector<TempFile> runs;
+  {
+    TypedReader<T> reader(input, stats);
+    std::vector<T> chunk(memory_budget_records);
+    for (;;) {
+      const std::size_t got = reader.read_chunk(std::span<T>(chunk));
+      if (got == 0) break;
+      std::sort(chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(got),
+                less);
+      TempFile run(stats);
+      TypedWriter<T> writer(run, stats);
+      writer.append(std::span<const T>(chunk.data(), got));
+      writer.flush();
+      runs.push_back(std::move(run));
+    }
+  }
+
+  TempFile output(stats);
+  if (runs.empty()) return output;  // empty input -> empty output
+
+  // Phase 2: k-way merge with a heap of run cursors.
+  struct Cursor {
+    std::unique_ptr<TypedReader<T>> reader;
+    T current;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(runs.size());
+  for (const TempFile& run : runs) {
+    Cursor cursor{std::make_unique<TypedReader<T>>(run, stats), T{}};
+    if (cursor.reader->next(cursor.current)) {
+      cursors.push_back(std::move(cursor));
+    }
+  }
+  const auto heap_greater = [&less, &cursors](std::size_t a, std::size_t b) {
+    // Min-heap on the cursors' current records.
+    return less(cursors[b].current, cursors[a].current);
+  };
+  std::vector<std::size_t> heap;
+  heap.reserve(cursors.size());
+  for (std::size_t i = 0; i < cursors.size(); ++i) heap.push_back(i);
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
+
+  TypedWriter<T> writer(output, stats);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    const std::size_t idx = heap.back();
+    writer.append(cursors[idx].current);
+    if (cursors[idx].reader->next(cursors[idx].current)) {
+      std::push_heap(heap.begin(), heap.end(), heap_greater);
+    } else {
+      heap.pop_back();
+    }
+  }
+  writer.flush();
+  return output;
+}
+
+}  // namespace scalparc::ooc

@@ -1,0 +1,527 @@
+#include "ooc/ooc_sprint.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/count_matrix.hpp"
+#include "core/gini.hpp"
+#include "core/split_finder.hpp"
+#include "core/splitter.hpp"
+#include "data/attribute_list.hpp"
+#include "ooc/external_sort.hpp"
+
+namespace scalparc::ooc {
+
+namespace {
+
+using core::CountMatrix;
+using core::SplitCandidate;
+using core::SplitKind;
+using data::AttributeKind;
+using data::CategoricalEntry;
+using data::ContinuousEntry;
+
+struct ContFile {
+  int attribute = -1;
+  TempFile file;
+  std::vector<std::uint64_t> seg_counts;  // per active node, in order
+};
+
+struct CatFile {
+  int attribute = -1;
+  std::int32_t cardinality = 0;
+  TempFile file;
+  std::vector<std::uint64_t> seg_counts;
+  // This level's per-node count matrices (small: cardinality x classes).
+  std::vector<CountMatrix> matrices;
+};
+
+struct ActiveNode {
+  int tree_id = -1;
+  int depth = 0;
+  std::int64_t total = 0;
+  std::vector<std::int64_t> class_totals;
+};
+
+std::int32_t majority_class(std::span<const std::int64_t> counts) {
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < counts.size(); ++j) {
+    if (counts[j] > counts[best]) best = j;
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+bool is_pure(std::span<const std::int64_t> counts) {
+  int non_zero = 0;
+  for (const std::int64_t c : counts) non_zero += c > 0;
+  return non_zero <= 1;
+}
+
+// Merges the `run_sizes` consecutive sorted runs stored in `input` into
+// `writer`, by (value, rid).
+void merge_cont_runs(const TempFile& input,
+                     const std::vector<std::uint64_t>& run_sizes,
+                     TypedWriter<ContinuousEntry>& writer, IoStats* stats,
+                     std::size_t buffer_records) {
+  struct Cursor {
+    std::unique_ptr<TypedReader<ContinuousEntry>> reader;
+    ContinuousEntry current;
+  };
+  std::vector<Cursor> cursors;
+  std::uint64_t offset = 0;
+  for (const std::uint64_t size : run_sizes) {
+    if (size > 0) {
+      Cursor cursor{std::make_unique<TypedReader<ContinuousEntry>>(
+                        input, stats, buffer_records, offset, size),
+                    ContinuousEntry{}};
+      if (cursor.reader->next(cursor.current)) cursors.push_back(std::move(cursor));
+    }
+    offset += size;
+  }
+  const data::ContinuousEntryLess less;
+  const auto heap_greater = [&](std::size_t a, std::size_t b) {
+    return less(cursors[b].current, cursors[a].current);
+  };
+  std::vector<std::size_t> heap(cursors.size());
+  std::iota(heap.begin(), heap.end(), std::size_t{0});
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    const std::size_t idx = heap.back();
+    writer.append(cursors[idx].current);
+    if (cursors[idx].reader->next(cursors[idx].current)) {
+      std::push_heap(heap.begin(), heap.end(), heap_greater);
+    } else {
+      heap.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+OocReport fit_ooc_sprint(const data::Dataset& training,
+                         const OocOptions& options) {
+  const data::Schema& schema = training.schema();
+  const std::uint64_t n = training.num_records();
+  const int c = schema.num_classes();
+  if (n == 0) {
+    throw std::invalid_argument("fit_ooc_sprint: empty training set");
+  }
+  if (options.hash_memory_budget_bytes < sizeof(std::int32_t)) {
+    throw std::invalid_argument("fit_ooc_sprint: hash budget below one entry");
+  }
+  const core::InductionOptions& induction = options.induction;
+  if (induction.max_depth < 0 || induction.min_split_records < 2) {
+    throw std::invalid_argument("fit_ooc_sprint: bad induction options");
+  }
+
+  OocReport report;
+  IoStats& io = report.io;
+  const std::size_t buffer = options.io_buffer_records;
+
+  // --- Spill + presort the attribute lists --------------------------------
+  std::vector<ContFile> cont_files;
+  std::vector<CatFile> cat_files;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.attribute(a).kind == AttributeKind::kContinuous) {
+      const auto list = data::build_continuous_list(training, a, 0);
+      TempFile unsorted = spill<ContinuousEntry>(list, &io);
+      ContFile cont;
+      cont.attribute = a;
+      cont.file = external_sort<ContinuousEntry>(
+          unsorted, options.sort_memory_budget_records,
+          data::ContinuousEntryLess{}, &io);
+      cont.seg_counts = {n};
+      cont_files.push_back(std::move(cont));
+    } else {
+      const auto list = data::build_categorical_list(training, a, 0);
+      CatFile cat;
+      cat.attribute = a;
+      cat.cardinality = schema.attribute(a).cardinality;
+      cat.file = spill<CategoricalEntry>(list, &io);
+      cat.seg_counts = {n};
+      cat_files.push_back(std::move(cat));
+    }
+  }
+
+  // --- Root ----------------------------------------------------------------
+  std::vector<std::int64_t> root_totals(static_cast<std::size_t>(c), 0);
+  for (const std::int32_t label : training.labels()) {
+    ++root_totals[static_cast<std::size_t>(label)];
+  }
+  report.tree = core::DecisionTree(schema);
+  core::TreeNode root;
+  root.is_leaf = true;
+  root.class_counts = root_totals;
+  root.num_records = static_cast<std::int64_t>(n);
+  root.majority_class = majority_class(root_totals);
+  report.tree.add_node(std::move(root));
+
+  std::vector<ActiveNode> active;
+  if (!is_pure(root_totals) &&
+      static_cast<std::int64_t>(n) >= induction.min_split_records &&
+      induction.max_depth > 0) {
+    active.push_back(ActiveNode{0, 0, static_cast<std::int64_t>(n), root_totals});
+  }
+
+  // Hash-table pass geometry: 4 bytes per rid of the full record-id space.
+  const std::uint64_t rids_per_pass = std::max<std::uint64_t>(
+      1, options.hash_memory_budget_bytes / sizeof(std::int32_t));
+  const std::uint64_t passes_per_level = (n + rids_per_pass - 1) / rids_per_pass;
+
+  // --- Level loop -----------------------------------------------------------
+  while (!active.empty()) {
+    const std::size_t m = active.size();
+
+    // ---------------- split determination (streaming) ----------------------
+    std::vector<SplitCandidate> best(m);
+    for (ContFile& cont : cont_files) {
+      TypedReader<ContinuousEntry> reader(cont.file, &io, buffer);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::vector<std::int64_t> zeros(static_cast<std::size_t>(c), 0);
+        core::BinaryImpurityScanner scanner(active[i].class_totals, zeros,
+                                            induction.criterion);
+        double prev = 0.0;
+        bool has = false;
+        ContinuousEntry entry;
+        for (std::uint64_t k = 0; k < cont.seg_counts[i]; ++k) {
+          if (!reader.next(entry)) {
+            throw std::logic_error("fit_ooc_sprint: short continuous segment");
+          }
+          if (has && entry.value != prev) {
+            SplitCandidate candidate;
+            candidate.gini = scanner.current_impurity();
+            candidate.attribute = static_cast<std::int32_t>(cont.attribute);
+            candidate.kind = SplitKind::kContinuous;
+            candidate.threshold = entry.value;
+            if (core::candidate_less(candidate, best[i])) best[i] = candidate;
+          }
+          scanner.advance(entry.cls);
+          prev = entry.value;
+          has = true;
+        }
+      }
+    }
+    for (CatFile& cat : cat_files) {
+      cat.matrices.assign(m, CountMatrix(cat.cardinality, c));
+      TypedReader<CategoricalEntry> reader(cat.file, &io, buffer);
+      for (std::size_t i = 0; i < m; ++i) {
+        CategoricalEntry entry;
+        for (std::uint64_t k = 0; k < cat.seg_counts[i]; ++k) {
+          if (!reader.next(entry)) {
+            throw std::logic_error("fit_ooc_sprint: short categorical segment");
+          }
+          cat.matrices[i].increment(entry.value, entry.cls);
+        }
+        const SplitCandidate candidate = core::best_categorical_split(
+            cat.matrices[i], static_cast<std::int32_t>(cat.attribute),
+            induction.categorical_split, induction.criterion);
+        if (core::candidate_less(candidate, best[i])) best[i] = candidate;
+      }
+    }
+
+    std::vector<bool> will_split(m, false);
+    std::vector<std::vector<std::int32_t>> value_to_child(m);
+    std::vector<int> num_children(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!best[i].valid()) continue;
+      const double node_impurity =
+          core::impurity_of_counts(active[i].class_totals, induction.criterion);
+      if (!(best[i].gini < node_impurity - induction.min_gini_improvement)) continue;
+      will_split[i] = true;
+      if (best[i].kind == SplitKind::kContinuous) {
+        num_children[i] = 2;
+      } else {
+        const CatFile* winner = nullptr;
+        for (const CatFile& cat : cat_files) {
+          if (cat.attribute == best[i].attribute) winner = &cat;
+        }
+        value_to_child[i] =
+            best[i].kind == SplitKind::kCategoricalMultiWay
+                ? core::value_to_child_multiway(winner->matrices[i])
+                : core::value_to_child_subset(winner->matrices[i], best[i].subset);
+        num_children[i] = core::num_children_of(value_to_child[i]);
+      }
+    }
+
+    // Child slot of a splitting-attribute entry.
+    const auto cont_child = [&](std::size_t i, const ContinuousEntry& e) {
+      return static_cast<std::int32_t>(e.value < best[i].threshold ? 0 : 1);
+    };
+    const auto cat_child = [&](std::size_t i, const CategoricalEntry& e) {
+      return value_to_child[i][static_cast<std::size_t>(e.value)];
+    };
+
+    // ---------------- counting pre-pass ------------------------------------
+    // One streaming read of each splitting attribute's file yields the
+    // children's class histograms (needed to create tree nodes before any
+    // hash-table pass can decide which children stay active).
+    std::vector<std::size_t> kid_offset(m + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      kid_offset[i + 1] = kid_offset[i] + static_cast<std::size_t>(num_children[i]) *
+                                              static_cast<std::size_t>(c);
+    }
+    std::vector<std::int64_t> kid_counts(kid_offset[m], 0);
+    const auto count_into = [&](std::size_t i, std::int32_t child, std::int32_t cls) {
+      ++kid_counts[kid_offset[i] +
+                   static_cast<std::size_t>(child) * static_cast<std::size_t>(c) +
+                   static_cast<std::size_t>(cls)];
+    };
+    for (ContFile& cont : cont_files) {
+      bool any_own = false;
+      for (std::size_t i = 0; i < m; ++i) {
+        any_own |= will_split[i] && best[i].attribute == cont.attribute;
+      }
+      if (!any_own) continue;
+      TypedReader<ContinuousEntry> reader(cont.file, &io, buffer);
+      ContinuousEntry entry;
+      for (std::size_t i = 0; i < m; ++i) {
+        const bool own = will_split[i] && best[i].attribute == cont.attribute;
+        for (std::uint64_t k = 0; k < cont.seg_counts[i]; ++k) {
+          (void)reader.next(entry);
+          if (own) count_into(i, cont_child(i, entry), entry.cls);
+        }
+      }
+    }
+    for (CatFile& cat : cat_files) {
+      // Categorical histograms follow directly from the stored matrices.
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i] || best[i].attribute != cat.attribute) continue;
+        for (std::int32_t v = 0; v < cat.cardinality; ++v) {
+          const std::int32_t child = value_to_child[i][static_cast<std::size_t>(v)];
+          if (child < 0) continue;
+          for (int j = 0; j < c; ++j) {
+            kid_counts[kid_offset[i] +
+                       static_cast<std::size_t>(child) * static_cast<std::size_t>(c) +
+                       static_cast<std::size_t>(j)] += cat.matrices[i].at(v, j);
+          }
+        }
+      }
+    }
+
+    // ---------------- create children --------------------------------------
+    std::vector<ActiveNode> next_active;
+    std::vector<std::vector<int>> child_slot_target(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!will_split[i]) continue;
+      core::TreeNode& node = report.tree.node(active[i].tree_id);
+      node.is_leaf = false;
+      node.split.attribute = best[i].attribute;
+      node.split.num_children = num_children[i];
+      if (best[i].kind == SplitKind::kContinuous) {
+        node.split.kind = AttributeKind::kContinuous;
+        node.split.threshold = best[i].threshold;
+      } else {
+        node.split.kind = AttributeKind::kCategorical;
+        node.split.value_to_child = value_to_child[i];
+      }
+      child_slot_target[i].assign(static_cast<std::size_t>(num_children[i]), -1);
+      for (int slot = 0; slot < num_children[i]; ++slot) {
+        const std::span<const std::int64_t> counts =
+            std::span<const std::int64_t>(kid_counts)
+                .subspan(kid_offset[i] + static_cast<std::size_t>(slot) *
+                                             static_cast<std::size_t>(c),
+                         static_cast<std::size_t>(c));
+        core::TreeNode child;
+        child.is_leaf = true;
+        child.class_counts.assign(counts.begin(), counts.end());
+        child.num_records =
+            std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+        child.majority_class = majority_class(counts);
+        child.depth = active[i].depth + 1;
+        const int child_id = report.tree.add_node(std::move(child));
+        report.tree.node(active[i].tree_id).children.push_back(child_id);
+        const core::TreeNode& stored = report.tree.node(child_id);
+        if (!is_pure(stored.class_counts) &&
+            stored.num_records >= induction.min_split_records &&
+            stored.depth < induction.max_depth) {
+          child_slot_target[i][static_cast<std::size_t>(slot)] =
+              static_cast<int>(next_active.size());
+          next_active.push_back(ActiveNode{child_id, stored.depth,
+                                           stored.num_records,
+                                           stored.class_counts});
+        }
+      }
+    }
+
+    // ---------------- splitting passes -------------------------------------
+    // Output: per (attribute, next node) one child file; continuous child
+    // files hold one sorted run per pass (merged below).
+    const std::size_t next_m = next_active.size();
+    std::vector<std::vector<TempFile>> cont_out(cont_files.size());
+    std::vector<std::vector<TempFile>> cat_out(cat_files.size());
+    // Run boundaries: cont_runs[list][node][pass] = records written.
+    std::vector<std::vector<std::vector<std::uint64_t>>> cont_runs(cont_files.size());
+    std::vector<std::vector<std::uint64_t>> cat_counts(cat_files.size());
+    for (std::size_t l = 0; l < cont_files.size(); ++l) {
+      cont_out[l] = std::vector<TempFile>(next_m);
+      cont_runs[l].assign(next_m, std::vector<std::uint64_t>(passes_per_level, 0));
+      io.files_created += next_m;
+    }
+    for (std::size_t l = 0; l < cat_files.size(); ++l) {
+      cat_out[l] = std::vector<TempFile>(next_m);
+      cat_counts[l].assign(next_m, 0);
+      io.files_created += next_m;
+    }
+
+    std::vector<std::int32_t> table;  // rid-range hash table of one pass
+    for (std::uint64_t pass = 0; pass < passes_per_level; ++pass) {
+      const std::uint64_t lo = pass * rids_per_pass;
+      const std::uint64_t hi = std::min(n, lo + rids_per_pass);
+      const auto in_range = [&](std::int64_t rid) {
+        return static_cast<std::uint64_t>(rid) >= lo &&
+               static_cast<std::uint64_t>(rid) < hi;
+      };
+      table.assign(hi - lo, -1);
+
+      // (a) build this pass's table slice from the splitting attributes.
+      // Every pass after the first is an extra full read of those files.
+      if (pass > 0) io.extra_passes += 1;
+      for (ContFile& cont : cont_files) {
+        bool any_own = false;
+        for (std::size_t i = 0; i < m; ++i) {
+          any_own |= will_split[i] && best[i].attribute == cont.attribute;
+        }
+        if (!any_own) continue;
+        TypedReader<ContinuousEntry> reader(cont.file, &io, buffer);
+        ContinuousEntry entry;
+        for (std::size_t i = 0; i < m; ++i) {
+          const bool own = will_split[i] && best[i].attribute == cont.attribute;
+          for (std::uint64_t k = 0; k < cont.seg_counts[i]; ++k) {
+            (void)reader.next(entry);
+            if (own && in_range(entry.rid)) {
+              table[static_cast<std::uint64_t>(entry.rid) - lo] =
+                  cont_child(i, entry);
+            }
+          }
+        }
+      }
+      for (CatFile& cat : cat_files) {
+        bool any_own = false;
+        for (std::size_t i = 0; i < m; ++i) {
+          any_own |= will_split[i] && best[i].attribute == cat.attribute;
+        }
+        if (!any_own) continue;
+        TypedReader<CategoricalEntry> reader(cat.file, &io, buffer);
+        CategoricalEntry entry;
+        for (std::size_t i = 0; i < m; ++i) {
+          const bool own = will_split[i] && best[i].attribute == cat.attribute;
+          for (std::uint64_t k = 0; k < cat.seg_counts[i]; ++k) {
+            (void)reader.next(entry);
+            if (own && in_range(entry.rid)) {
+              table[static_cast<std::uint64_t>(entry.rid) - lo] =
+                  cat_child(i, entry);
+            }
+          }
+        }
+      }
+
+      // (b) split every attribute file's in-range entries into child files.
+      for (std::size_t l = 0; l < cont_files.size(); ++l) {
+        ContFile& cont = cont_files[l];
+        std::vector<std::unique_ptr<TypedWriter<ContinuousEntry>>> writers(next_m);
+        for (std::size_t j = 0; j < next_m; ++j) {
+          writers[j] = std::make_unique<TypedWriter<ContinuousEntry>>(
+              cont_out[l][j], &io, buffer);
+        }
+        TypedReader<ContinuousEntry> reader(cont.file, &io, buffer);
+        ContinuousEntry entry;
+        for (std::size_t i = 0; i < m; ++i) {
+          const bool own = will_split[i] && best[i].attribute == cont.attribute;
+          for (std::uint64_t k = 0; k < cont.seg_counts[i]; ++k) {
+            (void)reader.next(entry);
+            if (!will_split[i] || !in_range(entry.rid)) continue;
+            const std::int32_t child =
+                own ? cont_child(i, entry)
+                    : table[static_cast<std::uint64_t>(entry.rid) - lo];
+            if (child < 0) {
+              throw std::logic_error("fit_ooc_sprint: unassigned record id");
+            }
+            const int target = child_slot_target[i][static_cast<std::size_t>(child)];
+            if (target >= 0) {
+              writers[static_cast<std::size_t>(target)]->append(entry);
+              ++cont_runs[l][static_cast<std::size_t>(target)][pass];
+            }
+          }
+        }
+      }
+      for (std::size_t l = 0; l < cat_files.size(); ++l) {
+        CatFile& cat = cat_files[l];
+        std::vector<std::unique_ptr<TypedWriter<CategoricalEntry>>> writers(next_m);
+        for (std::size_t j = 0; j < next_m; ++j) {
+          writers[j] = std::make_unique<TypedWriter<CategoricalEntry>>(
+              cat_out[l][j], &io, buffer);
+        }
+        TypedReader<CategoricalEntry> reader(cat.file, &io, buffer);
+        CategoricalEntry entry;
+        for (std::size_t i = 0; i < m; ++i) {
+          const bool own = will_split[i] && best[i].attribute == cat.attribute;
+          for (std::uint64_t k = 0; k < cat.seg_counts[i]; ++k) {
+            (void)reader.next(entry);
+            if (!will_split[i] || !in_range(entry.rid)) continue;
+            const std::int32_t child =
+                own ? cat_child(i, entry)
+                    : table[static_cast<std::uint64_t>(entry.rid) - lo];
+            if (child < 0) {
+              throw std::logic_error("fit_ooc_sprint: unassigned record id");
+            }
+            const int target = child_slot_target[i][static_cast<std::size_t>(child)];
+            if (target >= 0) {
+              writers[static_cast<std::size_t>(target)]->append(entry);
+              ++cat_counts[l][static_cast<std::size_t>(target)];
+            }
+          }
+        }
+      }
+    }
+    report.total_passes += passes_per_level;
+    report.max_passes_per_level =
+        std::max(report.max_passes_per_level, passes_per_level);
+
+    // ---------------- assemble next-level files ----------------------------
+    for (std::size_t l = 0; l < cont_files.size(); ++l) {
+      ContFile next;
+      next.attribute = cont_files[l].attribute;
+      next.file = TempFile(&io);
+      next.seg_counts.assign(next_m, 0);
+      TypedWriter<ContinuousEntry> writer(next.file, &io, buffer);
+      for (std::size_t j = 0; j < next_m; ++j) {
+        // Pass ranges partition by rid, so each child file holds one sorted
+        // run per pass; merge them by (value, rid).
+        merge_cont_runs(cont_out[l][j], cont_runs[l][j], writer, &io, buffer);
+        next.seg_counts[j] = std::accumulate(cont_runs[l][j].begin(),
+                                             cont_runs[l][j].end(),
+                                             std::uint64_t{0});
+      }
+      writer.flush();
+      cont_files[l] = std::move(next);
+    }
+    for (std::size_t l = 0; l < cat_files.size(); ++l) {
+      CatFile next;
+      next.attribute = cat_files[l].attribute;
+      next.cardinality = cat_files[l].cardinality;
+      next.file = TempFile(&io);
+      next.seg_counts = cat_counts[l];
+      TypedWriter<CategoricalEntry> writer(next.file, &io, buffer);
+      for (std::size_t j = 0; j < next_m; ++j) {
+        // Passes cover ascending rid ranges, so concatenation preserves the
+        // rid order categorical lists are kept in.
+        TypedReader<CategoricalEntry> reader(cat_out[l][j], &io, buffer);
+        CategoricalEntry entry;
+        while (reader.next(entry)) writer.append(entry);
+      }
+      writer.flush();
+      cat_files[l] = std::move(next);
+    }
+
+    ++report.levels;
+    active = std::move(next_active);
+  }
+
+  return report;
+}
+
+}  // namespace scalparc::ooc

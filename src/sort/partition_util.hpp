@@ -1,0 +1,18 @@
+// Small helpers shared by the parallel sort and rebalance primitives.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scalparc::sort {
+
+// Sizes of the `parts` chunks of a block distribution of `total` elements:
+// the first (total % parts) chunks get one extra element. This is the
+// canonical "equal fragments" layout the paper assumes for attribute lists.
+std::vector<std::size_t> equal_partition_sizes(std::size_t total, int parts);
+
+// Exclusive prefix (start offsets) of a size vector, plus the total as the
+// final element; result has sizes.size() + 1 entries.
+std::vector<std::size_t> offsets_from_sizes(const std::vector<std::size_t>& sizes);
+
+}  // namespace scalparc::sort

@@ -1,0 +1,23 @@
+#include "sort/rebalance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scalparc::sort {
+
+int owner_of_global_index(std::size_t global_index,
+                          const std::vector<std::size_t>& target_offsets) {
+  // target_offsets is non-decreasing with p+1 entries; the owner is the last
+  // rank whose start offset is <= global_index and whose chunk is non-empty.
+  const auto it = std::upper_bound(target_offsets.begin(), target_offsets.end(),
+                                   global_index);
+  if (it == target_offsets.begin() || it == target_offsets.end()) {
+    // global_index >= total: caller bug.
+    if (global_index >= target_offsets.back()) {
+      throw std::out_of_range("owner_of_global_index: index beyond total");
+    }
+  }
+  return static_cast<int>(it - target_offsets.begin()) - 1;
+}
+
+}  // namespace scalparc::sort

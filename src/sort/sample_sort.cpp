@@ -1,0 +1,26 @@
+#include "sort/partition_util.hpp"
+
+#include <stdexcept>
+
+namespace scalparc::sort {
+
+std::vector<std::size_t> equal_partition_sizes(std::size_t total, int parts) {
+  if (parts <= 0) {
+    throw std::invalid_argument("equal_partition_sizes: parts must be positive");
+  }
+  const std::size_t base = total / static_cast<std::size_t>(parts);
+  const std::size_t extra = total % static_cast<std::size_t>(parts);
+  std::vector<std::size_t> sizes(static_cast<std::size_t>(parts), base);
+  for (std::size_t i = 0; i < extra; ++i) ++sizes[i];
+  return sizes;
+}
+
+std::vector<std::size_t> offsets_from_sizes(const std::vector<std::size_t>& sizes) {
+  std::vector<std::size_t> offsets(sizes.size() + 1, 0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    offsets[i + 1] = offsets[i] + sizes[i];
+  }
+  return offsets;
+}
+
+}  // namespace scalparc::sort

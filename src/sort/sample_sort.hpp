@@ -1,0 +1,138 @@
+// Scalable parallel sample sort (the paper's Presort phase).
+//
+// ScalParC sorts every continuous attribute list exactly once, using "the
+// scalable parallel sample sort algorithm followed by a parallel shift
+// operation" (§4). This header implements sample sort over any trivially
+// copyable element type with a strict-weak-order comparator:
+//
+//   1. sort locally;
+//   2. pick p-1 regular samples per rank, gather them, choose p-1 global
+//      splitters from the sorted sample set;
+//   3. partition local data by the splitters and exchange with one
+//      all-to-all personalized communication;
+//   4. merge the received sorted runs.
+//
+// The comparator must induce a total order for the exchange to be
+// deterministic under duplicate keys; attribute lists use (value, rid).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "mp/collectives.hpp"
+#include "mp/comm.hpp"
+#include "sort/partition_util.hpp"
+
+namespace scalparc::sort {
+
+namespace detail {
+
+// Merges k sorted runs laid out contiguously in `data` with boundaries
+// `offsets` (offsets.size() == k + 1) using pairwise std::inplace_merge.
+template <typename T, typename Less>
+void merge_runs(std::vector<T>& data, std::vector<std::size_t> offsets,
+                Less less) {
+  while (offsets.size() > 2) {
+    std::vector<std::size_t> next;
+    next.reserve(offsets.size() / 2 + 1);
+    next.push_back(offsets.front());
+    for (std::size_t i = 0; i + 2 < offsets.size(); i += 2) {
+      std::inplace_merge(data.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+                         data.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]),
+                         data.begin() + static_cast<std::ptrdiff_t>(offsets[i + 2]),
+                         less);
+      next.push_back(offsets[i + 2]);
+    }
+    if (offsets.size() % 2 == 0) next.push_back(offsets.back());
+    offsets = std::move(next);
+  }
+}
+
+}  // namespace detail
+
+// Sorts the union of all ranks' `local` data. On return, every rank holds a
+// sorted run and runs are globally ordered by rank (rank 0 holds the
+// smallest elements). Element counts per rank are data-dependent; use
+// rebalance() afterwards to restore an exact block distribution.
+template <mp::WireType T, typename Less>
+std::vector<T> sample_sort(mp::Comm& comm, std::vector<T> local, Less less) {
+  const int p = comm.size();
+
+  std::sort(local.begin(), local.end(), less);
+  if (!local.empty()) {
+    comm.add_work(static_cast<double>(local.size()) *
+                  std::log2(static_cast<double>(local.size()) + 1.0));
+  }
+  if (p == 1) return local;
+
+  // Regular sampling: p-1 samples per rank.
+  std::vector<T> samples;
+  samples.reserve(static_cast<std::size_t>(p - 1));
+  for (int i = 1; i < p; ++i) {
+    if (local.empty()) break;
+    const std::size_t idx =
+        (static_cast<std::size_t>(i) * local.size()) / static_cast<std::size_t>(p);
+    samples.push_back(local[std::min(idx, local.size() - 1)]);
+  }
+  std::vector<T> all_samples =
+      mp::allgatherv_concat(comm, std::span<const T>(samples));
+  std::sort(all_samples.begin(), all_samples.end(), less);
+
+  // p-1 splitters chosen regularly from the gathered samples.
+  std::vector<T> splitters;
+  splitters.reserve(static_cast<std::size_t>(p - 1));
+  if (!all_samples.empty()) {
+    for (int i = 1; i < p; ++i) {
+      const std::size_t idx = (static_cast<std::size_t>(i) * all_samples.size()) /
+                              static_cast<std::size_t>(p);
+      splitters.push_back(all_samples[std::min(idx, all_samples.size() - 1)]);
+    }
+  }
+
+  // Partition local data into p destination buckets by splitter.
+  std::vector<std::vector<T>> sendbufs(static_cast<std::size_t>(p));
+  if (splitters.empty()) {
+    sendbufs[0] = std::move(local);
+  } else {
+    std::size_t begin = 0;
+    for (int d = 0; d < p; ++d) {
+      std::size_t end;
+      if (d == p - 1) {
+        end = local.size();
+      } else {
+        const auto it = std::upper_bound(
+            local.begin() + static_cast<std::ptrdiff_t>(begin), local.end(),
+            splitters[static_cast<std::size_t>(d)], less);
+        end = static_cast<std::size_t>(it - local.begin());
+      }
+      sendbufs[static_cast<std::size_t>(d)]
+          .assign(local.begin() + static_cast<std::ptrdiff_t>(begin),
+                  local.begin() + static_cast<std::ptrdiff_t>(end));
+      begin = end;
+    }
+    local.clear();
+  }
+
+  std::vector<std::vector<T>> recvbufs = mp::alltoallv(comm, sendbufs);
+
+  // Concatenate the p sorted runs and merge them.
+  std::vector<T> merged;
+  std::vector<std::size_t> run_offsets;
+  run_offsets.reserve(recvbufs.size() + 1);
+  run_offsets.push_back(0);
+  std::size_t total = 0;
+  for (const auto& run : recvbufs) total += run.size();
+  merged.reserve(total);
+  for (auto& run : recvbufs) {
+    merged.insert(merged.end(), run.begin(), run.end());
+    run_offsets.push_back(merged.size());
+  }
+  detail::merge_runs(merged, std::move(run_offsets), less);
+  comm.add_work(static_cast<double>(merged.size()) *
+                std::log2(static_cast<double>(p) + 1.0));
+  return merged;
+}
+
+}  // namespace scalparc::sort

@@ -1,0 +1,20 @@
+#include "sprint/parallel_sprint.hpp"
+
+namespace scalparc::sprint {
+
+core::FitReport fit_parallel_sprint(const data::Dataset& training, int nranks,
+                                    core::InductionControls controls,
+                                    const mp::CostModel& model) {
+  controls.strategy = core::SplittingStrategy::kReplicatedHash;
+  return core::ScalParC::fit(training, nranks, controls, model);
+}
+
+core::FitReport fit_parallel_sprint_generated(
+    const data::QuestGenerator& generator, std::uint64_t total_records,
+    int nranks, core::InductionControls controls, const mp::CostModel& model) {
+  controls.strategy = core::SplittingStrategy::kReplicatedHash;
+  return core::ScalParC::fit_generated(generator, total_records, nranks,
+                                       controls, model);
+}
+
+}  // namespace scalparc::sprint

@@ -1,0 +1,24 @@
+// Parallel SPRINT baseline (§3.2): identical split determination to
+// ScalParC, but the splitting phase replicates the full rid -> child hash
+// table on every processor via an allgather — O(N) communication and memory
+// per processor, the formulation the paper shows to be unscalable.
+//
+// These are thin facades selecting SplittingStrategy::kReplicatedHash so the
+// two systems differ on exactly the axis the paper compares.
+#pragma once
+
+#include "core/scalparc.hpp"
+
+namespace scalparc::sprint {
+
+core::FitReport fit_parallel_sprint(
+    const data::Dataset& training, int nranks,
+    core::InductionControls controls = {},
+    const mp::CostModel& model = mp::CostModel::zero());
+
+core::FitReport fit_parallel_sprint_generated(
+    const data::QuestGenerator& generator, std::uint64_t total_records,
+    int nranks, core::InductionControls controls = {},
+    const mp::CostModel& model = mp::CostModel::zero());
+
+}  // namespace scalparc::sprint

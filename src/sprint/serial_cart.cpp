@@ -1,0 +1,171 @@
+#include "sprint/serial_cart.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/count_matrix.hpp"
+#include "core/gini.hpp"
+#include "core/split_finder.hpp"
+#include "core/splitter.hpp"
+#include "data/attribute_list.hpp"
+
+namespace scalparc::sprint {
+
+namespace {
+
+using core::CountMatrix;
+using core::SplitCandidate;
+using core::SplitKind;
+using data::AttributeKind;
+
+struct Builder {
+  const data::Dataset& training;
+  const core::InductionOptions& options;
+  core::DecisionTree tree;
+  CartStats* stats;
+
+  std::vector<std::int64_t> class_counts(const std::vector<std::size_t>& rows) const {
+    std::vector<std::int64_t> counts(
+        static_cast<std::size_t>(training.schema().num_classes()), 0);
+    for (const std::size_t row : rows) {
+      ++counts[static_cast<std::size_t>(training.label(row))];
+    }
+    return counts;
+  }
+
+  static std::int32_t majority(std::span<const std::int64_t> counts) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < counts.size(); ++j) {
+      if (counts[j] > counts[best]) best = j;
+    }
+    return static_cast<std::int32_t>(best);
+  }
+
+  static bool pure(std::span<const std::int64_t> counts) {
+    int non_zero = 0;
+    for (const std::int64_t c : counts) non_zero += c > 0;
+    return non_zero <= 1;
+  }
+
+  // Recursively builds the subtree over `rows`; returns its node id.
+  int build(const std::vector<std::size_t>& rows, int depth) {
+    const std::vector<std::int64_t> counts = class_counts(rows);
+    core::TreeNode node;
+    node.is_leaf = true;
+    node.class_counts = counts;
+    node.num_records = static_cast<std::int64_t>(rows.size());
+    node.majority_class = majority(counts);
+    node.depth = depth;
+    const int id = tree.add_node(std::move(node));
+
+    if (pure(counts) ||
+        static_cast<std::int64_t>(rows.size()) < options.min_split_records ||
+        depth >= options.max_depth) {
+      return id;
+    }
+
+    const data::Schema& schema = training.schema();
+    const int c = schema.num_classes();
+    SplitCandidate best;
+    std::vector<std::int32_t> best_mapping;
+
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (schema.attribute(a).kind == AttributeKind::kContinuous) {
+        // Re-sort this attribute's values at this node — the cost CART pays.
+        std::vector<data::ContinuousEntry> entries(rows.size());
+        for (std::size_t k = 0; k < rows.size(); ++k) {
+          entries[k].value = training.continuous_value(a, rows[k]);
+          entries[k].rid = static_cast<std::int64_t>(rows[k]);
+          entries[k].cls = training.label(rows[k]);
+        }
+        std::sort(entries.begin(), entries.end(), data::ContinuousEntryLess{});
+        if (stats != nullptr) stats->sorted_elements += entries.size();
+        const std::vector<std::int64_t> zeros(static_cast<std::size_t>(c), 0);
+        core::BinaryImpurityScanner scanner(counts, zeros, options.criterion);
+        core::scan_continuous_segment(entries, scanner, false, 0.0,
+                                      static_cast<std::int32_t>(a), best);
+      } else {
+        CountMatrix matrix(schema.attribute(a).cardinality, c);
+        for (const std::size_t row : rows) {
+          matrix.increment(training.categorical_value(a, row), training.label(row));
+        }
+        const SplitCandidate candidate = core::best_categorical_split(
+            matrix, static_cast<std::int32_t>(a), options.categorical_split,
+            options.criterion);
+        if (core::candidate_less(candidate, best)) {
+          best = candidate;
+          best_mapping = candidate.kind == SplitKind::kCategoricalMultiWay
+                             ? core::value_to_child_multiway(matrix)
+                             : core::value_to_child_subset(matrix, candidate.subset);
+        }
+      }
+    }
+
+    const double node_impurity =
+        core::impurity_of_counts(counts, options.criterion);
+    if (!best.valid() ||
+        !(best.gini < node_impurity - options.min_gini_improvement)) {
+      return id;
+    }
+
+    int num_children;
+    if (best.kind == SplitKind::kContinuous) {
+      num_children = 2;
+    } else {
+      num_children = core::num_children_of(best_mapping);
+      if (num_children < 2) return id;
+    }
+
+    std::vector<std::vector<std::size_t>> partitions(
+        static_cast<std::size_t>(num_children));
+    for (const std::size_t row : rows) {
+      std::int32_t slot;
+      if (best.kind == SplitKind::kContinuous) {
+        slot = training.continuous_value(best.attribute, row) < best.threshold ? 0 : 1;
+      } else {
+        slot = best_mapping[static_cast<std::size_t>(
+            training.categorical_value(best.attribute, row))];
+      }
+      partitions[static_cast<std::size_t>(slot)].push_back(row);
+    }
+
+    {
+      core::TreeNode& stored = tree.node(id);
+      stored.is_leaf = false;
+      stored.split.attribute = best.attribute;
+      stored.split.num_children = num_children;
+      if (best.kind == SplitKind::kContinuous) {
+        stored.split.kind = AttributeKind::kContinuous;
+        stored.split.threshold = best.threshold;
+      } else {
+        stored.split.kind = AttributeKind::kCategorical;
+        stored.split.value_to_child = best_mapping;
+      }
+    }
+    for (int slot = 0; slot < num_children; ++slot) {
+      const int child =
+          build(partitions[static_cast<std::size_t>(slot)], depth + 1);
+      tree.node(id).children.push_back(child);
+    }
+    return id;
+  }
+};
+
+}  // namespace
+
+core::DecisionTree fit_serial_cart(const data::Dataset& training,
+                                   const core::InductionOptions& options,
+                                   CartStats* stats) {
+  if (training.num_records() == 0) {
+    throw std::invalid_argument("fit_serial_cart: empty training set");
+  }
+  Builder builder{training, options, core::DecisionTree(training.schema()), stats};
+  std::vector<std::size_t> rows(training.num_records());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  builder.build(rows, 0);
+  return std::move(builder.tree);
+}
+
+}  // namespace scalparc::sprint

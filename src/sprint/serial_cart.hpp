@@ -1,0 +1,26 @@
+// Serial CART/C4.5-style baseline: depth-first induction that re-sorts the
+// continuous attributes *at every node* (the expensive approach §1 contrasts
+// with the sort-once design of SLIQ/SPRINT/ScalParC).
+//
+// Uses the same gini criterion and candidate enumeration, so on most data it
+// finds the same splits; it exists to (a) cross-check accuracy and (b) let
+// the benches show the re-sorting cost the paper motivates against.
+#pragma once
+
+#include "core/options.hpp"
+#include "core/tree.hpp"
+#include "data/dataset.hpp"
+
+namespace scalparc::sprint {
+
+struct CartStats {
+  // Total elements passed through std::sort across all nodes — the cost
+  // SLIQ-style presorting avoids.
+  std::uint64_t sorted_elements = 0;
+};
+
+core::DecisionTree fit_serial_cart(const data::Dataset& training,
+                                   const core::InductionOptions& options = {},
+                                   CartStats* stats = nullptr);
+
+}  // namespace scalparc::sprint

@@ -1,0 +1,310 @@
+#include "sprint/serial_sprint.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/count_matrix.hpp"
+#include "core/gini.hpp"
+#include "core/split_finder.hpp"
+#include "core/splitter.hpp"
+#include "data/attribute_list.hpp"
+
+namespace scalparc::sprint {
+
+namespace {
+
+using core::CountMatrix;
+using core::SplitCandidate;
+using core::SplitKind;
+using data::AttributeKind;
+using data::CategoricalEntry;
+using data::ContinuousEntry;
+
+struct ContList {
+  int attribute = -1;
+  std::vector<ContinuousEntry> entries;
+  std::vector<std::size_t> offsets;
+  std::vector<std::int32_t> child;
+};
+
+struct CatList {
+  int attribute = -1;
+  std::int32_t cardinality = 0;
+  std::vector<CategoricalEntry> entries;
+  std::vector<std::size_t> offsets;
+  std::vector<std::int32_t> child;
+};
+
+struct ActiveNode {
+  int tree_id = -1;
+  int depth = 0;
+  std::int64_t total = 0;
+  std::vector<std::int64_t> class_totals;
+};
+
+std::int32_t majority_class(std::span<const std::int64_t> counts) {
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < counts.size(); ++j) {
+    if (counts[j] > counts[best]) best = j;
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+bool is_pure(std::span<const std::int64_t> counts) {
+  int non_zero = 0;
+  for (const std::int64_t c : counts) non_zero += c > 0;
+  return non_zero <= 1;
+}
+
+std::vector<std::size_t> offsets_from_sizes(const std::vector<std::size_t>& sizes) {
+  std::vector<std::size_t> offsets(sizes.size() + 1, 0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) offsets[i + 1] = offsets[i] + sizes[i];
+  return offsets;
+}
+
+}  // namespace
+
+core::DecisionTree fit_serial_sprint(const data::Dataset& training,
+                                     const core::InductionOptions& options) {
+  const data::Schema& schema = training.schema();
+  const std::size_t n = training.num_records();
+  const int c = schema.num_classes();
+  if (n == 0) {
+    throw std::invalid_argument("fit_serial_sprint: empty training set");
+  }
+
+  // Build and presort the attribute lists (the one-time sort).
+  std::vector<ContList> cont_lists;
+  std::vector<CatList> cat_lists;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.attribute(a).kind == AttributeKind::kContinuous) {
+      ContList list;
+      list.attribute = a;
+      list.entries = data::build_continuous_list(training, a, /*first_rid=*/0);
+      std::sort(list.entries.begin(), list.entries.end(),
+                data::ContinuousEntryLess{});
+      list.offsets = {0, list.entries.size()};
+      cont_lists.push_back(std::move(list));
+    } else {
+      CatList list;
+      list.attribute = a;
+      list.cardinality = schema.attribute(a).cardinality;
+      list.entries = data::build_categorical_list(training, a, /*first_rid=*/0);
+      list.offsets = {0, list.entries.size()};
+      cat_lists.push_back(std::move(list));
+    }
+  }
+
+  std::vector<std::int64_t> root_totals(static_cast<std::size_t>(c), 0);
+  for (const std::int32_t label : training.labels()) {
+    ++root_totals[static_cast<std::size_t>(label)];
+  }
+
+  core::DecisionTree tree(schema);
+  core::TreeNode root;
+  root.is_leaf = true;
+  root.class_counts = root_totals;
+  root.num_records = static_cast<std::int64_t>(n);
+  root.majority_class = majority_class(root_totals);
+  tree.add_node(std::move(root));
+
+  std::vector<ActiveNode> active;
+  if (!is_pure(root_totals) &&
+      static_cast<std::int64_t>(n) >= options.min_split_records &&
+      options.max_depth > 0) {
+    active.push_back(ActiveNode{0, 0, static_cast<std::int64_t>(n), root_totals});
+  }
+
+  // The per-level rid -> child hash table (dense array: rids are 0..n-1).
+  std::vector<std::int32_t> rid_to_child(n, -1);
+
+  while (!active.empty()) {
+    const std::size_t m = active.size();
+    std::vector<SplitCandidate> best(m);
+
+    // --- split determination -------------------------------------------
+    for (ContList& list : cont_lists) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::vector<std::int64_t> zeros(static_cast<std::size_t>(c), 0);
+        core::BinaryImpurityScanner scanner(active[i].class_totals, zeros,
+                                            options.criterion);
+        std::span<const ContinuousEntry> segment(
+            list.entries.data() + list.offsets[i],
+            list.offsets[i + 1] - list.offsets[i]);
+        core::scan_continuous_segment(segment, scanner, /*has_prev=*/false,
+                                      /*prev_value=*/0.0,
+                                      static_cast<std::int32_t>(list.attribute),
+                                      best[i]);
+      }
+    }
+    for (CatList& list : cat_lists) {
+      for (std::size_t i = 0; i < m; ++i) {
+        CountMatrix matrix(list.cardinality, c);
+        for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
+          matrix.increment(list.entries[idx].value, list.entries[idx].cls);
+        }
+        const SplitCandidate candidate = core::best_categorical_split(
+            matrix, static_cast<std::int32_t>(list.attribute),
+            options.categorical_split, options.criterion);
+        if (core::candidate_less(candidate, best[i])) best[i] = candidate;
+      }
+    }
+
+    std::vector<bool> will_split(m, false);
+    std::vector<std::vector<std::int32_t>> value_to_child(m);
+    std::vector<int> num_children(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!best[i].valid()) continue;
+      const double node_impurity =
+          core::impurity_of_counts(active[i].class_totals, options.criterion);
+      if (!(best[i].gini < node_impurity - options.min_gini_improvement)) continue;
+      will_split[i] = true;
+      if (best[i].kind == SplitKind::kContinuous) {
+        num_children[i] = 2;
+      } else {
+        // Rebuild the matrix of the winning categorical attribute.
+        const CatList* winner = nullptr;
+        for (const CatList& list : cat_lists) {
+          if (list.attribute == best[i].attribute) winner = &list;
+        }
+        CountMatrix matrix(winner->cardinality, c);
+        for (std::size_t idx = winner->offsets[i]; idx < winner->offsets[i + 1];
+             ++idx) {
+          matrix.increment(winner->entries[idx].value, winner->entries[idx].cls);
+        }
+        value_to_child[i] = best[i].kind == SplitKind::kCategoricalMultiWay
+                                ? core::value_to_child_multiway(matrix)
+                                : core::value_to_child_subset(matrix, best[i].subset);
+        num_children[i] = core::num_children_of(value_to_child[i]);
+      }
+    }
+
+    // --- splitting phase -------------------------------------------------
+    // Split the splitting attribute's lists and fill the hash table; count
+    // (node, child, class) for the children.
+    std::vector<std::size_t> kid_offset(m + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      kid_offset[i + 1] = kid_offset[i] + static_cast<std::size_t>(num_children[i]) *
+                                              static_cast<std::size_t>(c);
+    }
+    std::vector<std::int64_t> kid_counts(kid_offset[m], 0);
+
+    const auto split_own = [&](auto& list) {
+      list.child.assign(list.entries.size(), -1);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i] || best[i].attribute != list.attribute) continue;
+        for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
+          const auto& entry = list.entries[idx];
+          std::int32_t child;
+          if constexpr (std::is_same_v<std::decay_t<decltype(entry)>,
+                                       ContinuousEntry>) {
+            child = entry.value < best[i].threshold ? 0 : 1;
+          } else {
+            child = value_to_child[i][static_cast<std::size_t>(entry.value)];
+          }
+          list.child[idx] = child;
+          rid_to_child[static_cast<std::size_t>(entry.rid)] = child;
+          ++kid_counts[kid_offset[i] +
+                       static_cast<std::size_t>(child) * static_cast<std::size_t>(c) +
+                       static_cast<std::size_t>(entry.cls)];
+        }
+      }
+    };
+    for (ContList& list : cont_lists) split_own(list);
+    for (CatList& list : cat_lists) split_own(list);
+
+    // Create children; build the next active set.
+    std::vector<ActiveNode> next_active;
+    std::vector<std::vector<int>> child_slot_target(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!will_split[i]) continue;
+      core::TreeNode& node = tree.node(active[i].tree_id);
+      node.is_leaf = false;
+      node.split.attribute = best[i].attribute;
+      node.split.num_children = num_children[i];
+      if (best[i].kind == SplitKind::kContinuous) {
+        node.split.kind = AttributeKind::kContinuous;
+        node.split.threshold = best[i].threshold;
+      } else {
+        node.split.kind = AttributeKind::kCategorical;
+        node.split.value_to_child = value_to_child[i];
+      }
+      child_slot_target[i].assign(static_cast<std::size_t>(num_children[i]), -1);
+      for (int slot = 0; slot < num_children[i]; ++slot) {
+        const std::span<const std::int64_t> counts =
+            std::span<const std::int64_t>(kid_counts)
+                .subspan(kid_offset[i] + static_cast<std::size_t>(slot) *
+                                             static_cast<std::size_t>(c),
+                         static_cast<std::size_t>(c));
+        core::TreeNode child;
+        child.is_leaf = true;
+        child.class_counts.assign(counts.begin(), counts.end());
+        child.num_records =
+            std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+        child.majority_class = majority_class(counts);
+        child.depth = active[i].depth + 1;
+        const int child_id = tree.add_node(std::move(child));
+        tree.node(active[i].tree_id).children.push_back(child_id);
+        const core::TreeNode& stored = tree.node(child_id);
+        if (!is_pure(stored.class_counts) &&
+            stored.num_records >= options.min_split_records &&
+            stored.depth < options.max_depth) {
+          child_slot_target[i][static_cast<std::size_t>(slot)] =
+              static_cast<int>(next_active.size());
+          next_active.push_back(ActiveNode{child_id, stored.depth,
+                                           stored.num_records,
+                                           stored.class_counts});
+        }
+      }
+    }
+
+    // Split the non-splitting attributes' lists via the hash table and
+    // rebuild every list for the next level.
+    const auto rebuild = [&](auto& list) {
+      using Entry = std::decay_t<decltype(list.entries[0])>;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i] || best[i].attribute == list.attribute) continue;
+        for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
+          list.child[idx] =
+              rid_to_child[static_cast<std::size_t>(list.entries[idx].rid)];
+        }
+      }
+      std::vector<std::size_t> sizes(next_active.size(), 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i]) continue;
+        for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
+          const int target =
+              child_slot_target[i][static_cast<std::size_t>(list.child[idx])];
+          if (target >= 0) ++sizes[static_cast<std::size_t>(target)];
+        }
+      }
+      std::vector<std::size_t> new_offsets = offsets_from_sizes(sizes);
+      std::vector<Entry> new_entries(new_offsets.back());
+      std::vector<std::size_t> cursors(new_offsets.begin(), new_offsets.end() - 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (!will_split[i]) continue;
+        for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
+          const int target =
+              child_slot_target[i][static_cast<std::size_t>(list.child[idx])];
+          if (target >= 0) {
+            new_entries[cursors[static_cast<std::size_t>(target)]++] =
+                list.entries[idx];
+          }
+        }
+      }
+      list.entries = std::move(new_entries);
+      list.offsets = std::move(new_offsets);
+      list.child.clear();
+    };
+    for (ContList& list : cont_lists) rebuild(list);
+    for (CatList& list : cat_lists) rebuild(list);
+
+    active = std::move(next_active);
+  }
+
+  return tree;
+}
+
+}  // namespace scalparc::sprint

@@ -1,0 +1,24 @@
+// Serial SPRINT-style classifier (§2): attribute lists sorted once, a
+// rid -> child hash table per level, breadth-first induction.
+//
+// This is an *independent* implementation of the sequential algorithm
+// ScalParC parallelizes — it shares the gini/split-selection primitives but
+// none of the distributed machinery. It uses the same candidate enumeration
+// and tie-breaking as the parallel code, so for any processor count
+// ScalParC must produce a structurally identical tree; the test suite uses
+// it as the correctness oracle.
+#pragma once
+
+#include "core/induction.hpp"
+#include "core/options.hpp"
+#include "core/tree.hpp"
+#include "data/dataset.hpp"
+
+namespace scalparc::sprint {
+
+// Induces a decision tree serially. Throws std::invalid_argument on an
+// empty training set.
+core::DecisionTree fit_serial_sprint(const data::Dataset& training,
+                                     const core::InductionOptions& options = {});
+
+}  // namespace scalparc::sprint

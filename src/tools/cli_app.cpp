@@ -1,0 +1,255 @@
+#include "tools/cli_app.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/predict.hpp"
+#include "core/pruning.hpp"
+#include "core/scalparc.hpp"
+#include "core/tree_io.hpp"
+#include "data/csv.hpp"
+#include "data/synthetic.hpp"
+#include "sprint/parallel_sprint.hpp"
+#include "util/cli.hpp"
+
+namespace scalparc::tools {
+
+namespace {
+
+constexpr const char* kUsage = R"(scalparc — scalable parallel decision-tree classification
+
+usage: scalparc <command> [flags]
+
+commands:
+  generate   synthesize Quest benchmark data as CSV
+               --records N          number of records (default 10000)
+               --function F1..F7    labeling function (default F2)
+               --noise X            label-flip probability (default 0)
+               --attributes K       leading attributes, 1..9 (default 7)
+               --seed S             generator seed (default 1)
+               --out FILE           output CSV (required)
+  train      fit a decision tree from a CSV
+               --data FILE          training CSV (required)
+               --model FILE         where to save the tree (required)
+               --ranks P            simulated processors (default 4)
+               --criterion C        gini | entropy (default gini)
+               --categorical M      multiway | subset (default multiway)
+               --strategy S         scalparc | sprint (default scalparc)
+               --max-depth D        depth cap (default 64)
+               --min-split M        min records to split a node (default 2)
+               --prune              apply MDL pruning after training
+  predict    evaluate a saved model on a CSV
+               --model FILE         saved tree (required)
+               --data FILE          CSV with labels (required)
+               --out FILE           optionally write per-row predictions
+  inspect    describe a saved model
+               --model FILE         saved tree (required)
+               --render             print the full tree
+  bench      scaling table on synthetic data (Cray T3D cost model)
+               --records N          training size (default 50000)
+               --procs a,b,c        processor counts (default 1,2,4,8,16)
+               --function F1..F7    labeling function (default F2)
+  help       print this message
+)";
+
+core::InductionControls controls_from(const util::CliArgs& args,
+                                      std::ostream& err, bool& ok) {
+  core::InductionControls controls;
+  controls.options.max_depth = static_cast<int>(args.get_int("max-depth", 64));
+  controls.options.min_split_records = args.get_int("min-split", 2);
+  const std::string criterion = args.get_string("criterion", "gini");
+  if (criterion == "gini") {
+    controls.options.criterion = core::SplitCriterion::kGini;
+  } else if (criterion == "entropy") {
+    controls.options.criterion = core::SplitCriterion::kEntropy;
+  } else {
+    err << "unknown --criterion '" << criterion << "' (gini | entropy)\n";
+    ok = false;
+  }
+  const std::string categorical = args.get_string("categorical", "multiway");
+  if (categorical == "multiway") {
+    controls.options.categorical_split = core::CategoricalSplit::kMultiWay;
+  } else if (categorical == "subset") {
+    controls.options.categorical_split = core::CategoricalSplit::kBinarySubset;
+  } else {
+    err << "unknown --categorical '" << categorical << "' (multiway | subset)\n";
+    ok = false;
+  }
+  const std::string strategy = args.get_string("strategy", "scalparc");
+  if (strategy == "scalparc") {
+    controls.strategy = core::SplittingStrategy::kDistributedHash;
+  } else if (strategy == "sprint") {
+    controls.strategy = core::SplittingStrategy::kReplicatedHash;
+  } else {
+    err << "unknown --strategy '" << strategy << "' (scalparc | sprint)\n";
+    ok = false;
+  }
+  return controls;
+}
+
+int cmd_generate(const util::CliArgs& args, std::ostream& out,
+                 std::ostream& err) {
+  const std::string path = args.get_string("out", "");
+  if (path.empty()) {
+    err << "generate: --out FILE is required\n";
+    return 2;
+  }
+  data::GeneratorConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.function = data::parse_label_function(args.get_string("function", "F2"));
+  config.label_noise = args.get_double("noise", 0.0);
+  config.num_attributes = static_cast<int>(args.get_int("attributes", 7));
+  const auto records = static_cast<std::uint64_t>(args.get_int("records", 10000));
+  const data::QuestGenerator generator(config);
+  data::write_csv_file(generator.generate(0, records), path);
+  out << "wrote " << records << " records to " << path << "\n";
+  return 0;
+}
+
+int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
+  const std::string data_path = args.get_string("data", "");
+  const std::string model_path = args.get_string("model", "");
+  if (data_path.empty() || model_path.empty()) {
+    err << "train: --data FILE and --model FILE are required\n";
+    return 2;
+  }
+  bool ok = true;
+  const core::InductionControls controls = controls_from(args, err, ok);
+  if (!ok) return 2;
+  const int ranks = static_cast<int>(args.get_int("ranks", 4));
+
+  const data::Dataset training = data::read_csv_file(data_path);
+  core::FitReport report = core::ScalParC::fit(training, ranks, controls);
+  out << "trained on " << training.num_records() << " records with " << ranks
+      << " simulated ranks\n";
+  out << "tree: " << report.tree.num_nodes() << " nodes, "
+      << report.tree.num_leaves() << " leaves, depth " << report.tree.depth()
+      << "\n";
+  if (args.get_bool("prune", false)) {
+    const core::PruneReport pruned = core::mdl_prune(report.tree);
+    out << "pruned: " << pruned.nodes_before << " -> " << pruned.nodes_after
+        << " nodes\n";
+  }
+  out << "training accuracy: " << report.tree.accuracy(training) << "\n";
+  core::save_tree_file(report.tree, model_path);
+  out << "model saved to " << model_path << "\n";
+  return 0;
+}
+
+int cmd_predict(const util::CliArgs& args, std::ostream& out,
+                std::ostream& err) {
+  const std::string model_path = args.get_string("model", "");
+  const std::string data_path = args.get_string("data", "");
+  if (model_path.empty() || data_path.empty()) {
+    err << "predict: --model FILE and --data FILE are required\n";
+    return 2;
+  }
+  const core::DecisionTree tree = core::load_tree_file(model_path);
+  const data::Dataset dataset = data::read_csv_file(data_path);
+  if (!(dataset.schema() == tree.schema())) {
+    err << "predict: data schema does not match the model's schema\n";
+    return 2;
+  }
+  const core::ConfusionMatrix matrix = core::evaluate(tree, dataset);
+  out << "evaluated " << matrix.total() << " records\n";
+  out << "accuracy: " << matrix.accuracy() << "\n";
+  out << "confusion matrix:\n" << matrix.to_string();
+  const std::string out_path = args.get_string("out", "");
+  if (!out_path.empty()) {
+    std::ofstream predictions(out_path);
+    if (!predictions) {
+      err << "predict: cannot open '" << out_path << "' for writing\n";
+      return 2;
+    }
+    predictions << "row,actual,predicted\n";
+    for (std::size_t row = 0; row < dataset.num_records(); ++row) {
+      predictions << row << ',' << dataset.label(row) << ','
+                  << tree.predict(dataset, row) << '\n';
+    }
+    out << "predictions written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_inspect(const util::CliArgs& args, std::ostream& out,
+                std::ostream& err) {
+  const std::string model_path = args.get_string("model", "");
+  if (model_path.empty()) {
+    err << "inspect: --model FILE is required\n";
+    return 2;
+  }
+  const core::DecisionTree tree = core::load_tree_file(model_path);
+  const data::Schema& schema = tree.schema();
+  out << "model: " << model_path << "\n";
+  out << "classes: " << schema.num_classes() << "\n";
+  out << "attributes: " << schema.num_attributes() << " ("
+      << schema.num_continuous() << " continuous, " << schema.num_categorical()
+      << " categorical)\n";
+  out << "nodes: " << tree.num_nodes() << " (" << tree.num_leaves()
+      << " leaves), depth " << tree.depth() << "\n";
+  out << "training records seen: " << tree.node(tree.root()).num_records << "\n";
+  if (args.get_bool("render", false)) {
+    out << "\n" << tree.to_string();
+  }
+  return 0;
+}
+
+int cmd_bench(const util::CliArgs& args, std::ostream& out, std::ostream&) {
+  const auto records = static_cast<std::uint64_t>(args.get_int("records", 50000));
+  const auto procs = args.get_int_list("procs", {1, 2, 4, 8, 16});
+  data::GeneratorConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.function = data::parse_label_function(args.get_string("function", "F2"));
+  const data::QuestGenerator generator(config);
+  out << "records: " << records << "\n";
+  out << "procs\tmodeled-s\tspeedup\tMB-sent/rank\tMB-mem/rank\n";
+  double t_first = 0.0;
+  for (const std::int64_t p : procs) {
+    const core::FitReport report = core::ScalParC::fit_generated(
+        generator, records, static_cast<int>(p), core::InductionControls{},
+        mp::CostModel::cray_t3d());
+    if (p == procs.front()) t_first = report.run.modeled_seconds * static_cast<double>(p);
+    char line[160];
+    std::snprintf(line, sizeof(line), "%lld\t%.4f\t%.2f\t%.3f\t%.3f",
+                  static_cast<long long>(p), report.run.modeled_seconds,
+                  t_first / report.run.modeled_seconds,
+                  static_cast<double>(report.run.max_bytes_sent_per_rank()) / 1e6,
+                  static_cast<double>(report.run.max_peak_bytes_per_rank()) / 1e6);
+    out << line << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string command = argv[1];
+  const util::CliArgs args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(args, out, err);
+    if (command == "train") return cmd_train(args, out, err);
+    if (command == "predict") return cmd_predict(args, out, err);
+    if (command == "inspect") return cmd_inspect(args, out, err);
+    if (command == "bench") return cmd_bench(args, out, err);
+    if (command == "help" || command == "--help" || command == "-h") {
+      out << kUsage;
+      return 0;
+    }
+    err << "unknown command '" << command << "'\n\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace scalparc::tools

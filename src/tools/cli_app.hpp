@@ -1,0 +1,23 @@
+// The `scalparc` command-line tool, as a testable library.
+//
+// Subcommands:
+//   generate   synthesize a Quest CSV          (--records --function --out ...)
+//   train      fit a tree from a CSV           (--data --model --ranks ...)
+//   predict    evaluate / label a CSV          (--model --data [--out])
+//   inspect    describe a saved model          (--model [--render])
+//   bench      scaling table on synthetic data (--records --procs)
+//   help       usage
+//
+// run_cli parses argv, executes one subcommand, writes human output to `out`
+// and diagnostics to `err`, and returns the process exit code. The thin
+// binary in tools/scalparc_main.cpp forwards to this function.
+#pragma once
+
+#include <iosfwd>
+
+namespace scalparc::tools {
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace scalparc::tools

@@ -1,0 +1,67 @@
+// Minimal leveled logger for the ScalParC library.
+//
+// The library itself is quiet by default (kWarn); examples and benches raise
+// the level. Logging is routed through a single sink so that multi-threaded
+// rank output is not interleaved mid-line.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace scalparc::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global log level. Thread-safe to read/write (atomic underneath).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn.
+LogLevel parse_log_level(std::string_view name);
+
+// Emits one complete line to stderr under a global mutex.
+void log_line(LogLevel level, std::string_view message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace scalparc::util
+
+#define SCALPARC_LOG(level)                                      \
+  if (static_cast<int>(level) <                                  \
+      static_cast<int>(::scalparc::util::log_level())) {         \
+  } else                                                         \
+    ::scalparc::util::detail::LogStream(level)
+
+#define SCALPARC_LOG_TRACE SCALPARC_LOG(::scalparc::util::LogLevel::kTrace)
+#define SCALPARC_LOG_DEBUG SCALPARC_LOG(::scalparc::util::LogLevel::kDebug)
+#define SCALPARC_LOG_INFO SCALPARC_LOG(::scalparc::util::LogLevel::kInfo)
+#define SCALPARC_LOG_WARN SCALPARC_LOG(::scalparc::util::LogLevel::kWarn)
+#define SCALPARC_LOG_ERROR SCALPARC_LOG(::scalparc::util::LogLevel::kError)

@@ -1,0 +1,54 @@
+#include "util/memory_meter.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scalparc::util {
+
+std::string_view mem_category_name(MemCategory category) {
+  switch (category) {
+    case MemCategory::kAttributeLists:
+      return "attribute_lists";
+    case MemCategory::kNodeTable:
+      return "node_table";
+    case MemCategory::kCommBuffers:
+      return "comm_buffers";
+    case MemCategory::kCountMatrices:
+      return "count_matrices";
+    case MemCategory::kTreeAndMisc:
+      return "tree_and_misc";
+  }
+  return "unknown";
+}
+
+void MemoryMeter::allocate(MemCategory category, std::size_t bytes) {
+  const int i = static_cast<int>(category);
+  current_[i] += bytes;
+  current_total_ += bytes;
+  peak_[i] = std::max(peak_[i], current_[i]);
+  peak_total_ = std::max(peak_total_, current_total_);
+}
+
+void MemoryMeter::release(MemCategory category, std::size_t bytes) {
+  const int i = static_cast<int>(category);
+  assert(current_[i] >= bytes && "memory meter underflow in category");
+  assert(current_total_ >= bytes && "memory meter underflow in total");
+  current_[i] -= bytes;
+  current_total_ -= bytes;
+}
+
+void MemoryMeter::reset() {
+  current_.fill(0);
+  peak_.fill(0);
+  current_total_ = 0;
+  peak_total_ = 0;
+}
+
+void MemoryMeter::merge_peaks(const MemoryMeter& other) {
+  for (int i = 0; i < kNumMemCategories; ++i) {
+    peak_[i] = std::max(peak_[i], other.peak_[i]);
+  }
+  peak_total_ = std::max(peak_total_, other.peak_total_);
+}
+
+}  // namespace scalparc::util

@@ -1,0 +1,114 @@
+// Per-rank memory accounting.
+//
+// The paper's Figure 3(b) plots bytes of memory required per processor as a
+// function of the processor count. Rather than inferring this from RSS (which
+// is meaningless for threads sharing one address space), every major data
+// structure in the library — attribute lists, the distributed node table,
+// count matrices and all communication buffers — reports its allocations to
+// the MemoryMeter of the rank that owns it. The meter tracks current and
+// high-water usage, per category and total.
+//
+// A MemoryMeter instance is confined to one rank's thread; no locking.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace scalparc::util {
+
+enum class MemCategory : int {
+  kAttributeLists = 0,
+  kNodeTable = 1,
+  kCommBuffers = 2,
+  kCountMatrices = 3,
+  kTreeAndMisc = 4,
+};
+inline constexpr int kNumMemCategories = 5;
+
+std::string_view mem_category_name(MemCategory category);
+
+class MemoryMeter {
+ public:
+  void allocate(MemCategory category, std::size_t bytes);
+  void release(MemCategory category, std::size_t bytes);
+
+  std::size_t current_bytes() const { return current_total_; }
+  std::size_t peak_bytes() const { return peak_total_; }
+  std::size_t current_bytes(MemCategory category) const {
+    return current_[static_cast<int>(category)];
+  }
+  std::size_t peak_bytes(MemCategory category) const {
+    return peak_[static_cast<int>(category)];
+  }
+
+  void reset();
+
+  // Merges another meter's peak into this one (used when aggregating the
+  // per-rank maximum across a run). Peaks combine as max; currents add.
+  void merge_peaks(const MemoryMeter& other);
+
+ private:
+  std::array<std::size_t, kNumMemCategories> current_{};
+  std::array<std::size_t, kNumMemCategories> peak_{};
+  std::size_t current_total_ = 0;
+  std::size_t peak_total_ = 0;
+};
+
+// RAII registration of a fixed-size allocation with a meter. The meter must
+// outlive the guard. A null meter disables accounting (serial baselines).
+class ScopedAllocation {
+ public:
+  ScopedAllocation() = default;
+  ScopedAllocation(MemoryMeter* meter, MemCategory category, std::size_t bytes)
+      : meter_(meter), category_(category), bytes_(bytes) {
+    if (meter_ != nullptr) meter_->allocate(category_, bytes_);
+  }
+  ScopedAllocation(const ScopedAllocation&) = delete;
+  ScopedAllocation& operator=(const ScopedAllocation&) = delete;
+  ScopedAllocation(ScopedAllocation&& other) noexcept { swap(other); }
+  ScopedAllocation& operator=(ScopedAllocation&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  ~ScopedAllocation() { release(); }
+
+  void release() {
+    if (meter_ != nullptr) meter_->release(category_, bytes_);
+    meter_ = nullptr;
+    bytes_ = 0;
+  }
+
+  // Adjusts the recorded size (e.g. a buffer grew).
+  void resize(std::size_t new_bytes) {
+    if (meter_ == nullptr) {
+      bytes_ = new_bytes;
+      return;
+    }
+    if (new_bytes > bytes_) {
+      meter_->allocate(category_, new_bytes - bytes_);
+    } else {
+      meter_->release(category_, bytes_ - new_bytes);
+    }
+    bytes_ = new_bytes;
+  }
+
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  void swap(ScopedAllocation& other) {
+    std::swap(meter_, other.meter_);
+    std::swap(category_, other.category_);
+    std::swap(bytes_, other.bytes_);
+  }
+
+  MemoryMeter* meter_ = nullptr;
+  MemCategory category_ = MemCategory::kTreeAndMisc;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace scalparc::util

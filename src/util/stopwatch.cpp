@@ -1,0 +1,19 @@
+#include "util/stopwatch.hpp"
+
+#include <cstdio>
+
+namespace scalparc::util {
+
+const char* format_duration(Duration d, char* buffer, int size) {
+  const double s = d.seconds;
+  if (s >= 1.0) {
+    std::snprintf(buffer, static_cast<std::size_t>(size), "%.3f s", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buffer, static_cast<std::size_t>(size), "%.3f ms", s * 1e3);
+  } else {
+    std::snprintf(buffer, static_cast<std::size_t>(size), "%.1f us", s * 1e6);
+  }
+  return buffer;
+}
+
+}  // namespace scalparc::util

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for measured (as opposed to modeled) timings.
+#pragma once
+
+#include <chrono>
+
+namespace scalparc::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Formats a duration in seconds as a short human-readable string ("1.23 s",
+// "45.6 ms", "789 us"). Defined in stopwatch.cpp.
+struct Duration {
+  double seconds = 0.0;
+};
+const char* format_duration(Duration d, char* buffer, int size);
+
+}  // namespace scalparc::util

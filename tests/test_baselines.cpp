@@ -1,0 +1,193 @@
+// Focused tests for the baseline classifiers (serial SPRINT, serial CART,
+// parallel SPRINT facade) and for prediction paths not covered elsewhere
+// (binary-subset traversal, deep categorical chains).
+#include <gtest/gtest.h>
+
+#include "core/predict.hpp"
+#include "core/scalparc.hpp"
+#include "data/synthetic.hpp"
+#include "sprint/parallel_sprint.hpp"
+#include "sprint/serial_cart.hpp"
+#include "sprint/serial_sprint.hpp"
+
+namespace scalparc {
+namespace {
+
+using data::GeneratorConfig;
+using data::LabelFunction;
+using data::QuestGenerator;
+using data::Schema;
+
+data::Dataset quest(std::uint64_t seed, std::size_t n, LabelFunction f,
+                    int attrs = 7, double noise = 0.0) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.function = f;
+  config.num_attributes = attrs;
+  config.label_noise = noise;
+  return QuestGenerator(config).generate(0, n);
+}
+
+// ---------------------------------------------------------------------------
+// Serial SPRINT
+// ---------------------------------------------------------------------------
+
+TEST(SerialSprint, EmptyThrows) {
+  const data::Dataset empty(Schema({Schema::continuous("x")}, 2));
+  EXPECT_THROW((void)sprint::fit_serial_sprint(empty), std::invalid_argument);
+}
+
+TEST(SerialSprint, RespectsMaxDepth) {
+  const data::Dataset training = quest(3, 400, LabelFunction::kF2);
+  core::InductionOptions options;
+  options.max_depth = 2;
+  const core::DecisionTree tree = sprint::fit_serial_sprint(training, options);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(SerialSprint, RespectsMinSplit) {
+  const data::Dataset training = quest(3, 400, LabelFunction::kF2);
+  core::InductionOptions options;
+  options.min_split_records = 50;
+  const core::DecisionTree tree = sprint::fit_serial_sprint(training, options);
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    if (!tree.node(id).is_leaf) {
+      EXPECT_GE(tree.node(id).num_records, 50);
+    }
+  }
+}
+
+TEST(SerialSprint, PureInputSingleLeaf) {
+  data::Dataset d(Schema({Schema::continuous("x")}, 2));
+  for (int i = 0; i < 8; ++i) {
+    const double x[] = {static_cast<double>(i)};
+    d.append(x, {}, 1);
+  }
+  const core::DecisionTree tree = sprint::fit_serial_sprint(d);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_EQ(tree.node(0).majority_class, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Serial CART
+// ---------------------------------------------------------------------------
+
+TEST(SerialCart, EmptyThrows) {
+  const data::Dataset empty(Schema({Schema::continuous("x")}, 2));
+  EXPECT_THROW((void)sprint::fit_serial_cart(empty), std::invalid_argument);
+}
+
+TEST(SerialCart, SortsEveryNode) {
+  const data::Dataset training = quest(5, 300, LabelFunction::kF2);
+  sprint::CartStats stats;
+  const core::DecisionTree tree =
+      sprint::fit_serial_cart(training, {}, &stats);
+  // Root alone re-sorts each continuous attribute's full column; a grown
+  // tree must sort strictly more than one pass over the data.
+  const std::uint64_t one_pass =
+      training.num_records() *
+      static_cast<std::uint64_t>(training.schema().num_continuous());
+  EXPECT_GT(stats.sorted_elements, one_pass);
+  EXPECT_DOUBLE_EQ(tree.accuracy(training), 1.0);
+}
+
+TEST(SerialCart, AgreesWithSprintOnSeparableData) {
+  // On cleanly separable data the greedy splits coincide, so accuracy and
+  // shape should match even though node numbering differs (DFS vs BFS).
+  const data::Dataset training = quest(7, 250, LabelFunction::kF1);
+  const core::DecisionTree cart = sprint::fit_serial_cart(training);
+  const core::DecisionTree sprint_tree = sprint::fit_serial_sprint(training);
+  EXPECT_EQ(cart.num_leaves(), sprint_tree.num_leaves());
+  EXPECT_EQ(cart.depth(), sprint_tree.depth());
+  EXPECT_DOUBLE_EQ(cart.accuracy(training), sprint_tree.accuracy(training));
+}
+
+TEST(SerialCart, MaxDepthZeroRootLeaf) {
+  const data::Dataset training = quest(9, 50, LabelFunction::kF2);
+  core::InductionOptions options;
+  options.max_depth = 0;
+  const core::DecisionTree tree = sprint::fit_serial_cart(training, options);
+  EXPECT_EQ(tree.num_nodes(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel SPRINT facade
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSprint, GeneratedPathMatchesMaterialized) {
+  GeneratorConfig config;
+  config.seed = 11;
+  config.function = LabelFunction::kF2;
+  const QuestGenerator generator(config);
+  const data::Dataset training = generator.generate(0, 300);
+  const core::DecisionTree a =
+      sprint::fit_parallel_sprint(training, 3).tree;
+  const core::DecisionTree b =
+      sprint::fit_parallel_sprint_generated(generator, 300, 3).tree;
+  EXPECT_TRUE(a.same_structure(b));
+}
+
+TEST(ParallelSprint, StrategyOverrideIsForced) {
+  // Even if the caller passes kDistributedHash, the facade must select the
+  // replicated strategy (that is its contract).
+  const data::Dataset training = quest(13, 512, LabelFunction::kF2);
+  core::InductionControls controls;
+  controls.strategy = core::SplittingStrategy::kDistributedHash;
+  const auto report = sprint::fit_parallel_sprint(training, 4, controls);
+  std::size_t table_peak = 0;
+  for (const auto& r : report.run.ranks) {
+    table_peak = std::max(table_peak,
+                          r.meter.peak_bytes(util::MemCategory::kNodeTable));
+  }
+  // Replicated table: N * 8 bytes on every rank (child + epoch arrays).
+  EXPECT_EQ(table_peak, 512u * 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Prediction paths
+// ---------------------------------------------------------------------------
+
+TEST(Prediction, SubsetSplitTraversal) {
+  const data::Dataset training = quest(17, 400, LabelFunction::kF3, 7);
+  core::InductionControls controls;
+  controls.options.categorical_split = core::CategoricalSplit::kBinarySubset;
+  const auto report = core::ScalParC::fit(training, 2, controls);
+  EXPECT_DOUBLE_EQ(report.tree.accuracy(training), 1.0);
+  // Under subset mode every categorical decision routes through exactly two
+  // children, which predict() must follow via value_to_child.
+  bool found_categorical = false;
+  for (int id = 0; id < report.tree.num_nodes(); ++id) {
+    const core::TreeNode& node = report.tree.node(id);
+    if (!node.is_leaf && node.split.kind == data::AttributeKind::kCategorical) {
+      found_categorical = true;
+      EXPECT_EQ(node.children.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_categorical);
+}
+
+TEST(Prediction, HoldoutAccuracyBatchBoundaries) {
+  GeneratorConfig config;
+  config.seed = 19;
+  config.function = LabelFunction::kF1;
+  const QuestGenerator generator(config);
+  const auto report = core::ScalParC::fit_generated(generator, 500, 2);
+  // Exercise count == 0, count < batch, count == batch, count > batch.
+  EXPECT_DOUBLE_EQ(core::holdout_accuracy(report.tree, generator, 9000, 0), 0.0);
+  const double a = core::holdout_accuracy(report.tree, generator, 9000, 100);
+  const double b = core::holdout_accuracy(report.tree, generator, 9000, 8192);
+  const double c = core::holdout_accuracy(report.tree, generator, 9000, 8193);
+  EXPECT_GT(a, 0.8);
+  EXPECT_GT(b, 0.8);
+  EXPECT_GT(c, 0.8);
+}
+
+TEST(Prediction, DeterministicAcrossIdenticalFits) {
+  const data::Dataset training = quest(23, 300, LabelFunction::kF6, 9, 0.05);
+  const core::DecisionTree a = core::ScalParC::fit(training, 3).tree;
+  const core::DecisionTree b = core::ScalParC::fit(training, 3).tree;
+  EXPECT_TRUE(a.same_structure(b));
+}
+
+}  // namespace
+}  // namespace scalparc

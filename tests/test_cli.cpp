@@ -1,0 +1,162 @@
+// End-to-end tests of the `scalparc` command-line tool through its testable
+// library entry point: generate -> train -> inspect -> predict round trips,
+// flag validation, and error handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/cli_app.hpp"
+
+namespace scalparc {
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult run(std::vector<std::string> argv_strings) {
+  argv_strings.insert(argv_strings.begin(), "scalparc");
+  std::vector<const char*> argv;
+  argv.reserve(argv_strings.size());
+  for (const std::string& s : argv_strings) argv.push_back(s.c_str());
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult result;
+  result.code = tools::run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+  result.out = out.str();
+  result.err = err.str();
+  return result;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class CliWorkflow : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+  std::string track(const std::string& path) {
+    cleanup_.push_back(path);
+    return path;
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(CliWorkflow, GenerateTrainInspectPredict) {
+  const std::string csv = track(temp_path("cli_data.csv"));
+  const std::string model = track(temp_path("cli_model.tree"));
+  const std::string predictions = track(temp_path("cli_predictions.csv"));
+
+  CliResult gen = run({"generate", "--records", "800", "--function", "F2",
+                       "--out", csv});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("800 records"), std::string::npos);
+
+  CliResult train = run({"train", "--data", csv, "--model", model,
+                         "--ranks", "3"});
+  ASSERT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("training accuracy: 1"), std::string::npos);
+  EXPECT_NE(train.out.find("model saved"), std::string::npos);
+
+  CliResult inspect = run({"inspect", "--model", model});
+  ASSERT_EQ(inspect.code, 0) << inspect.err;
+  EXPECT_NE(inspect.out.find("classes: 2"), std::string::npos);
+  EXPECT_NE(inspect.out.find("attributes: 7"), std::string::npos);
+
+  CliResult predict = run({"predict", "--model", model, "--data", csv,
+                           "--out", predictions});
+  ASSERT_EQ(predict.code, 0) << predict.err;
+  EXPECT_NE(predict.out.find("accuracy: 1"), std::string::npos);
+
+  // The predictions file has a header plus one row per record.
+  std::ifstream in(predictions);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "row,actual,predicted");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 800);
+}
+
+TEST_F(CliWorkflow, TrainWithEntropySubsetSprintAndPrune) {
+  const std::string csv = track(temp_path("cli_data2.csv"));
+  const std::string model = track(temp_path("cli_model2.tree"));
+  ASSERT_EQ(run({"generate", "--records", "500", "--noise", "0.1",
+                 "--out", csv}).code, 0);
+  CliResult train = run({"train", "--data", csv, "--model", model,
+                         "--ranks", "2", "--criterion", "entropy",
+                         "--categorical", "subset", "--strategy", "sprint",
+                         "--max-depth", "8", "--prune"});
+  ASSERT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("pruned:"), std::string::npos);
+  EXPECT_EQ(run({"inspect", "--model", model, "--render"}).code, 0);
+}
+
+TEST_F(CliWorkflow, BenchPrintsScalingTable) {
+  CliResult bench = run({"bench", "--records", "5000", "--procs", "1,2,4"});
+  ASSERT_EQ(bench.code, 0) << bench.err;
+  EXPECT_NE(bench.out.find("procs"), std::string::npos);
+  // Three data rows.
+  int lines = 0;
+  for (const char ch : bench.out) lines += ch == '\n';
+  EXPECT_GE(lines, 5);
+}
+
+TEST(Cli, HelpAndUnknownCommand) {
+  CliResult help = run({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+
+  CliResult unknown = run({"frobnicate"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_NE(unknown.err.find("unknown command"), std::string::npos);
+
+  CliResult none = run({});
+  EXPECT_EQ(none.code, 2);
+}
+
+TEST(Cli, MissingRequiredFlags) {
+  EXPECT_EQ(run({"generate"}).code, 2);
+  EXPECT_EQ(run({"train", "--data", "x.csv"}).code, 2);
+  EXPECT_EQ(run({"predict", "--model", "m.tree"}).code, 2);
+  EXPECT_EQ(run({"inspect"}).code, 2);
+}
+
+TEST(Cli, BadEnumValues) {
+  CliResult result = run({"train", "--data", "x.csv", "--model", "m.tree",
+                          "--criterion", "nonsense"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("--criterion"), std::string::npos);
+}
+
+TEST(Cli, MissingInputFileIsReportedNotCrash) {
+  CliResult result = run({"train", "--data", "/nonexistent/in.csv",
+                          "--model", temp_path("never.tree")});
+  EXPECT_EQ(result.code, 1);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, PredictRejectsSchemaMismatch) {
+  const std::string csv7 = track(temp_path("cli_7attr.csv"));
+  const std::string csv9 = track(temp_path("cli_9attr.csv"));
+  const std::string model = track(temp_path("cli_model3.tree"));
+  ASSERT_EQ(run({"generate", "--records", "200", "--out", csv7}).code, 0);
+  ASSERT_EQ(run({"generate", "--records", "200", "--attributes", "9",
+                 "--out", csv9}).code, 0);
+  ASSERT_EQ(run({"train", "--data", csv7, "--model", model}).code, 0);
+  CliResult predict = run({"predict", "--model", model, "--data", csv9});
+  EXPECT_EQ(predict.code, 2);
+  EXPECT_NE(predict.err.find("schema"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalparc

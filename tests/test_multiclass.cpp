@@ -1,0 +1,272 @@
+// Multi-class coverage: the Gaussian-mixture generator, induction with more
+// than two classes (count matrices, gini/entropy, multi-way prediction),
+// distributed evaluation, and the extended label functions F8-F10.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/predict.hpp"
+#include "core/pruning.hpp"
+#include "core/scalparc.hpp"
+#include "data/gaussian.hpp"
+#include "data/synthetic.hpp"
+#include "sort/partition_util.hpp"
+#include "sprint/serial_sprint.hpp"
+
+namespace scalparc {
+namespace {
+
+using data::GaussianConfig;
+using data::GaussianGenerator;
+
+const mp::CostModel kZero = mp::CostModel::zero();
+
+// ---------------------------------------------------------------------------
+// GaussianGenerator
+// ---------------------------------------------------------------------------
+
+TEST(Gaussian, SchemaMatchesConfig) {
+  GaussianGenerator g(GaussianConfig{.num_classes = 5,
+                                     .num_continuous = 3,
+                                     .num_categorical = 2,
+                                     .categorical_cardinality = 6});
+  EXPECT_EQ(g.schema().num_classes(), 5);
+  EXPECT_EQ(g.schema().num_continuous(), 3);
+  EXPECT_EQ(g.schema().num_categorical(), 2);
+  EXPECT_EQ(g.schema().attribute(3).cardinality, 6);
+}
+
+TEST(Gaussian, DeterministicAndBlockConsistent) {
+  GaussianGenerator g(GaussianConfig{.seed = 9});
+  const data::Dataset whole = g.generate(0, 60);
+  const data::Dataset tail = g.generate(30, 30);
+  for (std::size_t row = 0; row < 30; ++row) {
+    EXPECT_DOUBLE_EQ(whole.continuous_value(0, 30 + row),
+                     tail.continuous_value(0, row));
+    EXPECT_EQ(whole.label(30 + row), tail.label(row));
+  }
+}
+
+TEST(Gaussian, AllClassesOccur) {
+  GaussianGenerator g(GaussianConfig{.seed = 4, .num_classes = 4});
+  std::set<std::int32_t> seen;
+  const data::Dataset d = g.generate(0, 400);
+  for (std::size_t row = 0; row < d.num_records(); ++row) seen.insert(d.label(row));
+  EXPECT_EQ(seen.size(), 4u);
+  d.validate();  // categorical codes in range
+}
+
+TEST(Gaussian, RejectsBadConfig) {
+  EXPECT_THROW(GaussianGenerator(GaussianConfig{.num_classes = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(GaussianGenerator(GaussianConfig{.num_continuous = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(GaussianGenerator(GaussianConfig{.num_categorical = 1,
+                                                .categorical_cardinality = 1}),
+               std::invalid_argument);
+}
+
+TEST(Gaussian, SeparatedClassesAreLearnable) {
+  GaussianGenerator g(GaussianConfig{.seed = 6, .num_classes = 3,
+                                     .separation = 5.0});
+  const data::Dataset training = g.generate(0, 900);
+  const data::Dataset holdout = g.generate(100000, 600);
+  const auto report = core::ScalParC::fit(training, 3);
+  EXPECT_GT(report.tree.accuracy(holdout), 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-class induction
+// ---------------------------------------------------------------------------
+
+class MulticlassInduction : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Classes, MulticlassInduction,
+                         ::testing::Values(3, 4, 6));
+
+TEST_P(MulticlassInduction, ProcessorCountInvariance) {
+  const int classes = GetParam();
+  GaussianGenerator g(GaussianConfig{.seed = 31, .num_classes = classes});
+  const data::Dataset training = g.generate(0, 300);
+  core::InductionControls controls;
+  controls.options.max_depth = 8;
+  const core::DecisionTree reference =
+      core::ScalParC::fit(training, 1, controls, kZero).tree;
+  for (const int p : {2, 5}) {
+    const core::DecisionTree tree =
+        core::ScalParC::fit(training, p, controls, kZero).tree;
+    EXPECT_TRUE(reference.same_structure(tree)) << "p=" << p;
+  }
+}
+
+TEST_P(MulticlassInduction, MatchesSerialSprint) {
+  const int classes = GetParam();
+  GaussianGenerator g(GaussianConfig{.seed = 37, .num_classes = classes});
+  const data::Dataset training = g.generate(0, 250);
+  core::InductionControls controls;
+  controls.options.max_depth = 8;
+  const core::DecisionTree oracle =
+      sprint::fit_serial_sprint(training, controls.options);
+  const core::DecisionTree tree =
+      core::ScalParC::fit(training, 4, controls, kZero).tree;
+  EXPECT_TRUE(oracle.same_structure(tree));
+}
+
+TEST_P(MulticlassInduction, EntropyCriterionWorks) {
+  const int classes = GetParam();
+  GaussianGenerator g(GaussianConfig{.seed = 41, .num_classes = classes,
+                                     .separation = 5.0});
+  const data::Dataset training = g.generate(0, 400);
+  core::InductionControls controls;
+  controls.options.criterion = core::SplitCriterion::kEntropy;
+  const auto report = core::ScalParC::fit(training, 3, controls);
+  EXPECT_DOUBLE_EQ(report.tree.accuracy(training), 1.0);
+}
+
+TEST_P(MulticlassInduction, PruningPreservesValidity) {
+  const int classes = GetParam();
+  GaussianGenerator g(GaussianConfig{.seed = 43, .num_classes = classes,
+                                     .separation = 1.5});  // overlapping blobs
+  const data::Dataset training = g.generate(0, 400);
+  auto report = core::ScalParC::fit(training, 2);
+  core::mdl_prune(report.tree);
+  for (std::size_t row = 0; row < training.num_records(); ++row) {
+    const std::int32_t y = report.tree.predict(training, row);
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, classes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed evaluation
+// ---------------------------------------------------------------------------
+
+class DistributedEval : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, DistributedEval, ::testing::Values(1, 2, 5));
+
+TEST_P(DistributedEval, MatchesSerialEvaluation) {
+  const int p = GetParam();
+  GaussianGenerator g(GaussianConfig{.seed = 47, .num_classes = 3});
+  const data::Dataset training = g.generate(0, 300);
+  const data::Dataset holdout = g.generate(100000, 211);
+  const core::DecisionTree tree = core::ScalParC::fit(training, 2).tree;
+  const core::ConfusionMatrix serial = core::evaluate(tree, holdout);
+
+  const auto sizes = sort::equal_partition_sizes(holdout.num_records(), p);
+  const auto offsets = sort::offsets_from_sizes(sizes);
+  std::vector<core::ConfusionMatrix> results(static_cast<std::size_t>(p),
+                                             core::ConfusionMatrix(3));
+  mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const data::Dataset block = holdout.slice(offsets[r], offsets[r + 1]);
+    results[r] = core::evaluate_distributed(comm, tree, block);
+  });
+  for (const auto& matrix : results) {
+    EXPECT_EQ(matrix.total(), serial.total());
+    EXPECT_EQ(matrix.correct(), serial.correct());
+    for (std::int32_t a = 0; a < 3; ++a) {
+      for (std::int32_t b = 0; b < 3; ++b) {
+        EXPECT_EQ(matrix.at(a, b), serial.at(a, b));
+      }
+    }
+  }
+}
+
+TEST(DistributedEval, EmptyBlocksAreFine) {
+  GaussianGenerator g(GaussianConfig{.seed = 47});
+  const data::Dataset training = g.generate(0, 200);
+  const core::DecisionTree tree = core::ScalParC::fit(training, 1).tree;
+  std::vector<std::int64_t> totals(4, -1);
+  mp::run_ranks(4, kZero, [&](mp::Comm& comm) {
+    // Only rank 0 holds evaluation data.
+    const data::Dataset block = comm.is_root() ? g.generate(5000, 50)
+                                               : data::Dataset(g.schema());
+    const auto matrix = core::evaluate_distributed(comm, tree, block);
+    totals[static_cast<std::size_t>(comm.rank())] = matrix.total();
+  });
+  for (const std::int64_t total : totals) EXPECT_EQ(total, 50);
+}
+
+TEST(DistributedEval, FromCellsValidates) {
+  const std::vector<std::int64_t> bad{1, -2, 3, 4};
+  EXPECT_THROW((void)core::ConfusionMatrix::from_cells(2, bad),
+               std::invalid_argument);
+  const std::vector<std::int64_t> wrong_size{1, 2, 3};
+  EXPECT_THROW((void)core::ConfusionMatrix::from_cells(2, wrong_size),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Label functions F8-F10
+// ---------------------------------------------------------------------------
+
+TEST(QuestExtended, F8UsesEducationPenalty) {
+  data::QuestRecord r;
+  r.salary = 60e3;
+  r.commission = 0;
+  r.elevel = 0;
+  EXPECT_EQ(data::quest_label(r, data::LabelFunction::kF8), 1);  // 40k - 20k > 0
+  r.elevel = 4;
+  // 40k - 20k (education) - 20k = 0, not strictly positive -> group B.
+  EXPECT_EQ(data::quest_label(r, data::LabelFunction::kF8), 0);
+  r.salary = 59e3;
+  EXPECT_EQ(data::quest_label(r, data::LabelFunction::kF8), 0);
+}
+
+TEST(QuestExtended, F9AddsLoan) {
+  data::QuestRecord r;
+  r.salary = 90e3;
+  r.commission = 0;
+  r.elevel = 2;
+  r.loan = 0;
+  EXPECT_EQ(data::quest_label(r, data::LabelFunction::kF9), 1);
+  r.loan = 500e3;  // -100k swing
+  EXPECT_EQ(data::quest_label(r, data::LabelFunction::kF9), 0);
+}
+
+TEST(QuestExtended, F10EquityNeedsTwentyYears) {
+  data::QuestRecord r;
+  r.salary = 20e3;
+  r.commission = 0;
+  r.elevel = 0;
+  r.hvalue = 500e3;
+  r.hyears = 10.0;  // no equity yet: 13.3k - 50k < 0
+  EXPECT_EQ(data::quest_label(r, data::LabelFunction::kF10), 0);
+  r.hyears = 30.0;  // equity = 0.1*500k*10 = 500k -> +100k income
+  EXPECT_EQ(data::quest_label(r, data::LabelFunction::kF10), 1);
+}
+
+TEST(QuestExtended, ParseAndBalance) {
+  EXPECT_EQ(data::parse_label_function("F10"), data::LabelFunction::kF10);
+  for (const auto f : {data::LabelFunction::kF8, data::LabelFunction::kF9,
+                       data::LabelFunction::kF10}) {
+    data::GeneratorConfig config;
+    config.seed = 51;
+    config.function = f;
+    config.num_attributes = 9;
+    const data::QuestGenerator g(config);
+    int ones = 0;
+    constexpr int kN = 2000;
+    for (std::uint64_t rid = 0; rid < kN; ++rid) ones += g.label(rid);
+    EXPECT_GT(ones, kN / 50) << static_cast<int>(f);
+    EXPECT_LT(ones, kN - kN / 50) << static_cast<int>(f);
+  }
+}
+
+TEST(QuestExtended, F8ToF10AreLearnable) {
+  for (const auto f : {data::LabelFunction::kF8, data::LabelFunction::kF9,
+                       data::LabelFunction::kF10}) {
+    data::GeneratorConfig config;
+    config.seed = 53;
+    config.function = f;
+    config.num_attributes = 9;
+    const data::QuestGenerator g(config);
+    const auto report = core::ScalParC::fit_generated(g, 3000, 3);
+    const double acc = core::holdout_accuracy(report.tree, g, 500000, 1500);
+    EXPECT_GT(acc, 0.85) << static_cast<int>(f);
+  }
+}
+
+}  // namespace
+}  // namespace scalparc

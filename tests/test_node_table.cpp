@@ -1,0 +1,303 @@
+// Tests for the parallel hashing paradigm: the generic distributed hash
+// table (update / enquiry / blocked rounds) and the ScalParC node table
+// (epoch-stamped child assignments) — validated against a serial map for a
+// sweep of rank counts.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/node_table.hpp"
+#include "mp/runtime.hpp"
+#include "util/random.hpp"
+
+namespace scalparc {
+namespace {
+
+const mp::CostModel kZero = mp::CostModel::zero();
+
+struct Value {
+  std::int64_t payload = 0;
+};
+
+using Table = core::DistributedHashTable<Value>;
+
+class Dht : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, Dht, ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST_P(Dht, HashIsCollisionFreeBlockDistribution) {
+  const int p = GetParam();
+  constexpr std::uint64_t kKeys = 29;
+  mp::run_ranks(p, kZero, [p](mp::Comm& comm) {
+    Table table(comm, kKeys, Value{});
+    // The paper's example: N = 9, p = 3 gives h(j) = (j div 3, j mod 3).
+    std::vector<int> owner_count(static_cast<std::size_t>(p), 0);
+    for (std::int64_t key = 0; key < static_cast<std::int64_t>(kKeys); ++key) {
+      const int owner = table.owner_of(key);
+      const std::uint64_t slot = table.slot_of(key);
+      ASSERT_GE(owner, 0);
+      ASSERT_LT(owner, p);
+      EXPECT_EQ(static_cast<std::uint64_t>(key),
+                static_cast<std::uint64_t>(owner) * table.block() + slot);
+      ++owner_count[static_cast<std::size_t>(owner)];
+    }
+    // Block distribution: every owner holds at most ceil(N/p).
+    for (const int count : owner_count) {
+      EXPECT_LE(count, static_cast<int>(table.block()));
+    }
+  });
+}
+
+TEST_P(Dht, UpdateThenEnquireMatchesSerialMap) {
+  const int p = GetParam();
+  constexpr std::uint64_t kKeys = 200;
+  mp::run_ranks(p, kZero, [p](mp::Comm& comm) {
+    Table table(comm, kKeys, Value{-1});
+    // Each rank updates a strided subset of keys.
+    std::vector<Table::Update> updates;
+    for (std::int64_t key = comm.rank(); key < static_cast<std::int64_t>(kKeys);
+         key += p) {
+      updates.push_back(Table::Update{key, Value{key * 10}});
+    }
+    table.update(updates);
+    // Every rank enquires a different permutation of all keys.
+    std::vector<std::int64_t> keys;
+    for (std::int64_t key = 0; key < static_cast<std::int64_t>(kKeys); ++key) {
+      keys.push_back((key * 7 + comm.rank()) % static_cast<std::int64_t>(kKeys));
+    }
+    const std::vector<Value> got = table.enquire(keys);
+    ASSERT_EQ(got.size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(got[i].payload, keys[i] * 10);
+    }
+  });
+}
+
+TEST_P(Dht, LastWriterWinsWithinOneRound) {
+  const int p = GetParam();
+  mp::run_ranks(p, kZero, [](mp::Comm& comm) {
+    Table table(comm, 10, Value{0});
+    // Only rank 0 writes, twice to the same key: later entry wins (FIFO
+    // application at the owner).
+    std::vector<Table::Update> updates;
+    if (comm.rank() == 0) {
+      updates.push_back(Table::Update{3, Value{111}});
+      updates.push_back(Table::Update{3, Value{222}});
+    }
+    table.update(updates);
+    const auto got = table.enquire(std::vector<std::int64_t>{3});
+    EXPECT_EQ(got[0].payload, 222);
+  });
+}
+
+TEST_P(Dht, BlockedUpdatesMatchUnblocked) {
+  const int p = GetParam();
+  constexpr std::uint64_t kKeys = 150;
+  mp::run_ranks(p, kZero, [p](mp::Comm& comm) {
+    Table table(comm, kKeys, Value{-1});
+    // Rank 0 sends ALL updates (the pathological skew §3.3.2 worries about);
+    // a block limit of 16 forces ceil(150/16) = 10 all-to-all rounds on
+    // every rank.
+    std::vector<Table::Update> updates;
+    if (comm.rank() == 0) {
+      for (std::int64_t key = 0; key < static_cast<std::int64_t>(kKeys); ++key) {
+        updates.push_back(Table::Update{key, Value{key + 1000}});
+      }
+    }
+    table.update(updates, /*block_limit=*/16);
+    std::vector<std::int64_t> keys;
+    for (std::int64_t key = 0; key < static_cast<std::int64_t>(kKeys); ++key) {
+      keys.push_back(key);
+    }
+    const auto got = table.enquire(keys);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(got[i].payload, static_cast<std::int64_t>(i) + 1000);
+    }
+    (void)p;
+  });
+}
+
+TEST_P(Dht, BlockedUpdateBoundsStagedBufferMemory) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP() << "needs >= 2 ranks for staging to matter";
+  constexpr std::uint64_t kKeys = 4096;
+  const auto run = [&](std::int64_t block_limit) {
+    return mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+      Table table(comm, kKeys, Value{});
+      std::vector<Table::Update> updates;
+      if (comm.rank() == 0) {
+        for (std::int64_t key = 0; key < static_cast<std::int64_t>(kKeys); ++key) {
+          updates.push_back(Table::Update{key, Value{key}});
+        }
+      }
+      table.update(updates, block_limit);
+    });
+  };
+  const auto unblocked = run(0);
+  const auto blocked = run(64);
+  // Peak comm-buffer memory must be strictly smaller with blocking.
+  std::size_t peak_unblocked = 0;
+  std::size_t peak_blocked = 0;
+  for (const auto& r : unblocked.ranks) {
+    peak_unblocked = std::max(
+        peak_unblocked, r.meter.peak_bytes(util::MemCategory::kCommBuffers));
+  }
+  for (const auto& r : blocked.ranks) {
+    peak_blocked = std::max(peak_blocked,
+                            r.meter.peak_bytes(util::MemCategory::kCommBuffers));
+  }
+  EXPECT_LT(peak_blocked, peak_unblocked);
+}
+
+TEST_P(Dht, EnquireUnwrittenKeyReturnsInitial) {
+  const int p = GetParam();
+  mp::run_ranks(p, kZero, [](mp::Comm& comm) {
+    Table table(comm, 5, Value{-7});
+    table.update({});
+    const auto got = table.enquire(std::vector<std::int64_t>{0, 4});
+    EXPECT_EQ(got[0].payload, -7);
+    EXPECT_EQ(got[1].payload, -7);
+  });
+}
+
+TEST(Dht, KeyOutOfRangeThrows) {
+  EXPECT_THROW(mp::run_ranks(2, kZero,
+                             [](mp::Comm& comm) {
+                               Table table(comm, 10, Value{});
+                               (void)table.owner_of(10);
+                             }),
+               std::out_of_range);
+  EXPECT_THROW(mp::run_ranks(2, kZero,
+                             [](mp::Comm& comm) {
+                               Table table(comm, 10, Value{});
+                               (void)table.owner_of(-1);
+                             }),
+               std::out_of_range);
+}
+
+TEST(Dht, LocalSizeTilesKeySpace) {
+  // 10 keys over 4 ranks: block = 3, local sizes 3,3,3,1.
+  mp::run_ranks(4, kZero, [](mp::Comm& comm) {
+    Table table(comm, 10, Value{});
+    const std::uint64_t expected[] = {3, 3, 3, 1};
+    EXPECT_EQ(table.local_size(), expected[comm.rank()]);
+  });
+}
+
+TEST(Dht, MoreRanksThanKeys) {
+  mp::run_ranks(6, kZero, [](mp::Comm& comm) {
+    Table table(comm, 3, Value{-1});
+    std::vector<Table::Update> updates;
+    if (comm.rank() == 5) {
+      updates.push_back(Table::Update{2, Value{42}});
+    }
+    table.update(updates);
+    const auto got = table.enquire(std::vector<std::int64_t>{2});
+    EXPECT_EQ(got[0].payload, 42);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// NodeTable (epoch semantics)
+// ---------------------------------------------------------------------------
+
+class NodeTableTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, NodeTableTest, ::testing::Values(1, 2, 3, 5));
+
+TEST_P(NodeTableTest, UpdateAndEnquireRoundTrip) {
+  const int p = GetParam();
+  constexpr std::uint64_t kRecords = 64;
+  mp::run_ranks(p, kZero, [p](mp::Comm& comm) {
+    core::NodeTable table(comm, kRecords);
+    table.begin_level();
+    std::vector<std::int64_t> rids;
+    std::vector<std::int32_t> children;
+    for (std::int64_t rid = comm.rank(); rid < static_cast<std::int64_t>(kRecords);
+         rid += p) {
+      rids.push_back(rid);
+      children.push_back(static_cast<std::int32_t>(rid % 3));
+    }
+    table.update(rids, children, /*block_limit=*/0);
+    std::vector<std::int64_t> all;
+    for (std::int64_t rid = 0; rid < static_cast<std::int64_t>(kRecords); ++rid) {
+      all.push_back(rid);
+    }
+    const auto got = table.enquire(all);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(got[i], static_cast<std::int32_t>(all[i] % 3));
+    }
+  });
+}
+
+TEST_P(NodeTableTest, StaleEnquiryThrows) {
+  const int p = GetParam();
+  EXPECT_THROW(
+      mp::run_ranks(p, kZero,
+                    [](mp::Comm& comm) {
+                      core::NodeTable table(comm, 8);
+                      table.begin_level();
+                      std::vector<std::int64_t> rids;
+                      std::vector<std::int32_t> children;
+                      if (comm.rank() == 0) {
+                        rids = {0, 1, 2, 3};
+                        children = {0, 0, 1, 1};
+                      }
+                      table.update(rids, children, 0);
+                      table.begin_level();  // new level, no updates yet
+                      std::vector<std::int64_t> query{2};
+                      (void)table.enquire(query);
+                    }),
+      std::logic_error);
+}
+
+TEST_P(NodeTableTest, EpochsSeparateLevels) {
+  const int p = GetParam();
+  mp::run_ranks(p, kZero, [](mp::Comm& comm) {
+    core::NodeTable table(comm, 4);
+    for (std::uint32_t level = 1; level <= 3; ++level) {
+      table.begin_level();
+      std::vector<std::int64_t> rids;
+      std::vector<std::int32_t> children;
+      if (comm.is_root()) {
+        rids = {0, 1, 2, 3};
+        children.assign(4, static_cast<std::int32_t>(level));
+      }
+      table.update(rids, children, 0);
+      std::vector<std::int64_t> query{0, 3};
+      const auto got = table.enquire(query);
+      EXPECT_EQ(got[0], static_cast<std::int32_t>(level));
+      EXPECT_EQ(got[1], static_cast<std::int32_t>(level));
+    }
+  });
+}
+
+TEST(NodeTableTest2, MismatchedSpansThrow) {
+  EXPECT_THROW(mp::run_ranks(1, kZero,
+                             [](mp::Comm& comm) {
+                               core::NodeTable table(comm, 4);
+                               table.begin_level();
+                               std::vector<std::int64_t> rids{0, 1};
+                               std::vector<std::int32_t> children{0};
+                               table.update(rids, children, 0);
+                             }),
+               std::invalid_argument);
+}
+
+TEST(NodeTableTest2, MemoryIsBlockSizedPerRank) {
+  constexpr std::uint64_t kRecords = 1024;
+  const auto result = mp::run_ranks(4, kZero, [](mp::Comm& comm) {
+    core::NodeTable table(comm, kRecords);
+    mp::barrier(comm);
+  });
+  for (const auto& rank : result.ranks) {
+    const std::size_t table_bytes =
+        rank.meter.peak_bytes(util::MemCategory::kNodeTable);
+    // 1024/4 = 256 entries of 8 bytes each.
+    EXPECT_EQ(table_bytes, 256 * sizeof(core::NodeTableEntry));
+  }
+}
+
+}  // namespace
+}  // namespace scalparc

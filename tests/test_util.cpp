@@ -1,0 +1,235 @@
+// Unit tests for src/util: RNG determinism and distribution sanity, memory
+// meter accounting, CLI parsing, duration formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/logging.hpp"
+#include "util/memory_meter.hpp"
+#include "util/random.hpp"
+#include "util/stopwatch.hpp"
+
+namespace scalparc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameStream) {
+  util::Rng a(42);
+  util::Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+  util::Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextIntInclusiveBounds) {
+  util::Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.next_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit in 5000 draws
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  util::Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, NextDoubleRange) {
+  util::Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double(5.0, 9.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  util::Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.next_bool(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// MemoryMeter
+// ---------------------------------------------------------------------------
+
+TEST(MemoryMeter, TracksCurrentAndPeak) {
+  util::MemoryMeter meter;
+  meter.allocate(util::MemCategory::kNodeTable, 100);
+  meter.allocate(util::MemCategory::kCommBuffers, 50);
+  EXPECT_EQ(meter.current_bytes(), 150u);
+  EXPECT_EQ(meter.peak_bytes(), 150u);
+  meter.release(util::MemCategory::kCommBuffers, 50);
+  EXPECT_EQ(meter.current_bytes(), 100u);
+  EXPECT_EQ(meter.peak_bytes(), 150u);
+  EXPECT_EQ(meter.peak_bytes(util::MemCategory::kCommBuffers), 50u);
+}
+
+TEST(MemoryMeter, ScopedAllocationReleasesOnDestruction) {
+  util::MemoryMeter meter;
+  {
+    util::ScopedAllocation guard(&meter, util::MemCategory::kAttributeLists, 64);
+    EXPECT_EQ(meter.current_bytes(), 64u);
+  }
+  EXPECT_EQ(meter.current_bytes(), 0u);
+  EXPECT_EQ(meter.peak_bytes(), 64u);
+}
+
+TEST(MemoryMeter, ScopedAllocationResize) {
+  util::MemoryMeter meter;
+  util::ScopedAllocation guard(&meter, util::MemCategory::kNodeTable, 10);
+  guard.resize(25);
+  EXPECT_EQ(meter.current_bytes(), 25u);
+  guard.resize(5);
+  EXPECT_EQ(meter.current_bytes(), 5u);
+  EXPECT_EQ(meter.peak_bytes(), 25u);
+}
+
+TEST(MemoryMeter, ScopedAllocationMove) {
+  util::MemoryMeter meter;
+  util::ScopedAllocation a(&meter, util::MemCategory::kTreeAndMisc, 8);
+  util::ScopedAllocation b = std::move(a);
+  EXPECT_EQ(meter.current_bytes(), 8u);
+  b.release();
+  EXPECT_EQ(meter.current_bytes(), 0u);
+}
+
+TEST(MemoryMeter, NullMeterIsNoop) {
+  util::ScopedAllocation guard(nullptr, util::MemCategory::kNodeTable, 123);
+  guard.resize(77);  // must not crash
+}
+
+TEST(MemoryMeter, MergePeaksTakesMax) {
+  util::MemoryMeter a;
+  util::MemoryMeter b;
+  a.allocate(util::MemCategory::kNodeTable, 10);
+  b.allocate(util::MemCategory::kNodeTable, 30);
+  b.release(util::MemCategory::kNodeTable, 30);
+  a.merge_peaks(b);
+  EXPECT_EQ(a.peak_bytes(), 30u);
+  EXPECT_EQ(a.current_bytes(), 10u);
+}
+
+TEST(MemoryMeter, CategoryNames) {
+  EXPECT_EQ(util::mem_category_name(util::MemCategory::kNodeTable), "node_table");
+  EXPECT_EQ(util::mem_category_name(util::MemCategory::kAttributeLists),
+            "attribute_lists");
+}
+
+// ---------------------------------------------------------------------------
+// CliArgs
+// ---------------------------------------------------------------------------
+
+TEST(CliArgs, ParsesFlagValuePairs) {
+  const char* argv[] = {"prog", "--records", "1000", "--name=abc", "--verbose"};
+  util::CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("records", 0), 1000);
+  EXPECT_EQ(args.get_string("name", ""), "abc");
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", -5), -5);
+}
+
+TEST(CliArgs, BooleanBeforeAnotherFlag) {
+  const char* argv[] = {"prog", "--fast", "--n", "3"};
+  util::CliArgs args(4, argv);
+  EXPECT_TRUE(args.get_bool("fast", false));
+  EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+TEST(CliArgs, IntList) {
+  const char* argv[] = {"prog", "--procs", "2,4,8,16"};
+  util::CliArgs args(3, argv);
+  const auto list = args.get_int_list("procs", {});
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list[0], 2);
+  EXPECT_EQ(list[3], 16);
+}
+
+TEST(CliArgs, IntListDefault) {
+  const char* argv[] = {"prog"};
+  util::CliArgs args(1, argv);
+  const auto list = args.get_int_list("procs", {1, 2});
+  ASSERT_EQ(list.size(), 2u);
+}
+
+TEST(CliArgs, Positional) {
+  const char* argv[] = {"prog", "input.csv", "--k", "2", "out.csv"};
+  util::CliArgs args(5, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "out.csv");
+}
+
+TEST(CliArgs, DoubleFlag) {
+  const char* argv[] = {"prog", "--noise", "0.25"};
+  util::CliArgs args(3, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("noise", 0.0), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Logging / Stopwatch
+// ---------------------------------------------------------------------------
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(util::parse_log_level("debug"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("off"), util::LogLevel::kOff);
+  EXPECT_EQ(util::parse_log_level("nonsense"), util::LogLevel::kWarn);
+}
+
+TEST(Logging, LevelRoundTrip) {
+  const util::LogLevel before = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  util::set_log_level(before);
+}
+
+TEST(Stopwatch, MeasuresNonNegative) {
+  util::Stopwatch sw;
+  EXPECT_GE(sw.elapsed_seconds(), 0.0);
+}
+
+TEST(Stopwatch, FormatDuration) {
+  char buffer[32];
+  EXPECT_STREQ(util::format_duration({1.5}, buffer, sizeof(buffer)), "1.500 s");
+  EXPECT_STREQ(util::format_duration({0.0025}, buffer, sizeof(buffer)), "2.500 ms");
+  EXPECT_STREQ(util::format_duration({25e-6}, buffer, sizeof(buffer)), "25.0 us");
+}
+
+}  // namespace
+}  // namespace scalparc

@@ -1,0 +1,9 @@
+// Entry point of the `scalparc` command-line tool; all logic lives in the
+// testable library src/tools/cli_app.cpp.
+#include <iostream>
+
+#include "tools/cli_app.hpp"
+
+int main(int argc, char** argv) {
+  return scalparc::tools::run_cli(argc, argv, std::cout, std::cerr);
+}
