@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_model.dir/comm_model.cpp.o"
+  "CMakeFiles/comm_model.dir/comm_model.cpp.o.d"
+  "comm_model"
+  "comm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

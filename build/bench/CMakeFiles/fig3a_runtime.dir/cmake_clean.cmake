@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_runtime.dir/fig3a_runtime.cpp.o"
+  "CMakeFiles/fig3a_runtime.dir/fig3a_runtime.cpp.o.d"
+  "fig3a_runtime"
+  "fig3a_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

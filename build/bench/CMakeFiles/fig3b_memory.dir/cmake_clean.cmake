@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_memory.dir/fig3b_memory.cpp.o"
+  "CMakeFiles/fig3b_memory.dir/fig3b_memory.cpp.o.d"
+  "fig3b_memory"
+  "fig3b_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_paradigm.dir/hash_paradigm.cpp.o"
+  "CMakeFiles/hash_paradigm.dir/hash_paradigm.cpp.o.d"
+  "hash_paradigm"
+  "hash_paradigm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_paradigm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isoefficiency.dir/isoefficiency.cpp.o"
+  "CMakeFiles/isoefficiency.dir/isoefficiency.cpp.o.d"
+  "isoefficiency"
+  "isoefficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isoefficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_vs_node.dir/level_vs_node.cpp.o"
+  "CMakeFiles/level_vs_node.dir/level_vs_node.cpp.o.d"
+  "level_vs_node"
+  "level_vs_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_vs_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

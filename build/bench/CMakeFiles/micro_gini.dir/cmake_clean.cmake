@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gini.dir/micro_gini.cpp.o"
+  "CMakeFiles/micro_gini.dir/micro_gini.cpp.o.d"
+  "micro_gini"
+  "micro_gini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sort.dir/micro_sort.cpp.o"
+  "CMakeFiles/micro_sort.dir/micro_sort.cpp.o.d"
+  "micro_sort"
+  "micro_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ooc_passes.dir/ooc_passes.cpp.o"
+  "CMakeFiles/ooc_passes.dir/ooc_passes.cpp.o.d"
+  "ooc_passes"
+  "ooc_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ooc_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprint_compare.dir/sprint_compare.cpp.o"
+  "CMakeFiles/sprint_compare.dir/sprint_compare.cpp.o.d"
+  "sprint_compare"
+  "sprint_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprint_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_speedups.dir/text_speedups.cpp.o"
+  "CMakeFiles/text_speedups.dir/text_speedups.cpp.o.d"
+  "text_speedups"
+  "text_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_functions.dir/census_functions.cpp.o"
+  "CMakeFiles/census_functions.dir/census_functions.cpp.o.d"
+  "census_functions"
+  "census_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gini.cpp" "src/CMakeFiles/scalparc_core.dir/core/gini.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/gini.cpp.o.d"
+  "/root/repo/src/core/induction.cpp" "src/CMakeFiles/scalparc_core.dir/core/induction.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/induction.cpp.o.d"
+  "/root/repo/src/core/node_table.cpp" "src/CMakeFiles/scalparc_core.dir/core/node_table.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/node_table.cpp.o.d"
+  "/root/repo/src/core/predict.cpp" "src/CMakeFiles/scalparc_core.dir/core/predict.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/predict.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/CMakeFiles/scalparc_core.dir/core/pruning.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/pruning.cpp.o.d"
+  "/root/repo/src/core/scalparc.cpp" "src/CMakeFiles/scalparc_core.dir/core/scalparc.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/scalparc.cpp.o.d"
+  "/root/repo/src/core/split_finder.cpp" "src/CMakeFiles/scalparc_core.dir/core/split_finder.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/split_finder.cpp.o.d"
+  "/root/repo/src/core/splitter.cpp" "src/CMakeFiles/scalparc_core.dir/core/splitter.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/splitter.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/CMakeFiles/scalparc_core.dir/core/tree.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/tree.cpp.o.d"
+  "/root/repo/src/core/tree_io.cpp" "src/CMakeFiles/scalparc_core.dir/core/tree_io.cpp.o" "gcc" "src/CMakeFiles/scalparc_core.dir/core/tree_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scalparc_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalparc_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalparc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scalparc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc_core.dir/core/gini.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/gini.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/induction.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/induction.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/node_table.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/node_table.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/predict.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/predict.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/pruning.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/pruning.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/scalparc.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/scalparc.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/split_finder.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/split_finder.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/splitter.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/splitter.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/tree.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/tree.cpp.o.d"
+  "CMakeFiles/scalparc_core.dir/core/tree_io.cpp.o"
+  "CMakeFiles/scalparc_core.dir/core/tree_io.cpp.o.d"
+  "libscalparc_core.a"
+  "libscalparc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/attribute_list.cpp" "src/CMakeFiles/scalparc_data.dir/data/attribute_list.cpp.o" "gcc" "src/CMakeFiles/scalparc_data.dir/data/attribute_list.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/CMakeFiles/scalparc_data.dir/data/csv.cpp.o" "gcc" "src/CMakeFiles/scalparc_data.dir/data/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/scalparc_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/scalparc_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/gaussian.cpp" "src/CMakeFiles/scalparc_data.dir/data/gaussian.cpp.o" "gcc" "src/CMakeFiles/scalparc_data.dir/data/gaussian.cpp.o.d"
+  "/root/repo/src/data/schema.cpp" "src/CMakeFiles/scalparc_data.dir/data/schema.cpp.o" "gcc" "src/CMakeFiles/scalparc_data.dir/data/schema.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/scalparc_data.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/scalparc_data.dir/data/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scalparc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc_data.dir/data/attribute_list.cpp.o"
+  "CMakeFiles/scalparc_data.dir/data/attribute_list.cpp.o.d"
+  "CMakeFiles/scalparc_data.dir/data/csv.cpp.o"
+  "CMakeFiles/scalparc_data.dir/data/csv.cpp.o.d"
+  "CMakeFiles/scalparc_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/scalparc_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/scalparc_data.dir/data/gaussian.cpp.o"
+  "CMakeFiles/scalparc_data.dir/data/gaussian.cpp.o.d"
+  "CMakeFiles/scalparc_data.dir/data/schema.cpp.o"
+  "CMakeFiles/scalparc_data.dir/data/schema.cpp.o.d"
+  "CMakeFiles/scalparc_data.dir/data/synthetic.cpp.o"
+  "CMakeFiles/scalparc_data.dir/data/synthetic.cpp.o.d"
+  "libscalparc_data.a"
+  "libscalparc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mp/comm.cpp" "src/CMakeFiles/scalparc_mp.dir/mp/comm.cpp.o" "gcc" "src/CMakeFiles/scalparc_mp.dir/mp/comm.cpp.o.d"
+  "/root/repo/src/mp/mailbox.cpp" "src/CMakeFiles/scalparc_mp.dir/mp/mailbox.cpp.o" "gcc" "src/CMakeFiles/scalparc_mp.dir/mp/mailbox.cpp.o.d"
+  "/root/repo/src/mp/runtime.cpp" "src/CMakeFiles/scalparc_mp.dir/mp/runtime.cpp.o" "gcc" "src/CMakeFiles/scalparc_mp.dir/mp/runtime.cpp.o.d"
+  "/root/repo/src/mp/stats.cpp" "src/CMakeFiles/scalparc_mp.dir/mp/stats.cpp.o" "gcc" "src/CMakeFiles/scalparc_mp.dir/mp/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scalparc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc_mp.dir/mp/comm.cpp.o"
+  "CMakeFiles/scalparc_mp.dir/mp/comm.cpp.o.d"
+  "CMakeFiles/scalparc_mp.dir/mp/mailbox.cpp.o"
+  "CMakeFiles/scalparc_mp.dir/mp/mailbox.cpp.o.d"
+  "CMakeFiles/scalparc_mp.dir/mp/runtime.cpp.o"
+  "CMakeFiles/scalparc_mp.dir/mp/runtime.cpp.o.d"
+  "CMakeFiles/scalparc_mp.dir/mp/stats.cpp.o"
+  "CMakeFiles/scalparc_mp.dir/mp/stats.cpp.o.d"
+  "libscalparc_mp.a"
+  "libscalparc_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

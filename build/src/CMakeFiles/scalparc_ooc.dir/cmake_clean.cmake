@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc_ooc.dir/ooc/ooc_sprint.cpp.o"
+  "CMakeFiles/scalparc_ooc.dir/ooc/ooc_sprint.cpp.o.d"
+  "CMakeFiles/scalparc_ooc.dir/ooc/spill_file.cpp.o"
+  "CMakeFiles/scalparc_ooc.dir/ooc/spill_file.cpp.o.d"
+  "libscalparc_ooc.a"
+  "libscalparc_ooc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc_ooc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

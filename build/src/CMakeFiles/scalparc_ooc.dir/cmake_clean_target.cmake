@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscalparc_ooc.a"
+)

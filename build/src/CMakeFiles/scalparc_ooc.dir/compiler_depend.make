@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for scalparc_ooc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc_sort.dir/sort/rebalance.cpp.o"
+  "CMakeFiles/scalparc_sort.dir/sort/rebalance.cpp.o.d"
+  "CMakeFiles/scalparc_sort.dir/sort/sample_sort.cpp.o"
+  "CMakeFiles/scalparc_sort.dir/sort/sample_sort.cpp.o.d"
+  "libscalparc_sort.a"
+  "libscalparc_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc_sprint.dir/sprint/parallel_sprint.cpp.o"
+  "CMakeFiles/scalparc_sprint.dir/sprint/parallel_sprint.cpp.o.d"
+  "CMakeFiles/scalparc_sprint.dir/sprint/serial_cart.cpp.o"
+  "CMakeFiles/scalparc_sprint.dir/sprint/serial_cart.cpp.o.d"
+  "CMakeFiles/scalparc_sprint.dir/sprint/serial_sprint.cpp.o"
+  "CMakeFiles/scalparc_sprint.dir/sprint/serial_sprint.cpp.o.d"
+  "libscalparc_sprint.a"
+  "libscalparc_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

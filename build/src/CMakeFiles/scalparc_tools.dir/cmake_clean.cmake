@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc_tools.dir/tools/cli_app.cpp.o"
+  "CMakeFiles/scalparc_tools.dir/tools/cli_app.cpp.o.d"
+  "libscalparc_tools.a"
+  "libscalparc_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

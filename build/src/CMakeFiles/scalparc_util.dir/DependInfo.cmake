@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/scalparc_util.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/scalparc_util.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/scalparc_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/scalparc_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/memory_meter.cpp" "src/CMakeFiles/scalparc_util.dir/util/memory_meter.cpp.o" "gcc" "src/CMakeFiles/scalparc_util.dir/util/memory_meter.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/scalparc_util.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/scalparc_util.dir/util/stopwatch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

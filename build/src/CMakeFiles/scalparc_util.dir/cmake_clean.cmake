@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc_util.dir/util/cli.cpp.o"
+  "CMakeFiles/scalparc_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/scalparc_util.dir/util/logging.cpp.o"
+  "CMakeFiles/scalparc_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/scalparc_util.dir/util/memory_meter.cpp.o"
+  "CMakeFiles/scalparc_util.dir/util/memory_meter.cpp.o.d"
+  "CMakeFiles/scalparc_util.dir/util/stopwatch.cpp.o"
+  "CMakeFiles/scalparc_util.dir/util/stopwatch.cpp.o.d"
+  "libscalparc_util.a"
+  "libscalparc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

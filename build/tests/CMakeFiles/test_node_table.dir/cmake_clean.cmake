@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_table.dir/test_node_table.cpp.o"
+  "CMakeFiles/test_node_table.dir/test_node_table.cpp.o.d"
+  "test_node_table"
+  "test_node_table.pdb"
+  "test_node_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

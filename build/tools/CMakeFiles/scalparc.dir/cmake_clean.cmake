@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalparc.dir/scalparc_main.cpp.o"
+  "CMakeFiles/scalparc.dir/scalparc_main.cpp.o.d"
+  "scalparc"
+  "scalparc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalparc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
