@@ -1,0 +1,285 @@
+#include "core/checkpoint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/tree_io.hpp"
+#include "util/crc32.hpp"
+
+namespace scalparc::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestHeader = "scalparc-ckpt v1";
+constexpr const char* kRankManifestHeader = "scalparc-ckpt-rank v1";
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string checkpoint_level_dir(const std::string& root, int level) {
+  return (fs::path(root) / ("level_" + std::to_string(level))).string();
+}
+
+std::string checkpoint_staging_dir(const std::string& root, int level) {
+  return (fs::path(root) / ("staging_level_" + std::to_string(level))).string();
+}
+
+void checkpoint_prepare_staging(const std::string& root, int level) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) throw CheckpointError("cannot create root '" + root + "'");
+  const fs::path staging = checkpoint_staging_dir(root, level);
+  fs::remove_all(staging, ec);  // stale leftovers from an aborted write
+  if (!fs::create_directory(staging, ec) || ec) {
+    throw CheckpointError("cannot create staging '" + staging.string() + "'");
+  }
+}
+
+void checkpoint_write_globals(const std::string& staging,
+                              const DecisionTree& tree,
+                              std::span<const std::int64_t> active_flat,
+                              CheckpointManifest manifest) {
+  // Tree-so-far in the tree_io text format (exact round trip).
+  std::ostringstream tree_text;
+  save_tree(tree, tree_text);
+  const std::string tree_bytes = tree_text.str();
+  {
+    std::ofstream out((fs::path(staging) / "tree.txt").string(),
+                      std::ios::binary);
+    if (!out) throw CheckpointError("cannot write tree.txt");
+    out.write(tree_bytes.data(),
+              static_cast<std::streamsize>(tree_bytes.size()));
+    if (!out) throw CheckpointError("short write to tree.txt");
+  }
+  manifest.tree_bytes = tree_bytes.size();
+  manifest.tree_crc = util::crc32(tree_bytes.data(), tree_bytes.size());
+
+  {
+    ooc::TypedWriter<std::int64_t> writer(
+        (fs::path(staging) / "active.bin").string());
+    writer.append(active_flat);
+    writer.flush();
+    manifest.active_count = writer.count();
+    manifest.active_crc = writer.crc();
+  }
+
+  std::ostringstream out;
+  out << kManifestHeader << '\n';
+  out << "level " << manifest.level << '\n';
+  out << "ranks " << manifest.ranks << '\n';
+  out << "classes " << manifest.num_classes << '\n';
+  out << "records " << manifest.total_records << '\n';
+  out << "fingerprint " << manifest.fingerprint << '\n';
+  out << "active " << manifest.active_count << ' ' << manifest.active_crc
+      << '\n';
+  out << "tree " << manifest.tree_bytes << ' ' << manifest.tree_crc << '\n';
+  out << "end\n";
+  const std::string text = out.str();
+  std::ofstream file((fs::path(staging) / "MANIFEST").string(),
+                     std::ios::binary);
+  if (!file) throw CheckpointError("cannot write MANIFEST");
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) throw CheckpointError("short write to MANIFEST");
+}
+
+void checkpoint_commit(const std::string& root, int level) {
+  const fs::path staging = checkpoint_staging_dir(root, level);
+  const fs::path committed = checkpoint_level_dir(root, level);
+  std::error_code ec;
+  fs::remove_all(committed, ec);  // replace a stale checkpoint of this level
+  fs::rename(staging, committed, ec);
+  if (ec) {
+    throw CheckpointError("cannot commit level " + std::to_string(level) +
+                          ": " + ec.message());
+  }
+}
+
+CheckpointManifest checkpoint_read_manifest(const std::string& level_dir) {
+  const std::string path = (fs::path(level_dir) / "MANIFEST").string();
+  std::ifstream in(path);
+  if (!in) throw CheckpointError("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    throw CheckpointError("'" + path + "' has a bad header");
+  }
+  CheckpointManifest manifest;
+  std::string key;
+  bool complete = false;
+  while (in >> key) {
+    if (key == "level") {
+      if (!(in >> manifest.level)) break;
+    } else if (key == "ranks") {
+      if (!(in >> manifest.ranks)) break;
+    } else if (key == "classes") {
+      if (!(in >> manifest.num_classes)) break;
+    } else if (key == "records") {
+      if (!(in >> manifest.total_records)) break;
+    } else if (key == "fingerprint") {
+      if (!(in >> manifest.fingerprint)) break;
+    } else if (key == "active") {
+      if (!(in >> manifest.active_count >> manifest.active_crc)) break;
+    } else if (key == "tree") {
+      if (!(in >> manifest.tree_bytes >> manifest.tree_crc)) break;
+    } else if (key == "end") {
+      complete = true;
+      break;
+    } else {
+      throw CheckpointError("'" + path + "' has unknown key '" + key + "'");
+    }
+  }
+  if (!complete) {
+    throw CheckpointError("'" + path + "' is truncated (no 'end' marker)");
+  }
+  if (manifest.ranks <= 0 || manifest.level < 0 || manifest.num_classes < 2) {
+    throw CheckpointError("'" + path + "' has implausible header fields");
+  }
+  return manifest;
+}
+
+DecisionTree checkpoint_read_tree(const std::string& level_dir,
+                                  const CheckpointManifest& manifest) {
+  const std::string path = (fs::path(level_dir) / "tree.txt").string();
+  const std::string bytes = read_whole_file(path);
+  if (bytes.size() != manifest.tree_bytes) {
+    throw CheckpointError("tree.txt does not match its manifest size");
+  }
+  if (util::crc32(bytes.data(), bytes.size()) != manifest.tree_crc) {
+    throw CheckpointError("tree.txt failed its CRC32 check");
+  }
+  std::istringstream in(bytes);
+  try {
+    return load_tree(in);
+  } catch (const std::exception& e) {
+    throw CheckpointError(std::string("tree.txt does not parse: ") + e.what());
+  }
+}
+
+std::vector<std::int64_t> checkpoint_read_active(
+    const std::string& level_dir, const CheckpointManifest& manifest) {
+  const std::string path = (fs::path(level_dir) / "active.bin").string();
+  if (detail::file_size_or_throw(path) !=
+      manifest.active_count * sizeof(std::int64_t)) {
+    throw CheckpointError("active.bin does not match its manifest size");
+  }
+  ooc::TypedReader<std::int64_t> reader(path, nullptr, 4096, 0,
+                                        manifest.active_count);
+  std::vector<std::int64_t> out(
+      static_cast<std::size_t>(manifest.active_count));
+  if (reader.read_chunk(std::span<std::int64_t>(out)) != out.size()) {
+    throw CheckpointError("active.bin is truncated");
+  }
+  if (reader.crc() != manifest.active_crc) {
+    throw CheckpointError("active.bin failed its CRC32 check");
+  }
+  return out;
+}
+
+std::optional<int> checkpoint_latest_level(const std::string& root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec) || ec) return std::nullopt;
+  std::optional<int> best;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr const char* kPrefix = "level_";
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::string digits = name.substr(6);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const int level = std::stoi(digits);
+    try {
+      (void)checkpoint_read_manifest(entry.path().string());
+    } catch (const CheckpointError&) {
+      continue;  // incomplete or damaged: not a candidate
+    }
+    if (!best || level > *best) best = level;
+  }
+  return best;
+}
+
+namespace detail {
+
+std::string rank_manifest_path(const std::string& dir, int rank) {
+  return (fs::path(dir) / ("rank" + std::to_string(rank) + ".manifest"))
+      .string();
+}
+
+std::string section_path(const std::string& dir, int rank,
+                         const std::string& name) {
+  return (fs::path(dir) / ("rank" + std::to_string(rank) + "_" + name + ".bin"))
+      .string();
+}
+
+void write_rank_manifest(const std::string& dir, int rank,
+                         const std::vector<SectionInfo>& sections) {
+  std::ostringstream out;
+  out << kRankManifestHeader << '\n';
+  out << "rank " << rank << '\n';
+  out << "sections " << sections.size() << '\n';
+  for (const SectionInfo& s : sections) {
+    out << "section " << s.name << ' ' << s.count << ' ' << s.bytes << ' '
+        << s.crc << '\n';
+  }
+  out << "end\n";
+  const std::string text = out.str();
+  std::ofstream file(rank_manifest_path(dir, rank), std::ios::binary);
+  if (!file) throw CheckpointError("cannot write rank manifest");
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file) throw CheckpointError("short write to rank manifest");
+}
+
+std::vector<SectionInfo> read_rank_manifest(const std::string& dir, int rank) {
+  const std::string path = rank_manifest_path(dir, rank);
+  std::ifstream in(path);
+  if (!in) throw CheckpointError("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line) || line != kRankManifestHeader) {
+    throw CheckpointError("'" + path + "' has a bad header");
+  }
+  std::string key;
+  int stored_rank = -1;
+  std::size_t count = 0;
+  if (!(in >> key >> stored_rank) || key != "rank" || stored_rank != rank) {
+    throw CheckpointError("'" + path + "' names the wrong rank");
+  }
+  if (!(in >> key >> count) || key != "sections") {
+    throw CheckpointError("'" + path + "' has a bad sections line");
+  }
+  std::vector<SectionInfo> sections;
+  sections.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SectionInfo info;
+    if (!(in >> key >> info.name >> info.count >> info.bytes >> info.crc) ||
+        key != "section") {
+      throw CheckpointError("'" + path + "' has a bad section line");
+    }
+    sections.push_back(std::move(info));
+  }
+  if (!(in >> key) || key != "end") {
+    throw CheckpointError("'" + path + "' is truncated (no 'end' marker)");
+  }
+  return sections;
+}
+
+std::uint64_t file_size_or_throw(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) throw CheckpointError("cannot stat '" + path + "'");
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace detail
+
+}  // namespace scalparc::core

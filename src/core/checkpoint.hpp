@@ -1,0 +1,170 @@
+// Level-granular checkpointing of the induction loop.
+//
+// The breadth-first induction of ScalParC is level-synchronous: at every
+// level boundary all ranks hold a consistent global state (tree-so-far,
+// active node set, per-rank attribute-list partitions). That boundary is
+// the unit of fault containment: the loop writes a checkpoint there, and
+// after any rank failure the run restarts from the last *complete* level
+// and deterministically re-derives the identical tree.
+//
+// On-disk layout under a checkpoint root directory:
+//
+//   level_<L>/                 committed checkpoint of level L
+//     MANIFEST                 global header (+ CRCs of the shared files)
+//     tree.txt                 tree-so-far, tree_io text format
+//     active.bin               active node set, flattened int64 records
+//     rank<r>.manifest         per-rank section index (count, bytes, CRC32)
+//     rank<r>_<section>.bin    per-rank binary sections (attribute lists)
+//   staging_level_<L>/         in-progress write; atomically renamed to
+//                              level_<L> once every rank has finished
+//
+// A checkpoint is valid only if the committed directory exists and every
+// file matches the byte counts and CRC32 checksums recorded in the
+// manifests. Truncated or corrupted files are rejected with
+// CheckpointError — never silently mis-parsed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/tree.hpp"
+#include "ooc/spill_file.hpp"
+
+namespace scalparc::core {
+
+struct CheckpointError : std::runtime_error {
+  explicit CheckpointError(const std::string& what)
+      : std::runtime_error("checkpoint: " + what) {}
+};
+
+// Global (rank-independent) header of one level checkpoint.
+struct CheckpointManifest {
+  int level = 0;
+  int ranks = 0;
+  int num_classes = 0;
+  std::uint64_t total_records = 0;
+  // FNV fingerprint of schema/options/strategy/total from the induction
+  // argument-consistency check; a resume under different parameters (which
+  // could not reproduce the tree) is rejected up front.
+  std::uint64_t fingerprint = 0;
+  std::uint64_t active_count = 0;  // int64 values in active.bin
+  std::uint32_t active_crc = 0;
+  std::uint64_t tree_bytes = 0;
+  std::uint32_t tree_crc = 0;
+};
+
+std::string checkpoint_level_dir(const std::string& root, int level);
+std::string checkpoint_staging_dir(const std::string& root, int level);
+
+// Rank-0 side of a checkpoint write. prepare wipes and recreates the
+// staging directory; write_globals stores tree.txt/active.bin/MANIFEST
+// (filling the manifest's byte counts and CRCs); commit atomically renames
+// staging to the committed name (replacing any stale one).
+void checkpoint_prepare_staging(const std::string& root, int level);
+void checkpoint_write_globals(const std::string& staging,
+                              const DecisionTree& tree,
+                              std::span<const std::int64_t> active_flat,
+                              CheckpointManifest manifest);
+void checkpoint_commit(const std::string& root, int level);
+
+// Readers; all throw CheckpointError on missing/truncated/corrupt data.
+CheckpointManifest checkpoint_read_manifest(const std::string& level_dir);
+DecisionTree checkpoint_read_tree(const std::string& level_dir,
+                                  const CheckpointManifest& manifest);
+std::vector<std::int64_t> checkpoint_read_active(
+    const std::string& level_dir, const CheckpointManifest& manifest);
+
+// Highest level with a committed directory and parseable MANIFEST, or
+// nullopt when the root holds no complete checkpoint.
+std::optional<int> checkpoint_latest_level(const std::string& root);
+
+namespace detail {
+struct SectionInfo {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+std::string rank_manifest_path(const std::string& dir, int rank);
+std::string section_path(const std::string& dir, int rank,
+                         const std::string& name);
+void write_rank_manifest(const std::string& dir, int rank,
+                         const std::vector<SectionInfo>& sections);
+std::vector<SectionInfo> read_rank_manifest(const std::string& dir, int rank);
+std::uint64_t file_size_or_throw(const std::string& path);
+}  // namespace detail
+
+// Writes one rank's binary sections into a staging directory and records
+// their integrity metadata in rank<r>.manifest on finalize().
+class CheckpointRankWriter {
+ public:
+  CheckpointRankWriter(std::string staging_dir, int rank)
+      : dir_(std::move(staging_dir)), rank_(rank) {}
+
+  template <typename T>
+  void write_section(const std::string& name, std::span<const T> records) {
+    ooc::TypedWriter<T> writer(detail::section_path(dir_, rank_, name));
+    writer.append(records);
+    writer.flush();
+    sections_.push_back(detail::SectionInfo{
+        name, writer.count(), writer.count() * sizeof(T), writer.crc()});
+  }
+
+  void finalize() { detail::write_rank_manifest(dir_, rank_, sections_); }
+
+ private:
+  std::string dir_;
+  int rank_;
+  std::vector<detail::SectionInfo> sections_;
+};
+
+// Reads one rank's sections back, verifying byte counts and CRCs.
+class CheckpointRankReader {
+ public:
+  CheckpointRankReader(std::string level_dir, int rank)
+      : dir_(std::move(level_dir)),
+        rank_(rank),
+        sections_(detail::read_rank_manifest(dir_, rank_)) {}
+
+  template <typename T>
+  std::vector<T> read_section(const std::string& name) {
+    const detail::SectionInfo* info = nullptr;
+    for (const detail::SectionInfo& s : sections_) {
+      if (s.name == name) info = &s;
+    }
+    if (info == nullptr) {
+      throw CheckpointError("rank " + std::to_string(rank_) +
+                            " has no section '" + name + "'");
+    }
+    if (info->bytes != info->count * sizeof(T)) {
+      throw CheckpointError("section '" + name + "' has inconsistent size");
+    }
+    const std::string path = detail::section_path(dir_, rank_, name);
+    if (detail::file_size_or_throw(path) != info->bytes) {
+      throw CheckpointError("section file '" + path +
+                            "' does not match its manifest size");
+    }
+    ooc::TypedReader<T> reader(path, nullptr, 4096, 0, info->count);
+    std::vector<T> out(static_cast<std::size_t>(info->count));
+    const std::size_t got = reader.read_chunk(std::span<T>(out));
+    if (got != out.size()) {
+      throw CheckpointError("section file '" + path + "' is truncated");
+    }
+    if (reader.crc() != info->crc) {
+      throw CheckpointError("section file '" + path +
+                            "' failed its CRC32 check");
+    }
+    return out;
+  }
+
+ private:
+  std::string dir_;
+  int rank_;
+  std::vector<detail::SectionInfo> sections_;
+};
+
+}  // namespace scalparc::core

@@ -5,7 +5,9 @@
 #include <numeric>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/count_matrix.hpp"
 #include "core/gini.hpp"
 #include "core/node_table.hpp"
@@ -107,11 +109,22 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     throw std::invalid_argument("induce_tree_distributed: bad options");
   }
 
+  const bool resuming = controls.checkpoint.resume;
+  const std::string& ckpt_root = controls.checkpoint.directory;
+  const bool checkpointing = !ckpt_root.empty();
+  if (resuming && !checkpointing) {
+    throw std::invalid_argument(
+        "induce_tree_distributed: resume requires a checkpoint directory");
+  }
+
   // SPMD argument consistency: every rank must pass the same total, schema
   // and options. A mismatch would otherwise corrupt results silently (e.g.
-  // misaligned count-matrix reductions), so fingerprint and compare.
+  // misaligned count-matrix reductions), so fingerprint and compare. The
+  // fingerprint doubles as the checkpoint compatibility stamp: a resume
+  // under different parameters could not reproduce the tree, so manifests
+  // record it and the restore path rejects a mismatch.
+  std::uint64_t fp = 0xcbf29ce484222325ULL;  // FNV-1a
   {
-    std::uint64_t fp = 0xcbf29ce484222325ULL;  // FNV-1a
     const auto mix = [&fp](std::uint64_t v) {
       fp = (fp ^ v) * 0x100000001b3ULL;
     };
@@ -150,73 +163,169 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     if (schema.attribute(a).kind == AttributeKind::kContinuous) {
       ContList list;
       list.attribute = a;
-      list.entries = data::build_continuous_list(local_block, a, first_rid);
+      if (!resuming) {
+        list.entries = data::build_continuous_list(local_block, a, first_rid);
+      }
       cont_lists.push_back(std::move(list));
     } else {
       CatList list;
       list.attribute = a;
       list.cardinality = schema.attribute(a).cardinality;
       list.coordinator = a % p;
-      list.entries = data::build_categorical_list(local_block, a, first_rid);
+      if (!resuming) {
+        list.entries = data::build_categorical_list(local_block, a, first_rid);
+      }
       cat_lists.push_back(std::move(list));
     }
   }
 
-  // Presort: sample sort every continuous list, then shift back to equal
-  // fragments so per-rank load stays balanced.
-  const std::vector<std::size_t> equal_sizes =
-      sort::equal_partition_sizes(total_records, p);
-  for (ContList& list : cont_lists) {
-    list.entries = sort::sample_sort(comm, std::move(list.entries),
-                                     data::ContinuousEntryLess{});
-    list.entries = sort::rebalance(comm, std::move(list.entries), equal_sizes);
-    list.mem = util::ScopedAllocation(comm.meter(),
-                                      util::MemCategory::kAttributeLists,
-                                      list.entries.size() * sizeof(ContinuousEntry));
-  }
-  for (CatList& list : cat_lists) {
-    list.mem = util::ScopedAllocation(comm.meter(),
-                                      util::MemCategory::kAttributeLists,
-                                      list.entries.size() * sizeof(CategoricalEntry));
-  }
-  stats.presort_seconds = comm.vtime();
-
-  // -------------------------------------------------------------------------
-  // Root node.
-  // -------------------------------------------------------------------------
-  std::vector<std::int64_t> local_histogram(static_cast<std::size_t>(c), 0);
-  for (const std::int32_t label : local_block.labels()) {
-    if (label < 0 || label >= c) {
-      throw std::invalid_argument("induce_tree_distributed: label out of range");
-    }
-    ++local_histogram[static_cast<std::size_t>(label)];
-  }
-  const std::vector<std::int64_t> root_totals =
-      mp::allreduce_vec(comm, std::span<const std::int64_t>(local_histogram),
-                        mp::SumOp{});
-
-  TreeNode root;
-  root.is_leaf = true;
-  root.class_counts = root_totals;
-  root.num_records = static_cast<std::int64_t>(total_records);
-  root.majority_class = majority_class(root_totals);
-  root.depth = 0;
-  result.tree.add_node(std::move(root));
-
   std::vector<ActiveNode> active;
-  if (!is_pure(root_totals) &&
-      static_cast<std::int64_t>(total_records) >= options.min_split_records &&
-      options.max_depth > 0) {
-    ActiveNode node;
-    node.tree_id = 0;
-    node.depth = 0;
-    node.total = static_cast<std::int64_t>(total_records);
-    node.class_totals = root_totals;
-    active.push_back(std::move(node));
-  }
+  int level_index = 0;
 
-  for (ContList& list : cont_lists) list.offsets = {0, list.entries.size()};
-  for (CatList& list : cat_lists) list.offsets = {0, list.entries.size()};
+  if (!resuming) {
+    // Presort: sample sort every continuous list, then shift back to equal
+    // fragments so per-rank load stays balanced.
+    const std::vector<std::size_t> equal_sizes =
+        sort::equal_partition_sizes(total_records, p);
+    for (ContList& list : cont_lists) {
+      list.entries = sort::sample_sort(comm, std::move(list.entries),
+                                       data::ContinuousEntryLess{});
+      list.entries = sort::rebalance(comm, std::move(list.entries), equal_sizes);
+      list.mem = util::ScopedAllocation(comm.meter(),
+                                        util::MemCategory::kAttributeLists,
+                                        list.entries.size() * sizeof(ContinuousEntry));
+    }
+    for (CatList& list : cat_lists) {
+      list.mem = util::ScopedAllocation(comm.meter(),
+                                        util::MemCategory::kAttributeLists,
+                                        list.entries.size() * sizeof(CategoricalEntry));
+    }
+    stats.presort_seconds = comm.vtime();
+
+    // -----------------------------------------------------------------------
+    // Root node.
+    // -----------------------------------------------------------------------
+    std::vector<std::int64_t> local_histogram(static_cast<std::size_t>(c), 0);
+    for (const std::int32_t label : local_block.labels()) {
+      if (label < 0 || label >= c) {
+        throw std::invalid_argument("induce_tree_distributed: label out of range");
+      }
+      ++local_histogram[static_cast<std::size_t>(label)];
+    }
+    const std::vector<std::int64_t> root_totals =
+        mp::allreduce_vec(comm, std::span<const std::int64_t>(local_histogram),
+                          mp::SumOp{});
+
+    TreeNode root;
+    root.is_leaf = true;
+    root.class_counts = root_totals;
+    root.num_records = static_cast<std::int64_t>(total_records);
+    root.majority_class = majority_class(root_totals);
+    root.depth = 0;
+    result.tree.add_node(std::move(root));
+
+    if (!is_pure(root_totals) &&
+        static_cast<std::int64_t>(total_records) >= options.min_split_records &&
+        options.max_depth > 0) {
+      ActiveNode node;
+      node.tree_id = 0;
+      node.depth = 0;
+      node.total = static_cast<std::int64_t>(total_records);
+      node.class_totals = root_totals;
+      active.push_back(std::move(node));
+    }
+
+    for (ContList& list : cont_lists) list.offsets = {0, list.entries.size()};
+    for (CatList& list : cat_lists) list.offsets = {0, list.entries.size()};
+  } else {
+    // -----------------------------------------------------------------------
+    // Resume: restore the last complete level checkpoint instead of deriving
+    // the state from the training data. Rank 0 picks the level and
+    // broadcasts it so every rank restores the same directory even if the
+    // root changes underneath the scan.
+    // -----------------------------------------------------------------------
+    int latest = -1;
+    if (comm.rank() == 0) {
+      const std::optional<int> found = checkpoint_latest_level(ckpt_root);
+      if (found) latest = *found;
+    }
+    latest = mp::bcast_value(comm, latest, 0);
+    if (latest < 0) {
+      throw CheckpointError("no complete level checkpoint under '" +
+                            ckpt_root + "'");
+    }
+    const std::string level_dir = checkpoint_level_dir(ckpt_root, latest);
+    const CheckpointManifest manifest = checkpoint_read_manifest(level_dir);
+    if (manifest.level != latest) {
+      throw CheckpointError("manifest level disagrees with its directory name");
+    }
+    if (manifest.ranks != p) {
+      throw CheckpointError("checkpoint was written by " +
+                            std::to_string(manifest.ranks) +
+                            " ranks; resuming with " + std::to_string(p));
+    }
+    if (manifest.total_records != total_records ||
+        manifest.num_classes != c || manifest.fingerprint != fp) {
+      throw CheckpointError(
+          "checkpoint parameters do not match this run "
+          "(schema/options/total changed since the checkpoint was written)");
+    }
+    result.tree = checkpoint_read_tree(level_dir, manifest);
+
+    const std::vector<std::int64_t> flat =
+        checkpoint_read_active(level_dir, manifest);
+    const std::size_t stride = 3 + static_cast<std::size_t>(c);
+    if (flat.size() % stride != 0) {
+      throw CheckpointError("active.bin has a bad record stride");
+    }
+    active.reserve(flat.size() / stride);
+    for (std::size_t i = 0; i < flat.size() / stride; ++i) {
+      const std::int64_t* rec = flat.data() + i * stride;
+      ActiveNode node;
+      node.tree_id = static_cast<int>(rec[0]);
+      node.depth = static_cast<int>(rec[1]);
+      node.total = rec[2];
+      node.class_totals.assign(rec + 3, rec + 3 + c);
+      if (node.tree_id < 0 || node.tree_id >= result.tree.num_nodes()) {
+        throw CheckpointError("active node references a missing tree node");
+      }
+      active.push_back(std::move(node));
+    }
+
+    CheckpointRankReader reader(level_dir, comm.rank());
+    const auto restore_offsets = [&](std::vector<std::uint64_t> raw,
+                                     std::size_t num_entries) {
+      std::vector<std::size_t> offsets(raw.begin(), raw.end());
+      if (offsets.size() != active.size() + 1 || offsets.front() != 0 ||
+          offsets.back() != num_entries ||
+          !std::is_sorted(offsets.begin(), offsets.end())) {
+        throw CheckpointError("restored segment offsets are inconsistent");
+      }
+      return offsets;
+    };
+    for (std::size_t li = 0; li < cont_lists.size(); ++li) {
+      ContList& list = cont_lists[li];
+      const std::string tag = "cont" + std::to_string(li);
+      list.entries = reader.read_section<ContinuousEntry>(tag);
+      list.offsets = restore_offsets(
+          reader.read_section<std::uint64_t>(tag + "_off"), list.entries.size());
+      list.mem = util::ScopedAllocation(comm.meter(),
+                                        util::MemCategory::kAttributeLists,
+                                        list.entries.size() * sizeof(ContinuousEntry));
+    }
+    for (std::size_t li = 0; li < cat_lists.size(); ++li) {
+      CatList& list = cat_lists[li];
+      const std::string tag = "cat" + std::to_string(li);
+      list.entries = reader.read_section<CategoricalEntry>(tag);
+      list.offsets = restore_offsets(
+          reader.read_section<std::uint64_t>(tag + "_off"), list.entries.size());
+      list.mem = util::ScopedAllocation(comm.meter(),
+                                        util::MemCategory::kAttributeLists,
+                                        list.entries.size() * sizeof(CategoricalEntry));
+    }
+    level_index = latest;
+    stats.levels = latest;
+  }
 
   // Splitting-phase state. ScalParC keeps the rid -> child mapping in a
   // distributed node table (O(N/p) per rank); the SPRINT baseline replicates
@@ -289,6 +398,58 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
   // Level loop.
   // -------------------------------------------------------------------------
   while (!active.empty()) {
+    // Persist this level's consistent state before processing it. The write
+    // is collective: rank 0 prepares the staging directory and later commits
+    // it; every rank contributes its attribute-list partitions in between.
+    // Barriers order the three steps so a committed level_<L> directory
+    // always holds a complete, mutually consistent file set.
+    if (checkpointing) {
+      if (comm.rank() == 0) checkpoint_prepare_staging(ckpt_root, level_index);
+      mp::barrier(comm);
+      const std::string staging = checkpoint_staging_dir(ckpt_root, level_index);
+      CheckpointRankWriter writer(staging, comm.rank());
+      const auto offsets_u64 = [](const std::vector<std::size_t>& offsets) {
+        return std::vector<std::uint64_t>(offsets.begin(), offsets.end());
+      };
+      for (std::size_t li = 0; li < cont_lists.size(); ++li) {
+        const std::string tag = "cont" + std::to_string(li);
+        writer.write_section<ContinuousEntry>(tag, cont_lists[li].entries);
+        const std::vector<std::uint64_t> off = offsets_u64(cont_lists[li].offsets);
+        writer.write_section<std::uint64_t>(tag + "_off", off);
+      }
+      for (std::size_t li = 0; li < cat_lists.size(); ++li) {
+        const std::string tag = "cat" + std::to_string(li);
+        writer.write_section<CategoricalEntry>(tag, cat_lists[li].entries);
+        const std::vector<std::uint64_t> off = offsets_u64(cat_lists[li].offsets);
+        writer.write_section<std::uint64_t>(tag + "_off", off);
+      }
+      writer.finalize();
+      if (comm.rank() == 0) {
+        std::vector<std::int64_t> flat;
+        flat.reserve(active.size() * (3 + static_cast<std::size_t>(c)));
+        for (const ActiveNode& node : active) {
+          flat.push_back(node.tree_id);
+          flat.push_back(node.depth);
+          flat.push_back(node.total);
+          flat.insert(flat.end(), node.class_totals.begin(),
+                      node.class_totals.end());
+        }
+        CheckpointManifest manifest;
+        manifest.level = level_index;
+        manifest.ranks = p;
+        manifest.num_classes = c;
+        manifest.total_records = total_records;
+        manifest.fingerprint = fp;
+        checkpoint_write_globals(staging, result.tree, flat, manifest);
+      }
+      mp::barrier(comm);
+      if (comm.rank() == 0) checkpoint_commit(ckpt_root, level_index);
+      mp::barrier(comm);
+    }
+    // Injected level-kills fire here — after this level's checkpoint is
+    // committed — so recovery restarts exactly at the level that failed.
+    comm.fault_level_boundary(level_index);
+
     const std::size_t m = active.size();
     const std::uint64_t level_start_bytes = comm.stats().bytes_sent;
     const double level_start_vtime = comm.vtime();
@@ -636,6 +797,7 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       stats.per_level.push_back(level);
     }
 
+    ++level_index;
     active = std::move(next_active);
   }
 

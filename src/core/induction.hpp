@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/options.hpp"
@@ -66,11 +67,22 @@ enum class SplittingStrategy : int {
   kReplicatedHash = 1,
 };
 
+// Level-granular checkpoint/restart (see core/checkpoint.hpp). With a
+// non-empty directory the induction loop persists its consistent global
+// state at every level boundary; with `resume` set it restores the latest
+// complete checkpoint instead of starting from the training data and
+// continues from that level, reproducing the identical tree.
+struct CheckpointControls {
+  std::string directory;  // empty disables checkpointing
+  bool resume = false;
+};
+
 struct InductionControls {
   InductionOptions options;
   SplittingStrategy strategy = SplittingStrategy::kDistributedHash;
   // Collect per-level statistics (adds two small collectives per level).
   bool collect_level_stats = false;
+  CheckpointControls checkpoint;
 };
 
 // Collective: every rank passes its block of records (record `row` of

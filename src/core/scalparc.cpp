@@ -1,11 +1,54 @@
 #include "core/scalparc.hpp"
 
+#include <optional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "sort/partition_util.hpp"
 
 namespace scalparc::core {
+
+namespace {
+
+struct Attempt {
+  std::vector<InductionResult> results;
+  mp::RunResult run;
+};
+
+Attempt run_fit(const data::Dataset& training, int nranks,
+                const InductionControls& controls, const mp::CostModel& model,
+                const mp::RunOptions& options) {
+  const std::uint64_t total = training.num_records();
+  const std::vector<std::size_t> sizes =
+      sort::equal_partition_sizes(total, nranks);
+  const std::vector<std::size_t> offsets = sort::offsets_from_sizes(sizes);
+
+  Attempt attempt;
+  attempt.results.resize(static_cast<std::size_t>(nranks));
+  attempt.run = mp::try_run_ranks(
+      nranks, model,
+      [&](mp::Comm& comm) {
+        const auto r = static_cast<std::size_t>(comm.rank());
+        const data::Dataset block = training.slice(offsets[r], offsets[r + 1]);
+        attempt.results[r] = ScalParC::fit_rank(
+            comm, block, static_cast<std::int64_t>(offsets[r]), total,
+            controls);
+      },
+      options);
+  return attempt;
+}
+
+FitReport report_from(Attempt&& attempt) {
+  FitReport report;
+  report.tree = std::move(attempt.results[0].tree);
+  report.stats = std::move(attempt.results[0].stats);
+  report.run = std::move(attempt.run);
+  return report;
+}
+
+}  // namespace
 
 InductionResult ScalParC::fit_rank(mp::Comm& comm,
                                    const data::Dataset& local_block,
@@ -18,19 +61,40 @@ InductionResult ScalParC::fit_rank(mp::Comm& comm,
 
 FitReport ScalParC::fit(const data::Dataset& training, int nranks,
                         const InductionControls& controls,
-                        const mp::CostModel& model) {
-  if (nranks <= 0) throw std::invalid_argument("ScalParC::fit: nranks must be positive");
-  const std::uint64_t total = training.num_records();
-  const std::vector<std::size_t> sizes = sort::equal_partition_sizes(total, nranks);
+                        const mp::CostModel& model,
+                        const mp::RunOptions& run_options) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("ScalParC::fit: nranks must be positive");
+  }
+  Attempt attempt = run_fit(training, nranks, controls, model, run_options);
+  if (attempt.run.failed()) std::rethrow_exception(attempt.run.error);
+  return report_from(std::move(attempt));
+}
+
+FitReport ScalParC::fit_generated(const data::QuestGenerator& generator,
+                                  std::uint64_t total_records, int nranks,
+                                  const InductionControls& controls,
+                                  const mp::CostModel& model,
+                                  const mp::RunOptions& run_options) {
+  if (nranks <= 0) {
+    throw std::invalid_argument(
+        "ScalParC::fit_generated: nranks must be positive");
+  }
+  const std::vector<std::size_t> sizes =
+      sort::equal_partition_sizes(total_records, nranks);
   const std::vector<std::size_t> offsets = sort::offsets_from_sizes(sizes);
 
   std::vector<InductionResult> results(static_cast<std::size_t>(nranks));
-  mp::RunResult run = mp::run_ranks(nranks, model, [&](mp::Comm& comm) {
-    const auto r = static_cast<std::size_t>(comm.rank());
-    const data::Dataset block = training.slice(offsets[r], offsets[r + 1]);
-    results[r] = fit_rank(comm, block, static_cast<std::int64_t>(offsets[r]),
-                          total, controls);
-  });
+  mp::RunResult run = mp::run_ranks(
+      nranks, model,
+      [&](mp::Comm& comm) {
+        const auto r = static_cast<std::size_t>(comm.rank());
+        const data::Dataset block = generator.generate(offsets[r], sizes[r]);
+        results[r] = fit_rank(comm, block,
+                              static_cast<std::int64_t>(offsets[r]),
+                              total_records, controls);
+      },
+      run_options);
 
   FitReport report;
   report.tree = std::move(results[0].tree);
@@ -39,30 +103,58 @@ FitReport ScalParC::fit(const data::Dataset& training, int nranks,
   return report;
 }
 
-FitReport ScalParC::fit_generated(const data::QuestGenerator& generator,
-                                  std::uint64_t total_records, int nranks,
-                                  const InductionControls& controls,
-                                  const mp::CostModel& model) {
+FitReport ScalParC::resume_from_checkpoint(const data::Dataset& training,
+                                           int nranks,
+                                           const InductionControls& controls,
+                                           const mp::CostModel& model,
+                                           const mp::RunOptions& run_options) {
+  InductionControls resumed = controls;
+  resumed.checkpoint.resume = true;
+  return fit(training, nranks, resumed, model, run_options);
+}
+
+RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
+                                           int nranks,
+                                           const InductionControls& controls,
+                                           const mp::CostModel& model,
+                                           const mp::RunOptions& run_options,
+                                           int max_retries) {
   if (nranks <= 0) {
-    throw std::invalid_argument("ScalParC::fit_generated: nranks must be positive");
+    throw std::invalid_argument(
+        "ScalParC::fit_with_recovery: nranks must be positive");
   }
-  const std::vector<std::size_t> sizes =
-      sort::equal_partition_sizes(total_records, nranks);
-  const std::vector<std::size_t> offsets = sort::offsets_from_sizes(sizes);
+  if (controls.checkpoint.directory.empty()) {
+    throw std::invalid_argument(
+        "ScalParC::fit_with_recovery: controls.checkpoint.directory is "
+        "required (recovery restarts from level checkpoints)");
+  }
 
-  std::vector<InductionResult> results(static_cast<std::size_t>(nranks));
-  mp::RunResult run = mp::run_ranks(nranks, model, [&](mp::Comm& comm) {
-    const auto r = static_cast<std::size_t>(comm.rank());
-    const data::Dataset block = generator.generate(offsets[r], sizes[r]);
-    results[r] = fit_rank(comm, block, static_cast<std::int64_t>(offsets[r]),
-                          total_records, controls);
-  });
+  RecoveryReport report;
+  InductionControls attempt_controls = controls;
+  mp::RunOptions attempt_options = run_options;
+  for (int retry = 0;; ++retry) {
+    Attempt attempt =
+        run_fit(training, nranks, attempt_controls, model, attempt_options);
+    report.attempts = retry + 1;
+    if (!attempt.run.failed()) {
+      report.fit = report_from(std::move(attempt));
+      return report;
+    }
+    if (retry >= max_retries) std::rethrow_exception(attempt.run.error);
 
-  FitReport report;
-  report.tree = std::move(results[0].tree);
-  report.stats = std::move(results[0].stats);
-  report.run = std::move(run);
-  return report;
+    RecoveryEvent event;
+    event.failed_rank = attempt.run.failed_rank;
+    event.message = attempt.run.failure_message;
+    // Faults are transient: the injected plan does not re-fire on the
+    // retry, matching a crashed-and-restarted process. Without this a
+    // level-triggered kill would fire again on every resume, forever.
+    attempt_options.fault_plan = nullptr;
+    const std::optional<int> latest =
+        checkpoint_latest_level(controls.checkpoint.directory);
+    attempt_controls.checkpoint.resume = latest.has_value();
+    event.resumed_level = latest ? *latest : -1;
+    report.events.push_back(std::move(event));
+  }
 }
 
 }  // namespace scalparc::core

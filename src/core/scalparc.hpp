@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/induction.hpp"
 #include "core/tree.hpp"
@@ -26,6 +28,21 @@ struct FitReport {
   mp::RunResult run;         // per-rank comm stats, memory peaks, timings
 };
 
+// One failure observed (and survived) by fit_with_recovery.
+struct RecoveryEvent {
+  int failed_rank = -1;
+  // Checkpoint level the retry resumed from; -1 means no complete
+  // checkpoint existed yet and the retry restarted from scratch.
+  int resumed_level = -1;
+  std::string message;  // what the failed rank threw
+};
+
+struct RecoveryReport {
+  FitReport fit;
+  std::vector<RecoveryEvent> events;  // one per survived failure
+  int attempts = 1;                   // total runs including the final one
+};
+
 class ScalParC {
  public:
   // Collective per-rank fit; see induce_tree_distributed for the contract.
@@ -37,9 +54,12 @@ class ScalParC {
 
   // Partitions `training` into contiguous equal blocks over `nranks`
   // simulated ranks and fits. With nranks == 1 this is the serial algorithm.
+  // `run_options` configures fault injection, receive timeouts and deadlock
+  // detection for the simulated cluster (see mp::RunOptions).
   static FitReport fit(const data::Dataset& training, int nranks,
                        const InductionControls& controls = {},
-                       const mp::CostModel& model = mp::CostModel::zero());
+                       const mp::CostModel& model = mp::CostModel::zero(),
+                       const mp::RunOptions& run_options = {});
 
   // Like fit(), but every rank generates its own block of
   // `total_records` Quest records — no global materialization, so training
@@ -47,7 +67,31 @@ class ScalParC {
   static FitReport fit_generated(const data::QuestGenerator& generator,
                                  std::uint64_t total_records, int nranks,
                                  const InductionControls& controls = {},
-                                 const mp::CostModel& model = mp::CostModel::zero());
+                                 const mp::CostModel& model = mp::CostModel::zero(),
+                                 const mp::RunOptions& run_options = {});
+
+  // Restarts induction from the last complete level checkpoint under
+  // controls.checkpoint.directory and produces a tree byte-identical to the
+  // fault-free run. Throws CheckpointError when no complete checkpoint
+  // exists or its parameters do not match this training configuration.
+  static FitReport resume_from_checkpoint(
+      const data::Dataset& training, int nranks,
+      const InductionControls& controls,
+      const mp::CostModel& model = mp::CostModel::zero(),
+      const mp::RunOptions& run_options = {});
+
+  // Fit that survives rank failures: on any failed run it resumes from the
+  // last complete checkpoint (or restarts from scratch when none committed
+  // yet) until the fit succeeds or `max_retries` retries are exhausted, in
+  // which case the last failure is rethrown. Faults are treated as
+  // transient — an injected fault plan is dropped after the first failure,
+  // matching a crashed-and-restarted process. Requires a checkpoint
+  // directory in `controls`.
+  static RecoveryReport fit_with_recovery(
+      const data::Dataset& training, int nranks,
+      const InductionControls& controls,
+      const mp::CostModel& model = mp::CostModel::zero(),
+      const mp::RunOptions& run_options = {}, int max_retries = 3);
 };
 
 }  // namespace scalparc::core

@@ -1,10 +1,24 @@
 #include "mp/comm.hpp"
 
+#include <chrono>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "mp/fault.hpp"
 #include "mp/runtime.hpp"
+#include "util/crc32.hpp"
 
 namespace scalparc::mp {
+
+namespace {
+
+// How long a receiver waits between deadlock-detector probes. Small enough
+// that an injected deadlock resolves promptly, large enough that the probe
+// never shows up in profiles of healthy runs.
+constexpr std::chrono::milliseconds kRecvSlice{25};
+
+}  // namespace
 
 Comm::Comm(Hub& hub, int rank, const CostModel& model,
            util::MemoryMeter* meter)
@@ -16,11 +30,43 @@ Comm::Comm(Hub& hub, int rank, const CostModel& model,
 
 int Comm::size() const { return hub_.size(); }
 
+std::int64_t Comm::begin_op(const char* what) {
+  const std::int64_t op = ++comm_ops_;
+  const FaultPlan* plan = hub_.options().fault_plan;
+  if (plan != nullptr) {
+    const double delay = plan->delay_ms_at_op(rank_, op);
+    if (delay > 0.0) {
+      plan->count_delay();
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+    }
+    if (plan->kills_at_op(rank_, op)) {
+      plan->count_kill();
+      std::ostringstream what_out;
+      what_out << "injected fault: rank " << rank_ << " killed at " << what
+               << " (op " << op << ")";
+      throw InjectedFault(what_out.str());
+    }
+  }
+  return op;
+}
+
+void Comm::fault_level_boundary(int level) {
+  const FaultPlan* plan = hub_.options().fault_plan;
+  if (plan != nullptr && plan->kills_at_level(rank_, level)) {
+    plan->count_kill();
+    std::ostringstream what_out;
+    what_out << "injected fault: rank " << rank_ << " killed at level "
+             << level << " boundary";
+    throw InjectedFault(what_out.str());
+  }
+}
+
 void Comm::send_bytes(int dst, std::int64_t tag,
                       std::span<const std::byte> bytes) {
   if (dst < 0 || dst >= size()) {
     throw std::invalid_argument("Comm::send_bytes: destination out of range");
   }
+  const std::int64_t op = begin_op("send");
   // Sender pays per-message CPU overhead; the message lands at the receiver
   // no earlier than now + wire time.
   vtime_ += model_.send_overhead_s;
@@ -28,7 +74,20 @@ void Comm::send_bytes(int dst, std::int64_t tag,
   message.tag = tag;
   message.arrival_vtime = vtime_ + model_.wire_seconds(bytes.size());
   message.payload.assign(bytes.begin(), bytes.end());
+  // Frame checksum first, wire faults second: a corrupted payload must be
+  // *detected* at the receiver, never silently mis-parsed.
+  message.crc = util::crc32(message.payload);
   stats_.record_send(current_op_, bytes.size());
+  const FaultPlan* plan = hub_.options().fault_plan;
+  if (plan != nullptr) {
+    if (plan->drops_at_op(rank_, op)) {
+      plan->count_drop();
+      return;  // the wire ate it
+    }
+    if (plan->corrupts_at_op(rank_, op)) {
+      plan->corrupt_payload(message.payload, rank_, op);
+    }
+  }
   hub_.channel(rank_, dst).push(std::move(message));
 }
 
@@ -36,7 +95,56 @@ std::vector<std::byte> Comm::recv_bytes(int src, std::int64_t tag) {
   if (src < 0 || src >= size()) {
     throw std::invalid_argument("Comm::recv_bytes: source out of range");
   }
-  Message message = hub_.channel(src, rank_).pop(tag);
+  begin_op("recv");
+  Channel& channel = hub_.channel(src, rank_);
+  Message message;
+  if (!channel.try_pop(tag, message)) {
+    // Slow path: block in bounded slices; after each expired slice consult
+    // the deadlock detector and the overall per-receive timeout.
+    const RunOptions& options = hub_.options();
+    using clock = std::chrono::steady_clock;
+    const clock::time_point start = clock::now();
+    const bool bounded = options.recv_timeout_s > 0.0;
+    const clock::time_point overall_deadline =
+        bounded ? start + std::chrono::duration_cast<clock::duration>(
+                              std::chrono::duration<double>(options.recv_timeout_s))
+                : clock::time_point::max();
+    hub_.mark_blocked(rank_, src, tag);
+    struct Unmark {
+      Hub& hub;
+      int rank;
+      ~Unmark() { hub.mark_unblocked(rank); }
+    } unmark{hub_, rank_};
+    for (;;) {
+      clock::time_point slice = clock::now() + kRecvSlice;
+      if (slice > overall_deadline) slice = overall_deadline;
+      if (channel.try_pop_until(tag, message, slice) == Channel::PopStatus::kOk) {
+        break;
+      }
+      if (options.detect_deadlock) {
+        const std::string diag = hub_.deadlock_diagnostic();
+        if (!diag.empty()) {
+          hub_.poison_all();
+          throw DeadlockDetected(diag);
+        }
+      }
+      if (bounded && clock::now() >= overall_deadline) {
+        std::ostringstream what_out;
+        what_out << "recv timeout: rank " << rank_ << " waited "
+                 << options.recv_timeout_s << "s for recv(src=" << src
+                 << ", tag=" << tag << ")";
+        hub_.poison_all();
+        throw RecvTimeout(what_out.str());
+      }
+    }
+  }
+  if (message.crc != util::crc32(message.payload)) {
+    std::ostringstream what_out;
+    what_out << "corrupt message: rank " << rank_ << " recv(src=" << src
+             << ", tag=" << tag << ", bytes=" << message.payload.size()
+             << ") failed its CRC32 frame checksum";
+    throw CorruptMessage(what_out.str());
+  }
   if (message.arrival_vtime > vtime_) vtime_ = message.arrival_vtime;
   stats_.record_receive(message.payload.size());
   return std::move(message.payload);

@@ -47,6 +47,14 @@ class Comm {
   void send_bytes(int dst, std::int64_t tag, std::span<const std::byte> bytes);
   std::vector<std::byte> recv_bytes(int src, std::int64_t tag);
 
+  // Fault-injection checkpoint at a level boundary of the induction loop:
+  // throws InjectedFault if the run's FaultPlan kills this rank there.
+  void fault_level_boundary(int level);
+
+  // Communication operations (sends + receives) performed by this rank so
+  // far; the unit in which op-triggered faults are addressed (1-based).
+  std::int64_t comm_ops() const { return comm_ops_; }
+
   template <WireType T>
   void send(int dst, std::int64_t tag, std::span<const T> values) {
     send_bytes(dst, tag, std::as_bytes(values));
@@ -101,6 +109,10 @@ class Comm {
   };
 
  private:
+  // Advances the op counter and applies any op-triggered faults (kill,
+  // delay) for this rank. Returns the 1-based index of the operation.
+  std::int64_t begin_op(const char* what);
+
   Hub& hub_;
   int rank_;
   CostModel model_;
@@ -108,6 +120,7 @@ class Comm {
   CommStats stats_;
   double vtime_ = 0.0;
   std::int64_t collective_tag_ = 0;
+  std::int64_t comm_ops_ = 0;
   CommOp current_op_ = CommOp::kPointToPoint;
 };
 

@@ -1,0 +1,167 @@
+#include "mp/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace scalparc::mp {
+
+namespace {
+
+// splitmix64: cheap stateless mixing for deterministic corruption positions.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("FaultPlan: bad spec '" + spec + "': " + why);
+}
+
+std::int64_t parse_int(const std::string& spec, const std::string& text) {
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    bad_spec(spec, "bad number '" + text + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+double parse_num(const std::string& spec, const std::string& text) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    bad_spec(spec, "bad number '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void FaultPlan::parse(const std::string& spec) {
+  std::stringstream actions_in(spec);
+  std::string item;
+  while (std::getline(actions_in, item, ';')) {
+    item = trim(item);
+    if (item.empty()) continue;
+
+    const auto colon = item.find(':');
+    if (colon == std::string::npos) bad_spec(item, "missing ':' after kind");
+    const std::string kind_text = trim(item.substr(0, colon));
+
+    FaultAction action;
+    if (kind_text == "kill") {
+      action.kind = FaultKind::kKill;
+    } else if (kind_text == "corrupt") {
+      action.kind = FaultKind::kCorrupt;
+    } else if (kind_text == "delay") {
+      action.kind = FaultKind::kDelay;
+    } else if (kind_text == "drop") {
+      action.kind = FaultKind::kDrop;
+    } else {
+      bad_spec(item, "unknown kind '" + kind_text +
+                         "' (kill | corrupt | delay | drop)");
+    }
+
+    bool have_rank = false;
+    std::stringstream fields_in(item.substr(colon + 1));
+    std::string field;
+    while (std::getline(fields_in, field, ',')) {
+      field = trim(field);
+      if (field.empty()) continue;
+      const auto eq = field.find('=');
+      if (eq == std::string::npos) bad_spec(item, "field '" + field + "' needs '='");
+      const std::string key = trim(field.substr(0, eq));
+      const std::string value = trim(field.substr(eq + 1));
+      if (key == "r" || key == "rank") {
+        action.rank = static_cast<int>(parse_int(item, value));
+        have_rank = true;
+      } else if (key == "op") {
+        action.op = parse_int(item, value);
+      } else if (key == "level") {
+        action.level = static_cast<int>(parse_int(item, value));
+      } else if (key == "ms") {
+        action.delay_ms = parse_num(item, value);
+      } else {
+        bad_spec(item, "unknown field '" + key + "'");
+      }
+    }
+
+    if (!have_rank) bad_spec(item, "missing r=<rank>");
+    if ((action.op >= 0) == (action.level >= 0)) {
+      bad_spec(item, "need exactly one of op=<n> or level=<l>");
+    }
+    if (action.level >= 0 && action.kind != FaultKind::kKill) {
+      bad_spec(item, "only kill supports level triggers");
+    }
+    if (action.kind == FaultKind::kDelay && action.delay_ms <= 0.0) {
+      bad_spec(item, "delay needs ms=<positive>");
+    }
+    actions_.push_back(action);
+  }
+}
+
+bool FaultPlan::kills_at_op(int rank, std::int64_t op) const {
+  for (const FaultAction& a : actions_) {
+    if (a.kind == FaultKind::kKill && a.rank == rank && a.op == op) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::kills_at_level(int rank, int level) const {
+  for (const FaultAction& a : actions_) {
+    if (a.kind == FaultKind::kKill && a.rank == rank && a.level == level) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::corrupts_at_op(int rank, std::int64_t op) const {
+  for (const FaultAction& a : actions_) {
+    if (a.kind == FaultKind::kCorrupt && a.rank == rank && a.op == op) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::drops_at_op(int rank, std::int64_t op) const {
+  for (const FaultAction& a : actions_) {
+    if (a.kind == FaultKind::kDrop && a.rank == rank && a.op == op) return true;
+  }
+  return false;
+}
+
+double FaultPlan::delay_ms_at_op(int rank, std::int64_t op) const {
+  for (const FaultAction& a : actions_) {
+    if (a.kind == FaultKind::kDelay && a.rank == rank && a.op == op) {
+      return a.delay_ms;
+    }
+  }
+  return 0.0;
+}
+
+void FaultPlan::corrupt_payload(std::vector<std::byte>& payload, int rank,
+                                std::int64_t op) const {
+  if (payload.empty()) return;
+  std::uint64_t h = mix64(seed_ ^ mix64(static_cast<std::uint64_t>(rank) << 32 ^
+                                        static_cast<std::uint64_t>(op)));
+  const int flips = 1 + static_cast<int>(h % 3);
+  for (int i = 0; i < flips; ++i) {
+    h = mix64(h);
+    const std::size_t bit = h % (payload.size() * 8);
+    payload[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
+  corruptions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace scalparc::mp

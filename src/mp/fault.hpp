@@ -1,0 +1,102 @@
+// Deterministic fault injection for the SPMD runtime.
+//
+// A FaultPlan is a list of actions, each pinned to a rank and a trigger:
+// either the Nth communication operation on that rank (sends and receives
+// are counted together, 1-based) or a level boundary of the induction loop.
+// The Hub holds the plan; every Comm consults it:
+//
+//   kill     throw InjectedFault (the rank "crashes"; peers unwind via
+//            channel poisoning exactly as for any real failure)
+//   corrupt  flip bits in an outgoing payload *after* the CRC frame
+//            checksum is computed, so the receiver detects CorruptMessage
+//   delay    sleep the rank's thread for a fixed wall-clock duration
+//   drop     swallow an outgoing message (the classic lost-message fault;
+//            the blocked receiver is reaped by the deadlock detector)
+//
+// Everything is deterministic: triggers are exact (rank, op) / (rank, level)
+// matches and corruption bit positions derive from a seed hashed with the
+// trigger, so a fixed plan replays identically on every run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace scalparc::mp {
+
+// Thrown on the faulty rank itself; run_ranks reports it as the run's
+// primary failure (unlike RankAborted, which marks secondary victims).
+struct InjectedFault : std::runtime_error {
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class FaultKind : int { kKill, kCorrupt, kDelay, kDrop };
+
+struct FaultAction {
+  FaultKind kind = FaultKind::kKill;
+  int rank = 0;
+  // Trigger: exactly one of `op` (Nth comm operation on `rank`, 1-based)
+  // or `level` (induction level boundary) is >= 0.
+  std::int64_t op = -1;
+  int level = -1;
+  // kDelay only: wall-clock sleep in milliseconds.
+  double delay_ms = 0.0;
+};
+
+// Immutable after setup; shared (const) by all rank threads of a run. The
+// injection counters are atomic so tests can assert a fault actually fired.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  void add(const FaultAction& action) { actions_.push_back(action); }
+
+  // Parses a ';'-separated spec and appends its actions, e.g.
+  //   kill:r=2,level=3
+  //   kill:r=1,op=50 ; corrupt:r=0,op=10 ; delay:r=1,op=5,ms=20 ; drop:r=0,op=3
+  // Throws std::invalid_argument on malformed input.
+  void parse(const std::string& spec);
+
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+  std::uint64_t seed() const { return seed_; }
+
+  bool empty() const { return actions_.empty(); }
+  const std::vector<FaultAction>& actions() const { return actions_; }
+
+  // --- queries from the runtime (hot path: cheap linear scan of a tiny
+  // action list) --------------------------------------------------------
+  bool kills_at_op(int rank, std::int64_t op) const;
+  bool kills_at_level(int rank, int level) const;
+  bool corrupts_at_op(int rank, std::int64_t op) const;
+  bool drops_at_op(int rank, std::int64_t op) const;
+  double delay_ms_at_op(int rank, std::int64_t op) const;
+
+  // Flips 1..3 payload bits at positions derived from (seed, rank, op).
+  // No-op on an empty payload.
+  void corrupt_payload(std::vector<std::byte>& payload, int rank,
+                       std::int64_t op) const;
+
+  // Injection counters (for tests and diagnostics).
+  std::uint64_t kills_injected() const { return kills_.load(); }
+  std::uint64_t corruptions_injected() const { return corruptions_.load(); }
+  std::uint64_t delays_injected() const { return delays_.load(); }
+  std::uint64_t drops_injected() const { return drops_.load(); }
+  void count_kill() const { kills_.fetch_add(1, std::memory_order_relaxed); }
+  void count_delay() const { delays_.fetch_add(1, std::memory_order_relaxed); }
+  void count_drop() const { drops_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::vector<FaultAction> actions_;
+  std::uint64_t seed_ = 1;
+  mutable std::atomic<std::uint64_t> kills_{0};
+  mutable std::atomic<std::uint64_t> corruptions_{0};
+  mutable std::atomic<std::uint64_t> delays_{0};
+  mutable std::atomic<std::uint64_t> drops_{0};
+};
+
+}  // namespace scalparc::mp

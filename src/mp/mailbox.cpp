@@ -13,20 +13,54 @@ void Channel::push(Message message) {
   ready_.notify_all();
 }
 
+bool Channel::take_locked(std::int64_t tag, Message& out) {
+  const auto it = std::find_if(queue_.begin(), queue_.end(), [tag](const Message& m) {
+    return m.tag == tag;
+  });
+  if (it == queue_.end()) return false;
+  out = std::move(*it);
+  queue_.erase(it);
+  return true;
+}
+
 Message Channel::pop(std::int64_t tag) {
   std::unique_lock<std::mutex> lock(mutex_);
+  Message out;
   for (;;) {
-    const auto it = std::find_if(queue_.begin(), queue_.end(), [tag](const Message& m) {
-      return m.tag == tag;
-    });
-    if (it != queue_.end()) {
-      Message out = std::move(*it);
-      queue_.erase(it);
-      return out;
-    }
+    if (take_locked(tag, out)) return out;
     if (poisoned_) throw RankAborted{};
     ready_.wait(lock);
   }
+}
+
+Channel::PopStatus Channel::try_pop_until(
+    std::int64_t tag, Message& out,
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (take_locked(tag, out)) return PopStatus::kOk;
+    if (poisoned_) throw RankAborted{};
+    if (ready_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // One last look: the message may have landed with the notification
+      // racing the deadline.
+      if (take_locked(tag, out)) return PopStatus::kOk;
+      if (poisoned_) throw RankAborted{};
+      return PopStatus::kTimeout;
+    }
+  }
+}
+
+bool Channel::try_pop(std::int64_t tag, Message& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (take_locked(tag, out)) return true;
+  if (poisoned_) throw RankAborted{};
+  return false;
+}
+
+bool Channel::has_message(std::int64_t tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [tag](const Message& m) { return m.tag == tag; });
 }
 
 void Channel::poison() {
@@ -40,6 +74,13 @@ void Channel::poison() {
 bool Channel::empty() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.empty();
+}
+
+std::size_t Channel::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t count = queue_.size();
+  queue_.clear();
+  return count;
 }
 
 }  // namespace scalparc::mp

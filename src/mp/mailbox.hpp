@@ -8,13 +8,20 @@
 // If a rank dies with an exception, the runtime poisons every channel so
 // that peers blocked in pop() wake up and unwind (RankAborted) instead of
 // deadlocking the whole run.
+//
+// Receives additionally support a deadline (try_pop_until) so the runtime
+// can bound every blocking wait: on expiry the Comm layer consults the Hub's
+// deadlock detector and either keeps waiting, aborts the run with a per-rank
+// diagnostic (DeadlockDetected), or gives up (RecvTimeout).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 
 #include "mp/message.hpp"
 
@@ -25,8 +32,26 @@ struct RankAborted : std::runtime_error {
   RankAborted() : std::runtime_error("message-passing run aborted by a peer rank") {}
 };
 
+// A received frame whose CRC32 checksum does not match its payload.
+struct CorruptMessage : std::runtime_error {
+  explicit CorruptMessage(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A blocking receive exceeded the configured per-receive timeout.
+struct RecvTimeout : std::runtime_error {
+  explicit RecvTimeout(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Every unfinished rank is blocked in a receive with no deliverable message:
+// the run can never make progress. Carries a per-rank diagnostic.
+struct DeadlockDetected : std::runtime_error {
+  explicit DeadlockDetected(const std::string& what) : std::runtime_error(what) {}
+};
+
 class Channel {
  public:
+  enum class PopStatus { kOk, kTimeout };
+
   void push(Message message);
 
   // Blocks until a message whose tag equals `tag` is present, removes it and
@@ -35,13 +60,31 @@ class Channel {
   // if the channel is poisoned while waiting.
   Message pop(std::int64_t tag);
 
+  // Like pop, but gives up at `deadline` and returns kTimeout instead of
+  // blocking forever. Still throws RankAborted on poisoning.
+  PopStatus try_pop_until(std::int64_t tag, Message& out,
+                          std::chrono::steady_clock::time_point deadline);
+
+  // Non-blocking: removes and returns a matching message if one is already
+  // queued. Throws RankAborted if poisoned.
+  bool try_pop(std::int64_t tag, Message& out);
+
+  // True if a message with this tag is queued (deadlock-detector probe).
+  bool has_message(std::int64_t tag) const;
+
   // Wakes all waiters with RankAborted; subsequent pops also throw.
   void poison();
 
   // True if any message is queued (used by shutdown sanity checks).
   bool empty() const;
 
+  // Removes and counts all queued messages (post-abort hygiene).
+  std::size_t drain();
+
  private:
+  // Caller must hold mutex_. Returns true and fills `out` on a tag match.
+  bool take_locked(std::int64_t tag, Message& out);
+
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<Message> queue_;

@@ -14,6 +14,10 @@ struct Message {
   // Modeled arrival time at the receiver (seconds on the virtual clock):
   // sender_vtime + latency + bytes * seconds_per_byte.
   double arrival_vtime = 0.0;
+  // CRC32 frame checksum of `payload`, computed by the sender before the
+  // message enters the wire; the receiver re-computes and throws
+  // CorruptMessage on mismatch.
+  std::uint32_t crc = 0;
   std::vector<std::byte> payload;
 };
 

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <exception>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "mp/fault.hpp"
 #include "util/stopwatch.hpp"
 
 namespace scalparc::mp {
 
-Hub::Hub(int nranks) : nranks_(nranks) {
+Hub::Hub(int nranks, const RunOptions& options)
+    : nranks_(nranks), options_(options) {
   if (nranks <= 0) throw std::invalid_argument("Hub: nranks must be positive");
   channels_ = std::vector<Channel>(static_cast<std::size_t>(nranks) *
                                    static_cast<std::size_t>(nranks));
+  waits_.resize(static_cast<std::size_t>(nranks));
+  unfinished_ = nranks;
 }
 
 bool Hub::all_channels_empty() const {
@@ -20,8 +25,62 @@ bool Hub::all_channels_empty() const {
                      [](const Channel& c) { return c.empty(); });
 }
 
+std::size_t Hub::drain_all_channels() {
+  std::size_t total = 0;
+  for (Channel& c : channels_) total += c.drain();
+  return total;
+}
+
 void Hub::poison_all() {
   for (Channel& c : channels_) c.poison();
+}
+
+void Hub::mark_blocked(int rank, int src, std::int64_t tag) {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  WaitState& w = waits_[static_cast<std::size_t>(rank)];
+  w.blocked = true;
+  w.src = src;
+  w.tag = tag;
+}
+
+void Hub::mark_unblocked(int rank) {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  waits_[static_cast<std::size_t>(rank)].blocked = false;
+}
+
+void Hub::mark_finished(int rank) {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  WaitState& w = waits_[static_cast<std::size_t>(rank)];
+  if (!w.finished) {
+    w.finished = true;
+    w.blocked = false;
+    --unfinished_;
+  }
+}
+
+std::string Hub::deadlock_diagnostic() {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  if (unfinished_ == 0) return "";
+  for (const WaitState& w : waits_) {
+    if (!w.finished && !w.blocked) return "";  // someone can still progress
+  }
+  // All unfinished ranks are blocked; the run is stuck unless one of the
+  // awaited messages is already queued. Sends complete before the sender
+  // can register as blocked, so this probe cannot miss an in-flight push.
+  for (int r = 0; r < nranks_; ++r) {
+    const WaitState& w = waits_[static_cast<std::size_t>(r)];
+    if (!w.finished && channel(w.src, r).has_message(w.tag)) return "";
+  }
+  std::ostringstream diag;
+  diag << "deadlock: every unfinished rank is blocked with no deliverable "
+          "message;";
+  for (int r = 0; r < nranks_; ++r) {
+    const WaitState& w = waits_[static_cast<std::size_t>(r)];
+    if (w.finished) continue;
+    diag << " rank " << r << " blocked in recv(src=" << w.src
+         << ", tag=" << w.tag << ");";
+  }
+  return diag.str();
 }
 
 CommStats RunResult::total_stats() const {
@@ -42,12 +101,13 @@ std::uint64_t RunResult::max_bytes_sent_per_rank() const {
   return peak;
 }
 
-RunResult run_ranks(int nranks, const CostModel& model,
-                    const std::function<void(Comm&)>& body) {
+RunResult try_run_ranks(int nranks, const CostModel& model,
+                        const std::function<void(Comm&)>& body,
+                        const RunOptions& options) {
   if (nranks <= 0) {
     throw std::invalid_argument("run_ranks: nranks must be positive");
   }
-  Hub hub(nranks);
+  Hub hub(nranks, options);
   RunResult result;
   result.ranks.resize(static_cast<std::size_t>(nranks));
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
@@ -67,6 +127,7 @@ RunResult run_ranks(int nranks, const CostModel& model,
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         hub.poison_all();
       }
+      hub.mark_finished(r);
       outcome.stats = comm.stats();
       outcome.vtime_seconds = comm.vtime();
     });
@@ -74,13 +135,45 @@ RunResult run_ranks(int nranks, const CostModel& model,
   for (std::thread& t : threads) t.join();
   result.wall_seconds = wall.elapsed_seconds();
 
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
+  for (int r = 0; r < nranks; ++r) {
+    if (!errors[static_cast<std::size_t>(r)]) continue;
+    result.failed_rank = r;
+    result.error = errors[static_cast<std::size_t>(r)];
+    try {
+      std::rethrow_exception(result.error);
+    } catch (const std::exception& e) {
+      result.failure_message = e.what();
+    } catch (...) {
+      result.failure_message = "non-standard exception";
+    }
+    break;
+  }
+
+  // Teardown hygiene: a poisoned run may leave undelivered messages queued;
+  // drain them so they cannot leak into the diagnostics of a later run. A
+  // *clean* run with queued messages is a protocol bug and must be loud.
+  result.undelivered_messages = hub.drain_all_channels();
+  if (!hub.all_channels_empty()) {
+    throw std::logic_error("run_ranks: channels not empty after drain");
+  }
+  if (!result.failed() && result.undelivered_messages > 0) {
+    throw std::logic_error(
+        "run_ranks: clean run left " +
+        std::to_string(result.undelivered_messages) +
+        " undelivered message(s) queued (unmatched send/recv pair)");
   }
 
   for (const RankOutcome& r : result.ranks) {
     result.modeled_seconds = std::max(result.modeled_seconds, r.vtime_seconds);
   }
+  return result;
+}
+
+RunResult run_ranks(int nranks, const CostModel& model,
+                    const std::function<void(Comm&)>& body,
+                    const RunOptions& options) {
+  RunResult result = try_run_ranks(nranks, model, body, options);
+  if (result.failed()) std::rethrow_exception(result.error);
   return result;
 }
 

@@ -3,10 +3,22 @@
 // time. This substitutes for "MPI on the Cray T3D" (see DESIGN.md §2):
 // ranks share nothing except messages, so communication volume and pattern
 // match a true distributed-memory run.
+//
+// Failure semantics: a rank that throws poisons every channel, so peers
+// blocked in recv unwind with RankAborted. try_run_ranks reports which rank
+// failed first (and with what message) instead of rethrowing; run_ranks
+// keeps the throwing contract. Every blocking receive is bounded by the
+// RunOptions timeout and an all-ranks-blocked deadlock detector, so a lost
+// message or an injected deadlock terminates with a diagnostic instead of
+// hanging the process. An optional FaultPlan injects deterministic crashes,
+// payload corruption, delays and message drops (see mp/fault.hpp).
 #pragma once
 
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "mp/comm.hpp"
@@ -17,12 +29,28 @@
 
 namespace scalparc::mp {
 
-// Shared state between the ranks of one run: the p x p channel matrix.
+class FaultPlan;  // mp/fault.hpp
+
+struct RunOptions {
+  // Faults to inject; nullptr runs clean. Must outlive the run.
+  const FaultPlan* fault_plan = nullptr;
+  // Per-receive wall-clock timeout in seconds; <= 0 disables. Generous by
+  // default: it exists so a lost message can never hang ctest forever even
+  // if the deadlock detector is switched off.
+  double recv_timeout_s = 120.0;
+  // Abort with a per-rank diagnostic as soon as every unfinished rank is
+  // blocked in a receive with no deliverable message.
+  bool detect_deadlock = true;
+};
+
+// Shared state between the ranks of one run: the p x p channel matrix plus
+// the per-rank wait registry backing the deadlock detector.
 class Hub {
  public:
-  explicit Hub(int nranks);
+  explicit Hub(int nranks, const RunOptions& options = {});
 
   int size() const { return nranks_; }
+  const RunOptions& options() const { return options_; }
 
   // Channel carrying messages from `src` to `dst`.
   Channel& channel(int src, int dst) {
@@ -34,12 +62,38 @@ class Hub {
   // True when every channel has been drained (sanity check after a run).
   bool all_channels_empty() const;
 
+  // Removes every queued message; returns how many were discarded. Called
+  // in run teardown so an aborted run cannot leak undelivered messages.
+  std::size_t drain_all_channels();
+
   // Aborts the run: wakes every blocked receiver with RankAborted.
   void poison_all();
 
+  // --- deadlock detection ---------------------------------------------
+  // Ranks register what they are blocked on; a rank whose wait slice
+  // expires asks for a diagnostic. Non-empty result means the run is
+  // provably stuck: every unfinished rank is blocked and none of their
+  // awaited messages is queued (sends are buffered, so no new message can
+  // ever appear).
+  void mark_blocked(int rank, int src, std::int64_t tag);
+  void mark_unblocked(int rank);
+  void mark_finished(int rank);
+  std::string deadlock_diagnostic();
+
  private:
+  struct WaitState {
+    bool blocked = false;
+    bool finished = false;
+    int src = -1;
+    std::int64_t tag = 0;
+  };
+
   int nranks_;
+  RunOptions options_;
   std::vector<Channel> channels_;
+  std::mutex wait_mutex_;
+  std::vector<WaitState> waits_;
+  int unfinished_ = 0;
 };
 
 struct RankOutcome {
@@ -55,15 +109,35 @@ struct RunResult {
   double wall_seconds = 0.0;
   std::vector<RankOutcome> ranks;
 
+  // Failure report (try_run_ranks): first rank whose body threw a primary
+  // error, -1 for a clean run. Ranks that merely unwound with RankAborted
+  // after a peer's failure are not reported.
+  int failed_rank = -1;
+  std::string failure_message;
+  std::exception_ptr error;
+  // Messages discarded from the channels during teardown (non-zero only
+  // after an aborted run).
+  std::size_t undelivered_messages = 0;
+
+  bool failed() const { return failed_rank >= 0; }
+
   CommStats total_stats() const;
   std::size_t max_peak_bytes_per_rank() const;
   std::uint64_t max_bytes_sent_per_rank() const;
 };
 
+// Runs `body(comm)` on `nranks` ranks. Never rethrows a rank's exception:
+// inspect RunResult::failed()/failed_rank/error instead. A clean run with
+// undelivered messages still throws std::logic_error (protocol bug).
+RunResult try_run_ranks(int nranks, const CostModel& model,
+                        const std::function<void(Comm&)>& body,
+                        const RunOptions& options = {});
+
 // Runs `body(comm)` on `nranks` ranks and returns the aggregated result.
 // Any exception thrown by a rank is rethrown on the calling thread after all
 // ranks have been joined.
 RunResult run_ranks(int nranks, const CostModel& model,
-                    const std::function<void(Comm&)>& body);
+                    const std::function<void(Comm&)>& body,
+                    const RunOptions& options = {});
 
 }  // namespace scalparc::mp

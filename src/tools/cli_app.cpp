@@ -13,6 +13,7 @@
 #include "core/tree_io.hpp"
 #include "data/csv.hpp"
 #include "data/synthetic.hpp"
+#include "mp/fault.hpp"
 #include "sprint/parallel_sprint.hpp"
 #include "util/cli.hpp"
 
@@ -42,6 +43,17 @@ commands:
                --max-depth D        depth cap (default 64)
                --min-split M        min records to split a node (default 2)
                --prune              apply MDL pruning after training
+               --checkpoint-dir D   write a level checkpoint into D each level;
+                                    failed runs auto-resume from the last one
+               --resume             restore the latest checkpoint in
+                                    --checkpoint-dir instead of starting fresh
+               --fault-plan SPEC    inject deterministic faults, e.g.
+                                    kill:r=2,level=3 | kill:r=1,op=50 |
+                                    corrupt:r=0,op=10 | delay:r=1,op=5,ms=20 |
+                                    drop:r=0,op=3  (';'-separated list)
+               --fault-seed S       seed for corruption bit choice (default 1)
+               --recv-timeout SECS  per-receive timeout, <=0 disables
+                                    (default 120)
   predict    evaluate a saved model on a CSV
                --model FILE         saved tree (required)
                --data FILE          CSV with labels (required)
@@ -118,12 +130,48 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   bool ok = true;
-  const core::InductionControls controls = controls_from(args, err, ok);
+  core::InductionControls controls = controls_from(args, err, ok);
   if (!ok) return 2;
   const int ranks = static_cast<int>(args.get_int("ranks", 4));
 
+  controls.checkpoint.directory = args.get_string("checkpoint-dir", "");
+  controls.checkpoint.resume = args.get_bool("resume", false);
+  if (controls.checkpoint.resume && controls.checkpoint.directory.empty()) {
+    err << "train: --resume requires --checkpoint-dir\n";
+    return 2;
+  }
+  mp::RunOptions run_options;
+  run_options.recv_timeout_s = args.get_double("recv-timeout", 120.0);
+  mp::FaultPlan plan;
+  const std::string fault_spec = args.get_string("fault-plan", "");
+  if (!fault_spec.empty()) {
+    plan.parse(fault_spec);
+    plan.set_seed(static_cast<std::uint64_t>(args.get_int("fault-seed", 1)));
+    run_options.fault_plan = &plan;
+  }
+
   const data::Dataset training = data::read_csv_file(data_path);
-  core::FitReport report = core::ScalParC::fit(training, ranks, controls);
+  core::FitReport report;
+  if (controls.checkpoint.resume) {
+    report = core::ScalParC::resume_from_checkpoint(
+        training, ranks, controls, mp::CostModel::zero(), run_options);
+    out << "resumed from checkpoint in " << controls.checkpoint.directory
+        << "\n";
+  } else if (!controls.checkpoint.directory.empty()) {
+    core::RecoveryReport recovered = core::ScalParC::fit_with_recovery(
+        training, ranks, controls, mp::CostModel::zero(), run_options);
+    for (const core::RecoveryEvent& event : recovered.events) {
+      out << "recovered from rank " << event.failed_rank << " failure ("
+          << (event.resumed_level >= 0
+                  ? "resumed at level " + std::to_string(event.resumed_level)
+                  : std::string("restarted from scratch"))
+          << "): " << event.message << "\n";
+    }
+    report = std::move(recovered.fit);
+  } else {
+    report = core::ScalParC::fit(training, ranks, controls,
+                                 mp::CostModel::zero(), run_options);
+  }
   out << "trained on " << training.num_records() << " records with " << ranks
       << " simulated ranks\n";
   out << "tree: " << report.tree.num_nodes() << " nodes, "

@@ -1,0 +1,50 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Used as the frame checksum of the message-passing runtime (corrupted
+// payloads must be *detected*, not mis-parsed) and as the integrity check of
+// checkpoint sections. Incremental: feed chunks via the seed parameter.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace scalparc::util {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+// Accumulating form: pass the previous return value as `seed` to continue a
+// running checksum over multiple chunks (seed 0 starts a fresh one).
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(std::span<const std::byte> data,
+                           std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace scalparc::util

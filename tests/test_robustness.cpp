@@ -4,10 +4,15 @@
 // processor-count invariance.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 
+#include "core/checkpoint.hpp"
 #include "core/scalparc.hpp"
 #include "core/tree_io.hpp"
 #include "data/csv.hpp"
@@ -272,6 +277,175 @@ TEST_P(OptionMatrix, PInvarianceAndOracleAgreement) {
         core::ScalParC::fit(training, p, controls, kZero).tree;
     EXPECT_TRUE(serial.same_structure(tree)) << "p=" << p;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Damaged checkpoints: truncation, bit flips and parameter mismatches must
+// all surface as CheckpointError — never a crash or a silently wrong tree.
+// ---------------------------------------------------------------------------
+
+namespace fs = std::filesystem;
+
+std::string slurp_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void dump_file(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string tree_text(const core::DecisionTree& tree) {
+  std::ostringstream out;
+  core::save_tree(tree, out);
+  return out.str();
+}
+
+// Shared fixture state: one checkpointed training run, damaged per-test.
+class CheckpointDamage : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("scalparc_ckpt_damage_" + std::to_string(::getpid()) + "_" +
+              std::to_string(next_id_++)))
+                .string();
+    data::GeneratorConfig config;
+    config.seed = 11;
+    training_ = data::QuestGenerator(config).generate(0, 800);
+    controls_.options.max_depth = 4;
+    controls_.checkpoint.directory = root_;
+    expected_ =
+        tree_text(core::ScalParC::fit(training_, 2, controls_).tree);
+    latest_ = core::checkpoint_level_dir(
+        root_, *core::checkpoint_latest_level(root_));
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  core::FitReport resume() {
+    return core::ScalParC::resume_from_checkpoint(training_, 2, controls_);
+  }
+
+  std::string root_;
+  std::string latest_;
+  data::Dataset training_{data::Schema({data::Schema::continuous("x")}, 2)};
+  core::InductionControls controls_;
+  std::string expected_;
+  static inline int next_id_ = 0;
+};
+
+TEST_F(CheckpointDamage, IntactCheckpointResumesToIdenticalTree) {
+  EXPECT_EQ(tree_text(resume().tree), expected_);
+}
+
+TEST_F(CheckpointDamage, TruncatedManifestRejected) {
+  // A manifest missing its 'end' marker is truncated: the reader must throw
+  // and the level scan must stop treating that level as complete. Truncating
+  // every level's manifest leaves nothing to resume from.
+  const int old_latest = *core::checkpoint_latest_level(root_);
+  for (int level = 0; level <= old_latest; ++level) {
+    const fs::path manifest =
+        fs::path(core::checkpoint_level_dir(root_, level)) / "MANIFEST";
+    std::string bytes = slurp_file(manifest);
+    ASSERT_NE(bytes.find("end\n"), std::string::npos);
+    dump_file(manifest, bytes.substr(0, bytes.rfind("end")));
+  }
+  EXPECT_THROW(core::checkpoint_read_manifest(latest_), core::CheckpointError);
+  EXPECT_FALSE(core::checkpoint_latest_level(root_).has_value());
+  EXPECT_THROW(resume(), core::CheckpointError);
+}
+
+TEST_F(CheckpointDamage, TruncatedSectionFileRejected) {
+  const fs::path section = fs::path(latest_) / "rank0_cont0.bin";
+  const std::string bytes = slurp_file(section);
+  ASSERT_GT(bytes.size(), 16u);
+  dump_file(section, bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(resume(), core::CheckpointError);
+}
+
+TEST_F(CheckpointDamage, BitFlippedSectionFileRejected) {
+  const fs::path section = fs::path(latest_) / "rank1_cont0.bin";
+  std::string bytes = slurp_file(section);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 3] ^= 0x10;  // same size, different content
+  dump_file(section, bytes);
+  EXPECT_THROW(resume(), core::CheckpointError);
+}
+
+TEST_F(CheckpointDamage, BitFlippedTreeFileRejected) {
+  const fs::path tree_file = fs::path(latest_) / "tree.txt";
+  std::string bytes = slurp_file(tree_file);
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x04;
+  dump_file(tree_file, bytes);
+  EXPECT_THROW(resume(), core::CheckpointError);
+}
+
+TEST_F(CheckpointDamage, BitFlippedActiveSetRejected) {
+  const fs::path active = fs::path(latest_) / "active.bin";
+  std::string bytes = slurp_file(active);
+  ASSERT_FALSE(bytes.empty());
+  bytes[0] ^= 0x01;
+  dump_file(active, bytes);
+  EXPECT_THROW(resume(), core::CheckpointError);
+}
+
+TEST_F(CheckpointDamage, MismatchedOptionsRejected) {
+  controls_.options.max_depth = 9;  // changes the fingerprint
+  EXPECT_THROW(resume(), core::CheckpointError);
+}
+
+TEST_F(CheckpointDamage, MismatchedRankCountRejected) {
+  EXPECT_THROW(
+      core::ScalParC::resume_from_checkpoint(training_, 4, controls_),
+      core::CheckpointError);
+}
+
+TEST_F(CheckpointDamage, DamagedLatestLevelFallsBackToEarlierOne) {
+  // Destroy the newest level's manifest; the resume scan must skip it and
+  // restore the next-newest complete checkpoint, still reproducing the tree.
+  const int damaged = *core::checkpoint_latest_level(root_);
+  ASSERT_GT(damaged, 0);
+  dump_file(fs::path(latest_) / "MANIFEST", "scalparc-ckpt v1\nlevel ");
+  ASSERT_EQ(*core::checkpoint_latest_level(root_), damaged - 1);
+  EXPECT_EQ(tree_text(resume().tree), expected_);
+}
+
+// Fuzz: flip one random byte anywhere in the newest checkpoint; a resume
+// must either reject the damage with CheckpointError or — when the flip
+// lands in a file the restore path does not read — still produce the exact
+// fault-free tree. A wrong tree or any other escape fails the test.
+TEST_F(CheckpointDamage, ByteFlipFuzzNeverSilentlyWrong) {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(latest_)) {
+    if (entry.is_regular_file() && entry.file_size() > 0) {
+      files.push_back(entry.path());
+    }
+  }
+  ASSERT_FALSE(files.empty());
+  util::Rng rng(20240806);
+  int rejected = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const fs::path& target = files[rng.next_below(files.size())];
+    const std::string original = slurp_file(target);
+    std::string mutated = original;
+    mutated[rng.next_below(mutated.size())] ^=
+        static_cast<char>(1 << rng.next_below(8));
+    dump_file(target, mutated);
+    try {
+      EXPECT_EQ(tree_text(resume().tree), expected_) << target;
+    } catch (const core::CheckpointError&) {
+      ++rejected;
+    }
+    dump_file(target, original);
+  }
+  EXPECT_GT(rejected, 0);
 }
 
 }  // namespace
