@@ -1,0 +1,270 @@
+// Per-level communication structure, fused vs unfused collectives.
+//
+// ScalParC's split determination issues one collective per attribute list
+// per level; the fused CollectiveBatch path packs them into O(1) rounds per
+// level (see DESIGN.md, "Collective fusion"). This bench fits the same
+// workload both ways under the Cray T3D cost model and reports, per level:
+// collective rounds entered, max bytes sent per rank, and modeled virtual
+// time — then the fused/unfused end-to-end comparison per processor count.
+//
+//   ./level_comm [--records N] [--procs 2,4,8,16] [--depth D] [--seed S]
+//                [--out BENCH_comm.json] [--validate BENCH_comm.json]
+//                [--csv DIR]
+//
+// --out writes the machine-readable JSON document; --validate re-parses a
+// document (the one just written, or any existing one) and checks its
+// schema plus the headline claim (fused modeled vtime <= unfused at every
+// measured processor count), exiting non-zero on violation. The `perf`
+// ctest label runs this at tiny scale as a smoke test.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using scalparc::core::LevelStats;
+using scalparc::util::Json;
+
+struct RunRow {
+  int procs = 0;
+  bool fused = false;
+  double total_vtime_s = 0.0;
+  double findsplit_vtime_s = 0.0;
+  std::uint64_t max_bytes_sent_per_rank = 0;
+  std::vector<LevelStats> levels;
+  double presort_vtime_s = 0.0;
+};
+
+Json to_json(const RunRow& row) {
+  Json run = Json::object();
+  run["procs"] = row.procs;
+  run["fused"] = row.fused;
+  run["total_vtime_s"] = row.total_vtime_s;
+  run["findsplit_vtime_s"] = row.findsplit_vtime_s;
+  run["max_bytes_sent_per_rank"] = row.max_bytes_sent_per_rank;
+  Json levels = Json::array();
+  double prev_vtime = row.presort_vtime_s;
+  for (const LevelStats& level : row.levels) {
+    Json entry = Json::object();
+    entry["level"] = level.level;
+    entry["active_nodes"] = level.active_nodes;
+    entry["active_records"] = level.active_records;
+    entry["collective_calls"] = level.collective_calls;
+    entry["max_bytes_sent_per_rank"] = level.max_bytes_sent_per_rank;
+    entry["vtime_s"] = level.vtime_end - prev_vtime;
+    prev_vtime = level.vtime_end;
+    levels.push_back(std::move(entry));
+  }
+  run["levels"] = std::move(levels);
+  return run;
+}
+
+// Schema + claim validation; prints the first violation and returns false.
+bool validate(const Json& doc) {
+  const auto complain = [](const std::string& why) {
+    std::fprintf(stderr, "BENCH_comm.json validation failed: %s\n",
+                 why.c_str());
+    return false;
+  };
+  try {
+    if (doc.at("bench").as_string() != "level_comm") {
+      return complain("bench name is not 'level_comm'");
+    }
+    if (doc.at("records").as_int() <= 0) return complain("records <= 0");
+    const auto& runs = doc.at("runs").as_array();
+    if (runs.empty()) return complain("runs is empty");
+    std::vector<std::pair<int, double>> fused_vtime, unfused_vtime;
+    for (const Json& run : runs) {
+      const int procs = static_cast<int>(run.at("procs").as_int());
+      if (procs <= 0) return complain("run has procs <= 0");
+      const bool fused = run.at("fused").as_bool();
+      const double total = run.at("total_vtime_s").as_double();
+      if (!(total > 0.0)) return complain("run has total_vtime_s <= 0");
+      if (run.at("findsplit_vtime_s").as_double() < 0.0) {
+        return complain("run has negative findsplit_vtime_s");
+      }
+      if (run.at("max_bytes_sent_per_rank").as_int() < 0) {
+        return complain("run has negative byte count");
+      }
+      const auto& levels = run.at("levels").as_array();
+      if (levels.empty()) return complain("run has no levels");
+      for (const Json& level : levels) {
+        if (level.at("active_nodes").as_int() <= 0 ||
+            level.at("active_records").as_int() <= 0 ||
+            level.at("collective_calls").as_int() <= 0 ||
+            level.at("max_bytes_sent_per_rank").as_int() < 0 ||
+            level.at("vtime_s").as_double() < 0.0) {
+          return complain("level entry out of range");
+        }
+      }
+      (fused ? fused_vtime : unfused_vtime).emplace_back(procs, total);
+    }
+    // The headline claim: for every measured p, the fused path's modeled
+    // end-to-end time is no worse than the unfused path's.
+    for (const auto& [procs, fused_total] : fused_vtime) {
+      bool matched = false;
+      for (const auto& [up, unfused_total] : unfused_vtime) {
+        if (up != procs) continue;
+        matched = true;
+        if (fused_total > unfused_total) {
+          return complain("fused vtime exceeds unfused at p=" +
+                          std::to_string(procs));
+        }
+      }
+      if (!matched) {
+        return complain("no unfused run to pair with p=" +
+                        std::to_string(procs));
+      }
+    }
+    if (fused_vtime.empty()) return complain("no fused runs present");
+  } catch (const std::exception& e) {
+    return complain(e.what());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+
+  const std::string out_path = args.get_string("out", "");
+  const std::string validate_path = args.get_string("validate", "");
+
+  if (!out_path.empty() || validate_path.empty()) {
+    // Normal run (possibly followed by validation of what it wrote).
+  } else {
+    // Validate-only mode.
+    std::ifstream in(validate_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", validate_path.c_str());
+      return 1;
+    }
+    return validate(util::Json::parse(buffer.str())) ? 0 : 1;
+  }
+
+  const auto records =
+      static_cast<std::uint64_t>(args.get_int("records", 16000));
+  const std::vector<std::int64_t> procs =
+      args.get_int_list("procs", {2, 4, 8, 16});
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int depth = static_cast<int>(args.get_int("depth", 12));
+  const auto model = mp::CostModel::cray_t3d();
+  const data::QuestGenerator generator = bench::paper_generator(seed);
+
+  bench::CsvWriter csv(
+      args, "level_comm.csv",
+      "procs,fused,level,active_nodes,active_records,collective_calls,"
+      "max_bytes_sent_per_rank,vtime_s");
+
+  std::vector<RunRow> rows;
+  for (const std::int64_t p : procs) {
+    for (const bool fused : {true, false}) {
+      core::InductionControls controls = bench::paper_controls();
+      controls.options.max_depth = depth;
+      controls.options.fuse_collectives = fused;
+      controls.collect_level_stats = true;
+      const core::FitReport report = core::ScalParC::fit_generated(
+          generator, records, static_cast<int>(p), controls, model);
+      RunRow row;
+      row.procs = static_cast<int>(p);
+      row.fused = fused;
+      row.total_vtime_s = report.run.modeled_seconds;
+      row.findsplit_vtime_s = report.stats.findsplit_seconds;
+      row.presort_vtime_s = report.stats.presort_seconds;
+      for (const mp::RankOutcome& rank : report.run.ranks) {
+        row.max_bytes_sent_per_rank =
+            std::max(row.max_bytes_sent_per_rank, rank.stats.bytes_sent);
+      }
+      row.levels = report.stats.per_level;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // ---------------- stdout tables ------------------------------------------
+  std::printf("per-level communication (records=%llu, depth cap %d):\n",
+              static_cast<unsigned long long>(records), depth);
+  std::printf("%6s %7s %6s %7s %9s %11s %13s %11s\n", "procs", "fused",
+              "level", "nodes", "records", "coll calls", "max bytes/rk",
+              "vtime(ms)");
+  for (const RunRow& row : rows) {
+    double prev_vtime = row.presort_vtime_s;
+    for (const LevelStats& level : row.levels) {
+      const double vtime_s = level.vtime_end - prev_vtime;
+      prev_vtime = level.vtime_end;
+      std::printf("%6d %7s %6d %7lld %9lld %11lld %13llu %11.3f\n", row.procs,
+                  row.fused ? "yes" : "no", level.level,
+                  static_cast<long long>(level.active_nodes),
+                  static_cast<long long>(level.active_records),
+                  static_cast<long long>(level.collective_calls),
+                  static_cast<unsigned long long>(level.max_bytes_sent_per_rank),
+                  vtime_s * 1e3);
+      csv.row("%d,%d,%d,%lld,%lld,%lld,%llu,%.6f", row.procs,
+              row.fused ? 1 : 0, level.level,
+              static_cast<long long>(level.active_nodes),
+              static_cast<long long>(level.active_records),
+              static_cast<long long>(level.collective_calls),
+              static_cast<unsigned long long>(level.max_bytes_sent_per_rank),
+              vtime_s);
+    }
+  }
+
+  std::printf("\nfused vs unfused, modeled end-to-end:\n");
+  std::printf("%6s %14s %14s %9s\n", "procs", "fused(ms)", "unfused(ms)",
+              "speedup");
+  for (const std::int64_t p : procs) {
+    double fused_total = 0.0, unfused_total = 0.0;
+    for (const RunRow& row : rows) {
+      if (row.procs != p) continue;
+      (row.fused ? fused_total : unfused_total) = row.total_vtime_s;
+    }
+    std::printf("%6lld %14.3f %14.3f %8.2fx", static_cast<long long>(p),
+                fused_total * 1e3, unfused_total * 1e3,
+                unfused_total / fused_total);
+    std::printf("\n");
+  }
+
+  // ---------------- JSON document ------------------------------------------
+  Json doc = Json::object();
+  doc["bench"] = "level_comm";
+  doc["records"] = records;
+  doc["seed"] = seed;
+  doc["depth"] = depth;
+  doc["cost_model"] = "cray_t3d";
+  Json procs_json = Json::array();
+  for (const std::int64_t p : procs) procs_json.push_back(p);
+  doc["procs"] = std::move(procs_json);
+  Json runs = Json::array();
+  for (const RunRow& row : rows) runs.push_back(to_json(row));
+  doc["runs"] = std::move(runs);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc.dump(2) << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("\nJSON written to %s\n", out_path.c_str());
+  }
+  if (!validate_path.empty()) {
+    std::ifstream in(validate_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", validate_path.c_str());
+      return 1;
+    }
+    if (!validate(util::Json::parse(buffer.str()))) return 1;
+    std::printf("validation OK: %s\n", validate_path.c_str());
+  }
+  return 0;
+}

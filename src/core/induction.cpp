@@ -14,6 +14,7 @@
 #include "core/split_finder.hpp"
 #include "core/splitter.hpp"
 #include "data/attribute_list.hpp"
+#include "mp/collective_batch.hpp"
 #include "mp/collectives.hpp"
 #include "sort/rebalance.hpp"
 #include "sort/sample_sort.hpp"
@@ -394,6 +395,28 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     return out;
   };
 
+  // Per-level working storage, hoisted out of the level loop so capacity is
+  // reused across levels instead of reallocated (the sizes shrink with the
+  // active record count, so the first level's allocation usually suffices).
+  const bool fused = options.fuse_collectives;
+  mp::CollectiveBatch batch(comm);
+  std::vector<std::int64_t> counts_scratch;
+  std::vector<Boundary> boundary_scratch;
+  std::vector<std::int64_t> local_kid_counts;
+  std::vector<std::int64_t> update_rids;
+  std::vector<std::int32_t> update_children;
+  std::vector<std::int32_t> mapping_scratch;
+  std::vector<std::int64_t> enquiry_scratch;
+  std::vector<std::size_t> enquiry_begin(cont_lists.size() + cat_lists.size() +
+                                         1);
+  std::vector<std::uint64_t> ckpt_offsets_scratch;
+  std::vector<std::int64_t> ckpt_active_scratch;
+  // Fused-round segment directories (sized by list count, fixed per run).
+  std::vector<std::size_t> cont_count_segs(cont_lists.size());
+  std::vector<std::size_t> cont_boundary_segs(cont_lists.size());
+  std::vector<std::size_t> cat_segs(cat_lists.size());
+  std::vector<std::size_t> map_segs(cat_lists.size());
+
   // -------------------------------------------------------------------------
   // Level loop.
   // -------------------------------------------------------------------------
@@ -408,24 +431,28 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       mp::barrier(comm);
       const std::string staging = checkpoint_staging_dir(ckpt_root, level_index);
       CheckpointRankWriter writer(staging, comm.rank());
-      const auto offsets_u64 = [](const std::vector<std::size_t>& offsets) {
-        return std::vector<std::uint64_t>(offsets.begin(), offsets.end());
+      const auto offsets_u64 =
+          [&](const std::vector<std::size_t>& offsets)
+          -> const std::vector<std::uint64_t>& {
+        ckpt_offsets_scratch.assign(offsets.begin(), offsets.end());
+        return ckpt_offsets_scratch;
       };
       for (std::size_t li = 0; li < cont_lists.size(); ++li) {
         const std::string tag = "cont" + std::to_string(li);
         writer.write_section<ContinuousEntry>(tag, cont_lists[li].entries);
-        const std::vector<std::uint64_t> off = offsets_u64(cont_lists[li].offsets);
-        writer.write_section<std::uint64_t>(tag + "_off", off);
+        writer.write_section<std::uint64_t>(tag + "_off",
+                                            offsets_u64(cont_lists[li].offsets));
       }
       for (std::size_t li = 0; li < cat_lists.size(); ++li) {
         const std::string tag = "cat" + std::to_string(li);
         writer.write_section<CategoricalEntry>(tag, cat_lists[li].entries);
-        const std::vector<std::uint64_t> off = offsets_u64(cat_lists[li].offsets);
-        writer.write_section<std::uint64_t>(tag + "_off", off);
+        writer.write_section<std::uint64_t>(tag + "_off",
+                                            offsets_u64(cat_lists[li].offsets));
       }
       writer.finalize();
       if (comm.rank() == 0) {
-        std::vector<std::int64_t> flat;
+        std::vector<std::int64_t>& flat = ckpt_active_scratch;
+        flat.clear();
         flat.reserve(active.size() * (3 + static_cast<std::size_t>(c)));
         for (const ActiveNode& node : active) {
           flat.push_back(node.tree_id);
@@ -452,14 +479,16 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
 
     const std::size_t m = active.size();
     const std::uint64_t level_start_bytes = comm.stats().bytes_sent;
+    const auto level_start_calls = comm.stats().calls_by_op;
     const double level_start_vtime = comm.vtime();
 
     // ---------------- FindSplitI + FindSplitII -----------------------------
     std::vector<SplitCandidate> best(m);
 
-    for (ContList& list : cont_lists) {
-      // Local class counts per (node, class) and their parallel prefix.
-      std::vector<std::int64_t> local_counts(m * static_cast<std::size_t>(c), 0);
+    // Local class counts per (node, class) for one continuous list.
+    const auto count_continuous = [&](const ContList& list,
+                                      std::vector<std::int64_t>& local_counts) {
+      local_counts.assign(m * static_cast<std::size_t>(c), 0);
       for (std::size_t i = 0; i < m; ++i) {
         for (const ContinuousEntry& e : segment_of(list.entries, list.offsets, i)) {
           ++local_counts[i * static_cast<std::size_t>(c) +
@@ -467,29 +496,25 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
         }
       }
       comm.add_work(static_cast<double>(list.entries.size()));
-      util::ScopedAllocation counts_mem(
-          comm.meter(), util::MemCategory::kCountMatrices,
-          2 * local_counts.size() * sizeof(std::int64_t));
-      const std::vector<std::int64_t> below_start = mp::exscan_vec(
-          comm, std::span<const std::int64_t>(local_counts), mp::SumOp{},
-          std::int64_t{0});
-
-      // Boundary values: the last attribute value of each node's segment on
-      // any earlier rank.
-      std::vector<Boundary> boundary(m);
+    };
+    // Boundary values: the last attribute value of each node's segment on
+    // any earlier rank.
+    const auto boundaries_of = [&](const ContList& list,
+                                   std::vector<Boundary>& boundary) {
+      boundary.assign(m, Boundary{});
       for (std::size_t i = 0; i < m; ++i) {
         const auto seg = segment_of(list.entries, list.offsets, i);
         if (!seg.empty()) boundary[i] = Boundary{seg.back().value, 1};
       }
-      const std::vector<Boundary> prev = mp::exscan_vec(
-          comm, std::span<const Boundary>(boundary), RightmostOp{}, Boundary{});
-
+    };
+    const auto scan_cont_list = [&](const ContList& list,
+                                    std::span<const std::int64_t> below_start,
+                                    std::span<const Boundary> prev) {
       for (std::size_t i = 0; i < m; ++i) {
         BinaryImpurityScanner scanner(
             active[i].class_totals,
-            std::span<const std::int64_t>(below_start)
-                .subspan(i * static_cast<std::size_t>(c),
-                         static_cast<std::size_t>(c)),
+            below_start.subspan(i * static_cast<std::size_t>(c),
+                                static_cast<std::size_t>(c)),
             options.criterion);
         const std::size_t work = scan_continuous_segment(
             segment_of(list.entries, list.offsets, i), scanner,
@@ -497,12 +522,54 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
             static_cast<std::int32_t>(list.attribute), best[i]);
         comm.add_work(static_cast<double>(work));
       }
+    };
+
+    if (fused) {
+      // One packed exscan carries every continuous list's count matrices AND
+      // boundary elements: 2A collectives fuse into 1.
+      batch.reset();
+      for (std::size_t li = 0; li < cont_lists.size(); ++li) {
+        count_continuous(cont_lists[li], counts_scratch);
+        cont_count_segs[li] = batch.add<std::int64_t>(
+            std::span<const std::int64_t>(counts_scratch), mp::SumOp{},
+            std::int64_t{0});
+        boundaries_of(cont_lists[li], boundary_scratch);
+        cont_boundary_segs[li] = batch.add<Boundary>(
+            std::span<const Boundary>(boundary_scratch), RightmostOp{},
+            Boundary{});
+      }
+      util::ScopedAllocation counts_mem(comm.meter(),
+                                        util::MemCategory::kCountMatrices,
+                                        2 * batch.packed_bytes());
+      batch.exscan();
+      for (std::size_t li = 0; li < cont_lists.size(); ++li) {
+        scan_cont_list(cont_lists[li],
+                       batch.view<std::int64_t>(cont_count_segs[li]),
+                       batch.view<Boundary>(cont_boundary_segs[li]));
+      }
+    } else {
+      for (ContList& list : cont_lists) {
+        count_continuous(list, counts_scratch);
+        util::ScopedAllocation counts_mem(
+            comm.meter(), util::MemCategory::kCountMatrices,
+            2 * counts_scratch.size() * sizeof(std::int64_t));
+        const std::vector<std::int64_t> below_start = mp::exscan_vec(
+            comm, std::span<const std::int64_t>(counts_scratch), mp::SumOp{},
+            std::int64_t{0});
+        boundaries_of(list, boundary_scratch);
+        const std::vector<Boundary> prev = mp::exscan_vec(
+            comm, std::span<const Boundary>(boundary_scratch), RightmostOp{},
+            Boundary{});
+        scan_cont_list(list, below_start, prev);
+      }
     }
 
-    for (CatList& list : cat_lists) {
+    const bool all_ranks =
+        options.categorical_reduction == CategoricalReduction::kAllRanks;
+    const auto count_categorical = [&](const CatList& list,
+                                       std::vector<std::int64_t>& local_counts) {
       const std::size_t card = static_cast<std::size_t>(list.cardinality);
-      std::vector<std::int64_t> local_counts(
-          m * card * static_cast<std::size_t>(c), 0);
+      local_counts.assign(m * card * static_cast<std::size_t>(c), 0);
       for (std::size_t i = 0; i < m; ++i) {
         for (const CategoricalEntry& e : segment_of(list.entries, list.offsets, i)) {
           ++local_counts[(i * card + static_cast<std::size_t>(e.value)) *
@@ -511,33 +578,73 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
         }
       }
       comm.add_work(static_cast<double>(list.entries.size()));
-      util::ScopedAllocation counts_mem(
-          comm.meter(), util::MemCategory::kCountMatrices,
-          local_counts.size() * sizeof(std::int64_t));
-      const bool all_ranks = options.categorical_reduction ==
-                             CategoricalReduction::kAllRanks;
-      std::vector<std::int64_t> global =
-          all_ranks ? mp::allreduce_vec(comm,
-                                        std::span<const std::int64_t>(local_counts),
-                                        mp::SumOp{})
-                    : mp::reduce_vec(comm,
-                                     std::span<const std::int64_t>(local_counts),
-                                     mp::SumOp{}, list.coordinator);
-      if (all_ranks || comm.rank() == list.coordinator) {
-        list.global_counts = std::move(global);
-        for (std::size_t i = 0; i < m; ++i) {
-          const CountMatrix matrix = CountMatrix::from_flat(
-              list.cardinality, c,
-              std::span<const std::int64_t>(list.global_counts)
-                  .subspan(i * card * static_cast<std::size_t>(c),
-                           card * static_cast<std::size_t>(c)));
-          const SplitCandidate candidate = best_categorical_split(
-              matrix, static_cast<std::int32_t>(list.attribute),
-              options.categorical_split, options.criterion);
-          if (candidate_less(candidate, best[i])) best[i] = candidate;
-        }
+    };
+    // Evaluates one categorical list's candidates from list.global_counts
+    // (callable only where the global matrices live: coordinator or, with
+    // kAllRanks, everywhere).
+    const auto eval_categorical = [&](CatList& list) {
+      const std::size_t card = static_cast<std::size_t>(list.cardinality);
+      for (std::size_t i = 0; i < m; ++i) {
+        const CountMatrix matrix = CountMatrix::from_flat(
+            list.cardinality, c,
+            std::span<const std::int64_t>(list.global_counts)
+                .subspan(i * card * static_cast<std::size_t>(c),
+                         card * static_cast<std::size_t>(c)));
+        const SplitCandidate candidate = best_categorical_split(
+            matrix, static_cast<std::int32_t>(list.attribute),
+            options.categorical_split, options.criterion);
+        if (candidate_less(candidate, best[i])) best[i] = candidate;
+      }
+    };
+
+    if (fused) {
+      // One packed round makes every categorical list's count matrices
+      // global: A collectives fuse into 1 (reduce_rooted carries each
+      // matrix to its own coordinator; allreduce replicates them all).
+      batch.reset();
+      for (std::size_t li = 0; li < cat_lists.size(); ++li) {
+        count_categorical(cat_lists[li], counts_scratch);
+        cat_segs[li] = batch.add<std::int64_t>(
+            std::span<const std::int64_t>(counts_scratch), mp::SumOp{},
+            std::int64_t{0}, all_ranks ? 0 : cat_lists[li].coordinator);
+      }
+      util::ScopedAllocation counts_mem(comm.meter(),
+                                        util::MemCategory::kCountMatrices,
+                                        batch.packed_bytes());
+      if (all_ranks) {
+        batch.allreduce();
       } else {
-        list.global_counts.clear();
+        batch.reduce_rooted();
+      }
+      for (std::size_t li = 0; li < cat_lists.size(); ++li) {
+        CatList& list = cat_lists[li];
+        if (all_ranks || comm.rank() == list.coordinator) {
+          list.global_counts = batch.take<std::int64_t>(cat_segs[li]);
+          eval_categorical(list);
+        } else {
+          list.global_counts.clear();
+        }
+      }
+    } else {
+      for (CatList& list : cat_lists) {
+        count_categorical(list, counts_scratch);
+        util::ScopedAllocation counts_mem(
+            comm.meter(), util::MemCategory::kCountMatrices,
+            counts_scratch.size() * sizeof(std::int64_t));
+        std::vector<std::int64_t> global =
+            all_ranks
+                ? mp::allreduce_vec(comm,
+                                    std::span<const std::int64_t>(counts_scratch),
+                                    mp::SumOp{})
+                : mp::reduce_vec(comm,
+                                 std::span<const std::int64_t>(counts_scratch),
+                                 mp::SumOp{}, list.coordinator);
+        if (all_ranks || comm.rank() == list.coordinator) {
+          list.global_counts = std::move(global);
+          eval_categorical(list);
+        } else {
+          list.global_counts.clear();
+        }
       }
     }
 
@@ -558,43 +665,88 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     // Categorical winners need the value -> child mapping, which only the
     // attribute's coordinator can build (it holds the global matrix).
     std::vector<std::vector<std::int32_t>> value_to_child(m);
-    for (CatList& list : cat_lists) {
+    const auto winners_of = [&](const CatList& list) {
       std::vector<std::size_t> winner_nodes;
       for (std::size_t i = 0; i < m; ++i) {
         if (will_split[i] && best[i].attribute == list.attribute) {
           winner_nodes.push_back(i);
         }
       }
-      if (winner_nodes.empty()) continue;
-      const bool all_ranks = options.categorical_reduction ==
-                             CategoricalReduction::kAllRanks;
+      return winner_nodes;
+    };
+    const auto build_mappings = [&](const CatList& list,
+                                    const std::vector<std::size_t>& winner_nodes,
+                                    std::vector<std::int32_t>& flat) {
       const std::size_t card = static_cast<std::size_t>(list.cardinality);
-      std::vector<std::int32_t> flat;
-      if (all_ranks || comm.rank() == list.coordinator) {
-        flat.reserve(winner_nodes.size() * card);
-        for (const std::size_t i : winner_nodes) {
-          const CountMatrix matrix = CountMatrix::from_flat(
-              list.cardinality, c,
-              std::span<const std::int64_t>(list.global_counts)
-                  .subspan(i * card * static_cast<std::size_t>(c),
-                           card * static_cast<std::size_t>(c)));
-          const std::vector<std::int32_t> mapping =
-              best[i].kind == SplitKind::kCategoricalMultiWay
-                  ? value_to_child_multiway(matrix)
-                  : value_to_child_subset(matrix, best[i].subset);
-          flat.insert(flat.end(), mapping.begin(), mapping.end());
+      flat.clear();
+      flat.reserve(winner_nodes.size() * card);
+      for (const std::size_t i : winner_nodes) {
+        const CountMatrix matrix = CountMatrix::from_flat(
+            list.cardinality, c,
+            std::span<const std::int64_t>(list.global_counts)
+                .subspan(i * card * static_cast<std::size_t>(c),
+                         card * static_cast<std::size_t>(c)));
+        const std::vector<std::int32_t> mapping =
+            best[i].kind == SplitKind::kCategoricalMultiWay
+                ? value_to_child_multiway(matrix)
+                : value_to_child_subset(matrix, best[i].subset);
+        flat.insert(flat.end(), mapping.begin(), mapping.end());
+      }
+    };
+
+    if (fused && !all_ranks) {
+      // All winning mappings travel in one rooted broadcast round. The
+      // winner sets and cardinalities are globally known, so every rank can
+      // contribute a correctly-sized placeholder for segments it doesn't own.
+      batch.reset();
+      std::vector<std::vector<std::size_t>> winners(cat_lists.size());
+      for (std::size_t li = 0; li < cat_lists.size(); ++li) {
+        const CatList& list = cat_lists[li];
+        winners[li] = winners_of(list);
+        if (winners[li].empty()) continue;
+        const std::size_t card = static_cast<std::size_t>(list.cardinality);
+        if (comm.rank() == list.coordinator) {
+          build_mappings(list, winners[li], mapping_scratch);
+        } else {
+          mapping_scratch.assign(winners[li].size() * card, 0);
+        }
+        map_segs[li] = batch.add<std::int32_t>(
+            std::span<const std::int32_t>(mapping_scratch), mp::SumOp{},
+            std::int32_t{0}, list.coordinator);
+      }
+      batch.bcast_rooted();  // no-op when no node split on a categorical
+      for (std::size_t li = 0; li < cat_lists.size(); ++li) {
+        if (winners[li].empty()) continue;
+        const std::size_t card =
+            static_cast<std::size_t>(cat_lists[li].cardinality);
+        const std::span<const std::int32_t> flat =
+            batch.view<std::int32_t>(map_segs[li]);
+        for (std::size_t k = 0; k < winners[li].size(); ++k) {
+          value_to_child[winners[li][k]].assign(
+              flat.begin() + static_cast<std::ptrdiff_t>(k * card),
+              flat.begin() + static_cast<std::ptrdiff_t>((k + 1) * card));
         }
       }
-      // With the allreduce everybody already holds the mapping; otherwise
-      // the coordinator distributes it.
-      if (!all_ranks) mp::bcast(comm, flat, list.coordinator);
-      if (flat.size() != winner_nodes.size() * card) {
-        throw std::logic_error("induction: bad value_to_child broadcast");
-      }
-      for (std::size_t k = 0; k < winner_nodes.size(); ++k) {
-        value_to_child[winner_nodes[k]].assign(
-            flat.begin() + static_cast<std::ptrdiff_t>(k * card),
-            flat.begin() + static_cast<std::ptrdiff_t>((k + 1) * card));
+    } else {
+      for (CatList& list : cat_lists) {
+        const std::vector<std::size_t> winner_nodes = winners_of(list);
+        if (winner_nodes.empty()) continue;
+        const std::size_t card = static_cast<std::size_t>(list.cardinality);
+        std::vector<std::int32_t> flat;
+        if (all_ranks || comm.rank() == list.coordinator) {
+          build_mappings(list, winner_nodes, flat);
+        }
+        // With the allreduce everybody already holds the mapping; otherwise
+        // the coordinator distributes it.
+        if (!all_ranks) mp::bcast(comm, flat, list.coordinator);
+        if (flat.size() != winner_nodes.size() * card) {
+          throw std::logic_error("induction: bad value_to_child broadcast");
+        }
+        for (std::size_t k = 0; k < winner_nodes.size(); ++k) {
+          value_to_child[winner_nodes[k]].assign(
+              flat.begin() + static_cast<std::ptrdiff_t>(k * card),
+              flat.begin() + static_cast<std::ptrdiff_t>((k + 1) * card));
+        }
       }
     }
 
@@ -620,9 +772,9 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
                           static_cast<std::size_t>(num_children[i]) *
                               static_cast<std::size_t>(c);
     }
-    std::vector<std::int64_t> local_kid_counts(kid_offset[m], 0);
-    std::vector<std::int64_t> update_rids;
-    std::vector<std::int32_t> update_children;
+    local_kid_counts.assign(kid_offset[m], 0);
+    update_rids.clear();
+    update_children.clear();
 
     for (ContList& list : cont_lists) {
       list.child.assign(list.entries.size(), -1);
@@ -663,8 +815,16 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
 
     std::vector<std::int64_t> global_kid_counts;
     if (!local_kid_counts.empty()) {
-      global_kid_counts = mp::allreduce_vec(
-          comm, std::span<const std::int64_t>(local_kid_counts), mp::SumOp{});
+      if (fused) {
+        batch.reset();
+        const std::size_t seg = batch.add<std::int64_t>(
+            std::span<const std::int64_t>(local_kid_counts), mp::SumOp{});
+        batch.allreduce();
+        global_kid_counts = batch.take<std::int64_t>(seg);
+      } else {
+        global_kid_counts = mp::allreduce_vec(
+            comm, std::span<const std::int64_t>(local_kid_counts), mp::SumOp{});
+      }
     }
 
     // Create the children in the tree (identically on every rank) and build
@@ -725,25 +885,32 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     // ---------------- PerformSplitII ---------------------------------------
     // For every list: enquire children for segments whose node split on a
     // different attribute, then rebuild the list grouped by the next level's
-    // active nodes (dropping records that landed in leaves).
-    const auto rebuild = [&](auto& list) {
+    // active nodes (dropping records that landed in leaves). On the fused
+    // path every list's enquiry travels in ONE node-table lookup per level;
+    // unfused issues one lookup (two all-to-all rounds) per list.
+    const auto collect_enquiry = [&](const auto& list,
+                                     std::vector<std::int64_t>& rids) {
       using Entry = std::decay_t<decltype(list.entries[0])>;
-      // Enquiry for entries not assigned in PerformSplitI.
-      std::vector<std::int64_t> enquiry_rids;
       for (std::size_t i = 0; i < m; ++i) {
         // The splitting attribute's own list was assigned in PerformSplitI.
         if (!will_split[i] || best[i].attribute == list.attribute) continue;
         for (const Entry& e : segment_of(list.entries, list.offsets, i)) {
-          enquiry_rids.push_back(e.rid);
+          rids.push_back(e.rid);
         }
       }
-      const std::vector<std::int32_t> answers = lookup_assignments(enquiry_rids);
+    };
+    const auto apply_and_regroup = [&](auto& list,
+                                       std::span<const std::int32_t> answers) {
+      using Entry = std::decay_t<decltype(list.entries[0])>;
       std::size_t cursor = 0;
       for (std::size_t i = 0; i < m; ++i) {
         if (!will_split[i] || best[i].attribute == list.attribute) continue;
         for (std::size_t idx = list.offsets[i]; idx < list.offsets[i + 1]; ++idx) {
           list.child[idx] = answers[cursor++];
         }
+      }
+      if (cursor != answers.size()) {
+        throw std::logic_error("induction: enquiry answer count mismatch");
       }
 
       // Stable grouped placement into the next level's layout.
@@ -777,8 +944,46 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       list.child.shrink_to_fit();
       list.mem.resize(list.entries.size() * sizeof(Entry));
     };
-    for (ContList& list : cont_lists) rebuild(list);
-    for (CatList& list : cat_lists) rebuild(list);
+
+    if (fused) {
+      enquiry_scratch.clear();
+      std::size_t li = 0;
+      for (const ContList& list : cont_lists) {
+        enquiry_begin[li++] = enquiry_scratch.size();
+        collect_enquiry(list, enquiry_scratch);
+      }
+      for (const CatList& list : cat_lists) {
+        enquiry_begin[li++] = enquiry_scratch.size();
+        collect_enquiry(list, enquiry_scratch);
+      }
+      enquiry_begin[li] = enquiry_scratch.size();
+      const std::vector<std::int32_t> answers =
+          lookup_assignments(enquiry_scratch);
+      const std::span<const std::int32_t> all(answers);
+      li = 0;
+      for (ContList& list : cont_lists) {
+        apply_and_regroup(list, all.subspan(enquiry_begin[li],
+                                            enquiry_begin[li + 1] -
+                                                enquiry_begin[li]));
+        ++li;
+      }
+      for (CatList& list : cat_lists) {
+        apply_and_regroup(list, all.subspan(enquiry_begin[li],
+                                            enquiry_begin[li + 1] -
+                                                enquiry_begin[li]));
+        ++li;
+      }
+    } else {
+      const auto rebuild = [&](auto& list) {
+        enquiry_scratch.clear();
+        collect_enquiry(list, enquiry_scratch);
+        const std::vector<std::int32_t> answers =
+            lookup_assignments(enquiry_scratch);
+        apply_and_regroup(list, answers);
+      };
+      for (ContList& list : cont_lists) rebuild(list);
+      for (CatList& list : cat_lists) rebuild(list);
+    }
 
     // ---------------- Level bookkeeping ------------------------------------
     stats.performsplit_seconds += comm.vtime() - split_phase_start_vtime;
@@ -790,6 +995,15 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       std::int64_t records = 0;
       for (const ActiveNode& node : active) records += node.total;
       level.active_records = records;
+      // Count collective entries before the level-stats collectives below
+      // add their own.
+      std::uint64_t calls = 0;
+      for (int op = 0; op < mp::kNumCommOps; ++op) {
+        if (op == static_cast<int>(mp::CommOp::kPointToPoint)) continue;
+        calls += comm.stats().calls_by_op[static_cast<std::size_t>(op)] -
+                 level_start_calls[static_cast<std::size_t>(op)];
+      }
+      level.collective_calls = static_cast<std::int64_t>(calls);
       const std::uint64_t sent = comm.stats().bytes_sent - level_start_bytes;
       level.max_bytes_sent_per_rank =
           mp::allreduce_value(comm, sent, mp::MaxOp{});

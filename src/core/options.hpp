@@ -50,6 +50,16 @@ struct InductionOptions {
   // rank per round, to bound communication buffer memory (§3.3.2). 0 means
   // "N/p", the paper's choice. Benches ablate this (A1).
   std::int64_t node_table_update_block = 0;
+  // Pack each level's split-determination collectives (all continuous count
+  // matrices + boundaries into one exscan; all categorical count matrices
+  // into one reduce/allreduce; all winning value->child mappings into one
+  // broadcast round) so the latency term is O(1) per level instead of
+  // O(attributes). Off runs one collective per attribute list — kept as a
+  // differential-testing oracle. Both settings produce byte-identical trees,
+  // which is why this flag is deliberately NOT part of the SPMD/checkpoint
+  // fingerprint: a checkpoint written under one setting resumes under the
+  // other.
+  bool fuse_collectives = true;
 };
 
 }  // namespace scalparc::core

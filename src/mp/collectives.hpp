@@ -120,8 +120,10 @@ std::vector<T> reduce_vec(Comm& comm, std::span<const T> local, Combine combine,
         }
       }
     } else {
+      // The accumulator is dead after this send: move it into the mailbox so
+      // the parent's recv reclaims the buffer without copying.
       const int dst = ((vrank & ~mask) + root) % p;
-      comm.send<T>(dst, tag, std::span<const T>(acc));
+      comm.send<T>(dst, tag, std::move(acc));
       break;
     }
     mask <<= 1;
@@ -133,7 +135,9 @@ template <WireType T, typename Combine>
 T reduce_value(Comm& comm, const T& value, Combine combine, int root) {
   std::vector<T> acc =
       reduce_vec(comm, std::span<const T>(&value, 1), combine, root);
-  return acc.at(0);
+  // Non-roots surrendered their accumulator to the mailbox; their return
+  // value is undefined by contract.
+  return acc.empty() ? value : acc.at(0);
 }
 
 // ---------------------------------------------------------------------------

@@ -61,10 +61,9 @@ void Comm::fault_level_boundary(int level) {
   }
 }
 
-void Comm::send_bytes(int dst, std::int64_t tag,
-                      std::span<const std::byte> bytes) {
+void Comm::send_payload(int dst, std::int64_t tag, Payload payload) {
   if (dst < 0 || dst >= size()) {
-    throw std::invalid_argument("Comm::send_bytes: destination out of range");
+    throw std::invalid_argument("Comm::send_payload: destination out of range");
   }
   const std::int64_t op = begin_op("send");
   // Sender pays per-message CPU overhead; the message lands at the receiver
@@ -72,12 +71,12 @@ void Comm::send_bytes(int dst, std::int64_t tag,
   vtime_ += model_.send_overhead_s;
   Message message;
   message.tag = tag;
-  message.arrival_vtime = vtime_ + model_.wire_seconds(bytes.size());
-  message.payload.assign(bytes.begin(), bytes.end());
+  message.arrival_vtime = vtime_ + model_.wire_seconds(payload.size());
+  message.payload = std::move(payload);
   // Frame checksum first, wire faults second: a corrupted payload must be
   // *detected* at the receiver, never silently mis-parsed.
-  message.crc = util::crc32(message.payload);
-  stats_.record_send(current_op_, bytes.size());
+  message.crc = util::crc32(message.payload.bytes());
+  stats_.record_send(current_op_, message.payload.size());
   const FaultPlan* plan = hub_.options().fault_plan;
   if (plan != nullptr) {
     if (plan->drops_at_op(rank_, op)) {
@@ -85,15 +84,15 @@ void Comm::send_bytes(int dst, std::int64_t tag,
       return;  // the wire ate it
     }
     if (plan->corrupts_at_op(rank_, op)) {
-      plan->corrupt_payload(message.payload, rank_, op);
+      plan->corrupt_payload(message.payload.mutable_bytes(), rank_, op);
     }
   }
   hub_.channel(rank_, dst).push(std::move(message));
 }
 
-std::vector<std::byte> Comm::recv_bytes(int src, std::int64_t tag) {
+Payload Comm::recv_payload(int src, std::int64_t tag) {
   if (src < 0 || src >= size()) {
-    throw std::invalid_argument("Comm::recv_bytes: source out of range");
+    throw std::invalid_argument("Comm::recv_payload: source out of range");
   }
   begin_op("recv");
   Channel& channel = hub_.channel(src, rank_);
@@ -138,7 +137,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, std::int64_t tag) {
       }
     }
   }
-  if (message.crc != util::crc32(message.payload)) {
+  if (message.crc != util::crc32(message.payload.bytes())) {
     std::ostringstream what_out;
     what_out << "corrupt message: rank " << rank_ << " recv(src=" << src
              << ", tag=" << tag << ", bytes=" << message.payload.size()

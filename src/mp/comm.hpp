@@ -44,8 +44,17 @@ class Comm {
   const CostModel& model() const { return model_; }
 
   // --- point to point ------------------------------------------------------
-  void send_bytes(int dst, std::int64_t tag, std::span<const std::byte> bytes);
-  std::vector<std::byte> recv_bytes(int src, std::int64_t tag);
+  // The transport is zero-copy: a Payload moves through the mailbox intact,
+  // so a moved-in send plus a same-typed recv never duplicates the bytes.
+  void send_payload(int dst, std::int64_t tag, Payload payload);
+  Payload recv_payload(int src, std::int64_t tag);
+
+  void send_bytes(int dst, std::int64_t tag, std::span<const std::byte> bytes) {
+    send_payload(dst, tag, Payload::copy_of(bytes));
+  }
+  std::vector<std::byte> recv_bytes(int src, std::int64_t tag) {
+    return recv_payload(src, tag).take<std::byte>();
+  }
 
   // Fault-injection checkpoint at a level boundary of the induction loop:
   // throws InjectedFault if the run's FaultPlan kills this rank there.
@@ -59,16 +68,19 @@ class Comm {
   void send(int dst, std::int64_t tag, std::span<const T> values) {
     send_bytes(dst, tag, std::as_bytes(values));
   }
+  // Move-send: the vector's buffer travels through the mailbox unchanged and
+  // a matching recv<T> reclaims it without copying.
+  template <WireType T>
+  void send(int dst, std::int64_t tag, std::vector<T>&& values) {
+    send_payload(dst, tag, Payload::adopt(std::move(values)));
+  }
   template <WireType T>
   void send_value(int dst, std::int64_t tag, const T& value) {
     send(dst, tag, std::span<const T>(&value, 1));
   }
   template <WireType T>
   std::vector<T> recv(int src, std::int64_t tag) {
-    std::vector<std::byte> raw = recv_bytes(src, tag);
-    std::vector<T> values(raw.size() / sizeof(T));
-    std::memcpy(values.data(), raw.data(), values.size() * sizeof(T));
-    return values;
+    return recv_payload(src, tag).take<T>();
   }
   template <WireType T>
   T recv_value(int src, std::int64_t tag) {

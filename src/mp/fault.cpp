@@ -150,7 +150,7 @@ double FaultPlan::delay_ms_at_op(int rank, std::int64_t op) const {
   return 0.0;
 }
 
-void FaultPlan::corrupt_payload(std::vector<std::byte>& payload, int rank,
+void FaultPlan::corrupt_payload(std::span<std::byte> payload, int rank,
                                 std::int64_t op) const {
   if (payload.empty()) return;
   std::uint64_t h = mix64(seed_ ^ mix64(static_cast<std::uint64_t>(rank) << 32 ^

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -78,7 +79,7 @@ class FaultPlan {
 
   // Flips 1..3 payload bits at positions derived from (seed, rank, op).
   // No-op on an empty payload.
-  void corrupt_payload(std::vector<std::byte>& payload, int rank,
+  void corrupt_payload(std::span<std::byte> payload, int rank,
                        std::int64_t op) const;
 
   // Injection counters (for tests and diagnostics).

@@ -3,9 +3,80 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <typeinfo>
 #include <vector>
 
 namespace scalparc::mp {
+
+// Type-erased, move-only payload buffer. The transport is zero-copy: a
+// sender that owns a typed vector moves it into the Payload (adopt), the
+// Message carrying it is moved through the channel, and a receiver asking
+// for the same element type reclaims the very same vector (take) — the
+// bytes are never duplicated. A receiver asking for a different type (or a
+// sender that only holds a borrowed span) pays exactly one copy.
+class Payload {
+ public:
+  Payload() = default;
+  Payload(Payload&&) = default;
+  Payload& operator=(Payload&&) = default;
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+
+  // Takes ownership of `values`; no bytes are copied.
+  template <typename T>
+  static Payload adopt(std::vector<T>&& values) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Payload elements must be trivially copyable");
+    Payload p;
+    auto* held = new std::vector<T>(std::move(values));
+    p.owner_ = Owner(held, [](void* v) { delete static_cast<std::vector<T>*>(v); });
+    p.data_ = reinterpret_cast<std::byte*>(held->data());
+    p.size_ = held->size() * sizeof(T);
+    p.type_ = &typeid(T);
+    return p;
+  }
+
+  // Single allocation + copy of a borrowed byte span.
+  static Payload copy_of(std::span<const std::byte> bytes) {
+    return adopt(std::vector<std::byte>(bytes.begin(), bytes.end()));
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+  // Mutable view for in-flight fault injection (payload corruption).
+  std::span<std::byte> mutable_bytes() { return {data_, size_}; }
+
+  // Surrenders the payload as a vector<T>. If the payload was adopted from a
+  // vector of exactly T this moves it back out (zero-copy); otherwise it
+  // deserializes with one copy. Trailing bytes that do not fill a whole T
+  // are discarded, matching the historical recv<T> contract.
+  template <typename T>
+  std::vector<T> take() {
+    std::vector<T> out;
+    if (owner_ && type_ != nullptr && *type_ == typeid(T)) {
+      out = std::move(*static_cast<std::vector<T>*>(owner_.get()));
+    } else {
+      out.resize(size_ / sizeof(T));
+      if (!out.empty()) std::memcpy(out.data(), data_, out.size() * sizeof(T));
+    }
+    owner_.reset();
+    data_ = nullptr;
+    size_ = 0;
+    type_ = nullptr;
+    return out;
+  }
+
+ private:
+  using Owner = std::unique_ptr<void, void (*)(void*)>;
+  Owner owner_{nullptr, [](void*) {}};
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  const std::type_info* type_ = nullptr;
+};
 
 struct Message {
   // Matching key. Collectives tag messages with a per-communicator sequence
@@ -18,7 +89,7 @@ struct Message {
   // message enters the wire; the receiver re-computes and throws
   // CorruptMessage on mismatch.
   std::uint32_t crc = 0;
-  std::vector<std::byte> payload;
+  Payload payload;
 };
 
 }  // namespace scalparc::mp

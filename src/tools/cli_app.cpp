@@ -42,6 +42,9 @@ commands:
                --strategy S         scalparc | sprint (default scalparc)
                --max-depth D        depth cap (default 64)
                --min-split M        min records to split a node (default 2)
+               --no-fuse            per-attribute collectives instead of the
+                                    fused per-level rounds (same tree; the
+                                    differential-testing oracle)
                --prune              apply MDL pruning after training
                --checkpoint-dir D   write a level checkpoint into D each level;
                                     failed runs auto-resume from the last one
@@ -73,6 +76,7 @@ core::InductionControls controls_from(const util::CliArgs& args,
   core::InductionControls controls;
   controls.options.max_depth = static_cast<int>(args.get_int("max-depth", 64));
   controls.options.min_split_records = args.get_int("min-split", 2);
+  controls.options.fuse_collectives = !args.get_bool("no-fuse", false);
   const std::string criterion = args.get_string("criterion", "gini");
   if (criterion == "gini") {
     controls.options.criterion = core::SplitCriterion::kGini;

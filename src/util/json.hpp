@@ -1,0 +1,99 @@
+// Minimal JSON document model: a writer and a strict recursive-descent
+// parser, enough for machine-readable bench outputs (BENCH_comm.json) and
+// their schema validation. Numbers are stored as doubles — every value we
+// emit (byte counts, call counts, modeled seconds) fits in the 2^53 exact
+// integer range. No external dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace scalparc::util {
+
+class Json;
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // std::map keeps dumps deterministic (sorted keys), which lets tests
+  // compare serialized documents byte for byte.
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return get<bool>("bool"); }
+  double as_double() const { return get<double>("number"); }
+  std::int64_t as_int() const {
+    return static_cast<std::int64_t>(get<double>("number"));
+  }
+  const std::string& as_string() const { return get<std::string>("string"); }
+  const Array& as_array() const { return get<Array>("array"); }
+  const Object& as_object() const { return get<Object>("object"); }
+  Array& as_array() { return getm<Array>("array"); }
+  Object& as_object() { return getm<Object>("object"); }
+
+  // Object member access; throws std::out_of_range when absent.
+  const Json& at(const std::string& key) const;
+  // Object member lookup; nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  // Array element access.
+  const Json& at(std::size_t index) const { return as_array().at(index); }
+  std::size_t size() const;
+
+  // Insertion sugar: doc["key"] = value; creates the member.
+  Json& operator[](const std::string& key) { return getm<Object>("object")[key]; }
+  void push_back(Json value) { getm<Array>("array").push_back(std::move(value)); }
+
+  // Serialization. indent > 0 pretty-prints; 0 emits a compact single line.
+  std::string dump(int indent = 2) const;
+
+  // Strict parser: one JSON value followed only by whitespace. Throws
+  // std::invalid_argument with an offset-annotated message on bad input.
+  static Json parse(std::string_view text);
+
+ private:
+  template <typename T>
+  const T& get(const char* what) const {
+    const T* v = std::get_if<T>(&value_);
+    if (!v) throw std::invalid_argument(std::string("Json: not a ") + what);
+    return *v;
+  }
+  template <typename T>
+  T& getm(const char* what) {
+    T* v = std::get_if<T>(&value_);
+    if (!v) throw std::invalid_argument(std::string("Json: not a ") + what);
+    return *v;
+  }
+
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace scalparc::util

@@ -1,0 +1,340 @@
+// Property tests for the fused collective layer: a CollectiveBatch round
+// over randomized packed directories (random segment counts, sizes, element
+// types and roots, including empty segments) must be element-identical to
+// running the unfused reference collective segment by segment.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "mp/collective_batch.hpp"
+#include "mp/collectives.hpp"
+#include "mp/comm.hpp"
+#include "mp/costmodel.hpp"
+#include "mp/runtime.hpp"
+#include "util/random.hpp"
+
+namespace scalparc {
+namespace {
+
+const mp::CostModel kZero = mp::CostModel::zero();
+
+// A non-commutative combine rides along so argument-order bugs cannot hide:
+// mirrors the induction loop's boundary propagation ("rightmost non-empty
+// value wins").
+struct Marker {
+  double value = 0.0;
+  std::uint8_t has = 0;
+  std::uint8_t pad[7] = {};
+};
+
+struct RightmostOp {
+  Marker operator()(const Marker& left, const Marker& right) const {
+    return right.has != 0 ? right : left;
+  }
+};
+
+// One randomized directory: interleaved int64-sum, Marker-rightmost and
+// double-min segments. Sizes (possibly zero) and roots depend only on
+// (seed, segment) so every rank builds the identical directory; values
+// depend on the rank as well.
+struct SegmentSpec {
+  int type = 0;  // 0: int64 sum, 1: Marker rightmost, 2: double min
+  std::size_t size = 0;
+  int root = 0;
+};
+
+std::vector<SegmentSpec> make_directory(std::uint64_t seed, int p) {
+  util::Rng rng(seed);
+  const std::size_t count = 1 + rng.next_below(9);
+  std::vector<SegmentSpec> specs(count);
+  for (SegmentSpec& spec : specs) {
+    spec.type = static_cast<int>(rng.next_below(3));
+    // ~1 in 4 segments is empty.
+    spec.size = rng.next_bool(0.25) ? 0 : 1 + rng.next_below(17);
+    spec.root = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p)));
+  }
+  return specs;
+}
+
+std::vector<std::int64_t> int_values(std::uint64_t seed, int rank,
+                                     std::size_t n) {
+  util::Rng rng(seed ^ (0x9E37ULL * static_cast<std::uint64_t>(rank + 1)));
+  std::vector<std::int64_t> out(n);
+  for (auto& v : out) v = rng.next_int(-1000, 1000);
+  return out;
+}
+
+std::vector<Marker> marker_values(std::uint64_t seed, int rank, std::size_t n) {
+  util::Rng rng(seed ^ (0xB0B1ULL * static_cast<std::uint64_t>(rank + 1)));
+  std::vector<Marker> out(n);
+  for (auto& m : out) {
+    m.has = rng.next_bool(0.6) ? 1 : 0;
+    m.value = m.has ? rng.next_double(-5.0, 5.0) : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> double_values(std::uint64_t seed, int rank, std::size_t n) {
+  util::Rng rng(seed ^ (0xCAFEULL * static_cast<std::uint64_t>(rank + 1)));
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.next_double(-100.0, 100.0);
+  return out;
+}
+
+class BatchSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, BatchSweep, ::testing::Values(1, 2, 3, 4, 8));
+
+// Packed exscan == per-segment exscan_vec, element for element.
+TEST_P(BatchSweep, ExscanMatchesUnfusedReference) {
+  const int p = GetParam();
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::vector<SegmentSpec> specs = make_directory(seed, p);
+    mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+      const int r = comm.rank();
+      mp::CollectiveBatch batch(comm);
+      std::vector<std::size_t> ids;
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const std::uint64_t sseed = seed * 1000 + s;
+        switch (specs[s].type) {
+          case 0:
+            ids.push_back(batch.add<std::int64_t>(
+                int_values(sseed, r, specs[s].size), mp::SumOp{},
+                std::int64_t{0}));
+            break;
+          case 1:
+            ids.push_back(batch.add<Marker>(marker_values(sseed, r, specs[s].size),
+                                            RightmostOp{}, Marker{}));
+            break;
+          default:
+            ids.push_back(batch.add<double>(double_values(sseed, r, specs[s].size),
+                                            mp::MinOp{},
+                                            std::numeric_limits<double>::max()));
+        }
+      }
+      batch.exscan();
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const std::uint64_t sseed = seed * 1000 + s;
+        if (specs[s].type == 0) {
+          const std::vector<std::int64_t> local = int_values(sseed, r, specs[s].size);
+          const std::vector<std::int64_t> expected = mp::exscan_vec(
+              comm, std::span<const std::int64_t>(local), mp::SumOp{},
+              std::int64_t{0});
+          const auto got = batch.view<std::int64_t>(ids[s]);
+          ASSERT_EQ(got.size(), expected.size());
+          for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(got[i], expected[i]) << "seed " << seed << " seg " << s;
+          }
+        } else if (specs[s].type == 1) {
+          const std::vector<Marker> local = marker_values(sseed, r, specs[s].size);
+          const std::vector<Marker> expected = mp::exscan_vec(
+              comm, std::span<const Marker>(local), RightmostOp{}, Marker{});
+          const auto got = batch.view<Marker>(ids[s]);
+          ASSERT_EQ(got.size(), expected.size());
+          for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(got[i].has, expected[i].has);
+            EXPECT_DOUBLE_EQ(got[i].value, expected[i].value);
+          }
+        } else {
+          const std::vector<double> local = double_values(sseed, r, specs[s].size);
+          const std::vector<double> expected = mp::exscan_vec(
+              comm, std::span<const double>(local), mp::MinOp{},
+              std::numeric_limits<double>::max());
+          const auto got = batch.view<double>(ids[s]);
+          ASSERT_EQ(got.size(), expected.size());
+          for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_DOUBLE_EQ(got[i], expected[i]);
+          }
+        }
+      }
+    });
+  }
+}
+
+// Packed allreduce == per-segment allreduce_vec.
+TEST_P(BatchSweep, AllreduceMatchesUnfusedReference) {
+  const int p = GetParam();
+  for (std::uint64_t seed = 20; seed <= 28; ++seed) {
+    const std::vector<SegmentSpec> specs = make_directory(seed, p);
+    mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+      const int r = comm.rank();
+      mp::CollectiveBatch batch(comm);
+      std::vector<std::size_t> ids;
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const std::uint64_t sseed = seed * 1000 + s;
+        if (specs[s].type == 2) {
+          ids.push_back(batch.add<double>(double_values(sseed, r, specs[s].size),
+                                          mp::MinOp{}));
+        } else {
+          ids.push_back(batch.add<std::int64_t>(
+              int_values(sseed, r, specs[s].size), mp::SumOp{}));
+        }
+      }
+      batch.allreduce();
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const std::uint64_t sseed = seed * 1000 + s;
+        if (specs[s].type == 2) {
+          const std::vector<double> local = double_values(sseed, r, specs[s].size);
+          const std::vector<double> expected = mp::allreduce_vec(
+              comm, std::span<const double>(local), mp::MinOp{});
+          const auto got = batch.view<double>(ids[s]);
+          ASSERT_EQ(got.size(), expected.size());
+          for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_DOUBLE_EQ(got[i], expected[i]);
+          }
+        } else {
+          const std::vector<std::int64_t> local = int_values(sseed, r, specs[s].size);
+          const std::vector<std::int64_t> expected = mp::allreduce_vec(
+              comm, std::span<const std::int64_t>(local), mp::SumOp{});
+          const auto got = batch.view<std::int64_t>(ids[s]);
+          ASSERT_EQ(got.size(), expected.size());
+          for (std::size_t i = 0; i < expected.size(); ++i) {
+            EXPECT_EQ(got[i], expected[i]);
+          }
+        }
+      }
+    });
+  }
+}
+
+// Packed rooted reduce == reduce_vec to each segment's own root.
+TEST_P(BatchSweep, ReduceRootedMatchesUnfusedReference) {
+  const int p = GetParam();
+  for (std::uint64_t seed = 40; seed <= 48; ++seed) {
+    const std::vector<SegmentSpec> specs = make_directory(seed, p);
+    mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+      const int r = comm.rank();
+      mp::CollectiveBatch batch(comm);
+      std::vector<std::size_t> ids;
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        ids.push_back(batch.add<std::int64_t>(
+            int_values(seed * 1000 + s, r, specs[s].size), mp::SumOp{},
+            std::int64_t{0}, specs[s].root));
+      }
+      batch.reduce_rooted();
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const std::vector<std::int64_t> local =
+            int_values(seed * 1000 + s, r, specs[s].size);
+        const std::vector<std::int64_t> expected = mp::reduce_vec(
+            comm, std::span<const std::int64_t>(local), mp::SumOp{},
+            specs[s].root);
+        if (r != specs[s].root) continue;  // only the root's view is defined
+        const auto got = batch.view<std::int64_t>(ids[s]);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(got[i], expected[i]) << "seed " << seed << " seg " << s;
+        }
+      }
+    });
+  }
+}
+
+// Packed rooted broadcast == bcast from each segment's own root.
+TEST_P(BatchSweep, BcastRootedMatchesUnfusedReference) {
+  const int p = GetParam();
+  for (std::uint64_t seed = 60; seed <= 68; ++seed) {
+    const std::vector<SegmentSpec> specs = make_directory(seed, p);
+    mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+      const int r = comm.rank();
+      mp::CollectiveBatch batch(comm);
+      std::vector<std::size_t> ids;
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        // Only the root's contribution matters; other ranks contribute a
+        // correctly-sized placeholder, as the induction loop does.
+        const std::vector<std::int64_t> contribution =
+            r == specs[s].root
+                ? int_values(seed * 1000 + s, specs[s].root, specs[s].size)
+                : std::vector<std::int64_t>(specs[s].size, 0);
+        ids.push_back(batch.add<std::int64_t>(
+            std::span<const std::int64_t>(contribution), mp::SumOp{},
+            std::int64_t{0}, specs[s].root));
+      }
+      batch.bcast_rooted();
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const std::vector<std::int64_t> expected =
+            int_values(seed * 1000 + s, specs[s].root, specs[s].size);
+        const auto got = batch.view<std::int64_t>(ids[s]);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(got[i], expected[i]) << "seed " << seed << " seg " << s;
+        }
+      }
+    });
+  }
+}
+
+// reset() keeps the batch reusable: run two different rounds back to back.
+TEST_P(BatchSweep, ResetAllowsReuseAcrossRounds) {
+  const int p = GetParam();
+  mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+    mp::CollectiveBatch batch(comm);
+    const std::vector<std::int64_t> ones(5, 1);
+    const std::size_t a =
+        batch.add<std::int64_t>(std::span<const std::int64_t>(ones),
+                                mp::SumOp{}, std::int64_t{0});
+    batch.exscan();
+    for (const std::int64_t v : batch.view<std::int64_t>(a)) {
+      EXPECT_EQ(v, comm.rank());
+    }
+    batch.reset();
+    EXPECT_EQ(batch.num_segments(), 0u);
+    const std::size_t b = batch.add<std::int64_t>(
+        std::span<const std::int64_t>(ones), mp::SumOp{});
+    batch.allreduce();
+    for (const std::int64_t v : batch.view<std::int64_t>(b)) {
+      EXPECT_EQ(v, comm.size());
+    }
+  });
+}
+
+// Fused rounds cost O(1) collective calls regardless of segment count.
+TEST(CollectiveBatch, OneCallPerRoundInStats) {
+  const auto result = mp::run_ranks(4, kZero, [](mp::Comm& comm) {
+    mp::CollectiveBatch batch(comm);
+    const std::vector<std::int64_t> data(8, 1);
+    for (int s = 0; s < 10; ++s) {
+      batch.add<std::int64_t>(std::span<const std::int64_t>(data), mp::SumOp{},
+                              std::int64_t{0}, s % comm.size());
+    }
+    batch.exscan();
+  });
+  const mp::CommStats& stats = result.ranks[0].stats;
+  EXPECT_EQ(stats.calls_by_op[static_cast<int>(mp::CommOp::kScan)], 1u);
+}
+
+TEST(CollectiveBatch, EmptyBatchRoundsAreNoOps) {
+  mp::run_ranks(3, kZero, [](mp::Comm& comm) {
+    mp::CollectiveBatch batch(comm);
+    batch.exscan();
+    batch.allreduce();
+    batch.reduce_rooted();
+    batch.bcast_rooted();
+    EXPECT_EQ(batch.packed_bytes(), 0u);
+  });
+}
+
+TEST(CollectiveBatch, ViewRejectsElementSizeMismatch) {
+  mp::run_ranks(1, kZero, [](mp::Comm& comm) {
+    mp::CollectiveBatch batch(comm);
+    const std::vector<std::int64_t> data(3, 1);
+    const std::size_t id = batch.add<std::int64_t>(
+        std::span<const std::int64_t>(data), mp::SumOp{});
+    EXPECT_THROW((void)batch.view<std::int32_t>(id), std::invalid_argument);
+  });
+}
+
+TEST(CollectiveBatch, AddRejectsBadRoot) {
+  mp::run_ranks(2, kZero, [](mp::Comm& comm) {
+    mp::CollectiveBatch batch(comm);
+    const std::vector<std::int64_t> data(3, 1);
+    EXPECT_THROW(batch.add<std::int64_t>(std::span<const std::int64_t>(data),
+                                         mp::SumOp{}, std::int64_t{0}, 7),
+                 std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace scalparc

@@ -506,6 +506,59 @@ TEST(FaultRecovery, ResumeWithoutCheckpointThrows) {
                core::CheckpointError);
 }
 
+// Differential: a fused run killed mid-tree and resumed must reproduce the
+// UNFUSED clean tree — recovery correctness and fused/unfused equivalence
+// checked in one pass.
+TEST(FaultRecovery, FusedKillAndResumeMatchesUnfusedCleanTree) {
+  const data::Dataset training = make_training(3000);
+  core::InductionControls unfused;
+  unfused.options.max_depth = 5;
+  unfused.options.fuse_collectives = false;
+  const std::string expected =
+      tree_bytes(core::ScalParC::fit(training, 4, unfused).tree);
+
+  TempDir dir("scalparc_ckpt_fused_diff");
+  mp::FaultPlan plan;
+  plan.parse("kill:r=1,level=2");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  core::InductionControls fused = unfused;
+  fused.options.fuse_collectives = true;
+  fused.checkpoint.directory = dir.path;
+  const core::RecoveryReport report = core::ScalParC::fit_with_recovery(
+      training, 4, fused, kZero, options);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(tree_bytes(report.fit.tree), expected);
+}
+
+// fuse_collectives is deliberately absent from the checkpoint fingerprint:
+// a checkpoint written by an unfused run resumes under the fused path (and
+// still reproduces the identical tree).
+TEST(FaultRecovery, CheckpointWrittenUnfusedResumesFused) {
+  const data::Dataset training = make_training(3000);
+  core::InductionControls unfused;
+  unfused.options.max_depth = 5;
+  unfused.options.fuse_collectives = false;
+  const std::string expected =
+      tree_bytes(core::ScalParC::fit(training, 4, unfused).tree);
+
+  TempDir dir("scalparc_ckpt_cross_flag");
+  core::InductionControls ckpt = unfused;
+  ckpt.checkpoint.directory = dir.path;
+  mp::FaultPlan plan;
+  plan.parse("kill:r=2,level=3");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  EXPECT_THROW(core::ScalParC::fit(training, 4, ckpt, kZero, options),
+               mp::InjectedFault);
+
+  core::InductionControls fused = ckpt;
+  fused.options.fuse_collectives = true;
+  const core::FitReport resumed =
+      core::ScalParC::resume_from_checkpoint(training, 4, fused);
+  EXPECT_EQ(tree_bytes(resumed.tree), expected);
+}
+
 TEST(FaultRecovery, RecoveryRequiresCheckpointDirectory) {
   const data::Dataset training = make_training(500);
   EXPECT_THROW(core::ScalParC::fit_with_recovery(training, 2, {}),

@@ -4,10 +4,13 @@
 // invariants that per-level splitting must preserve.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <sstream>
 
 #include "core/predict.hpp"
 #include "core/scalparc.hpp"
+#include "core/tree_io.hpp"
 #include "data/synthetic.hpp"
 #include "sprint/parallel_sprint.hpp"
 #include "sprint/serial_cart.hpp"
@@ -523,6 +526,94 @@ TEST(Induction, PhaseTimingsAccountedUnderRealCostModel) {
                            report.stats.performsplit_seconds;
   EXPECT_LE(accounted, report.stats.total_seconds * 1.001);
   EXPECT_GT(accounted, report.stats.total_seconds * 0.9);
+}
+
+// ---------------------------------------------------------------------------
+// Collective fusion: the fused per-level rounds are a drop-in replacement
+// for the per-attribute collectives, differentially tested against them.
+// ---------------------------------------------------------------------------
+
+std::string tree_bytes(const DecisionTree& tree) {
+  std::ostringstream out;
+  core::save_tree(tree, out);
+  return out.str();
+}
+
+TEST(CollectiveFusion, FusedTreeByteIdenticalToUnfused) {
+  // Mixed data: 9 Quest attributes = 6 continuous + 3 categorical.
+  GeneratorConfig config;
+  config.seed = 11;
+  config.function = LabelFunction::kF6;
+  config.num_attributes = 9;
+  config.label_noise = 0.05;
+  const data::Dataset training = QuestGenerator(config).generate(0, 1200);
+
+  for (const auto reduction : {core::CategoricalReduction::kCoordinator,
+                               core::CategoricalReduction::kAllRanks}) {
+    for (const int p : {1, 2, 3, 4, 8}) {
+      InductionControls fused;
+      fused.options.categorical_reduction = reduction;
+      fused.options.fuse_collectives = true;
+      InductionControls unfused = fused;
+      unfused.options.fuse_collectives = false;
+      const std::string a = tree_bytes(ScalParC::fit(training, p, fused).tree);
+      const std::string b =
+          tree_bytes(ScalParC::fit(training, p, unfused).tree);
+      EXPECT_EQ(a, b) << "p=" << p << " reduction="
+                      << static_cast<int>(reduction);
+    }
+  }
+}
+
+TEST(CollectiveFusion, FusedTreeByteIdenticalWithBinarySubsetSplits) {
+  GeneratorConfig config;
+  config.seed = 4;
+  config.function = LabelFunction::kF7;
+  config.num_attributes = 9;
+  const data::Dataset training = QuestGenerator(config).generate(0, 900);
+  InductionControls fused;
+  fused.options.categorical_split = core::CategoricalSplit::kBinarySubset;
+  InductionControls unfused = fused;
+  unfused.options.fuse_collectives = false;
+  EXPECT_EQ(tree_bytes(ScalParC::fit(training, 4, fused).tree),
+            tree_bytes(ScalParC::fit(training, 4, unfused).tree));
+}
+
+// The point of the fusion: per-level collective rounds are O(1) in the
+// number of attribute lists, where the unfused path issues O(attributes)
+// collectives per level.
+TEST(CollectiveFusion, FusedCollectiveCallsConstantInAttributeCount) {
+  const auto max_calls_per_level = [](int attributes, bool fuse) {
+    GeneratorConfig config;
+    config.seed = 7;
+    config.function = LabelFunction::kF1;  // depends on age only
+    config.num_attributes = attributes;
+    InductionControls controls;
+    controls.options.fuse_collectives = fuse;
+    controls.options.max_depth = 4;
+    controls.collect_level_stats = true;
+    const auto report =
+        ScalParC::fit(QuestGenerator(config).generate(0, 800), 4, controls);
+    std::int64_t max_calls = 0;
+    for (const core::LevelStats& level : report.stats.per_level) {
+      max_calls = std::max(max_calls, level.collective_calls);
+    }
+    return max_calls;
+  };
+
+  // 3 attributes = 3 continuous lists; 9 = 6 continuous + 3 categorical.
+  const std::int64_t fused_small = max_calls_per_level(3, true);
+  const std::int64_t fused_large = max_calls_per_level(9, true);
+  const std::int64_t unfused_small = max_calls_per_level(3, false);
+  const std::int64_t unfused_large = max_calls_per_level(9, false);
+
+  // Fused: adding six lists adds at most the categorical round and the
+  // winner-mapping broadcast, never one collective per list.
+  EXPECT_LE(fused_large, fused_small + 2);
+  EXPECT_LE(fused_large, 16);
+  // Unfused: each extra continuous list costs two exscans per level.
+  EXPECT_GE(unfused_large, unfused_small + 6);
+  EXPECT_GT(unfused_large, fused_large);
 }
 
 TEST(Induction, PresortTimePrecordedUnderRealCostModel) {

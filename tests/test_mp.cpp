@@ -52,7 +52,7 @@ TEST(MpP2P, TagMatchingAllowsOutOfOrderArrival) {
 TEST(MpP2P, EmptyPayload) {
   mp::run_ranks(2, kZero, [](mp::Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send<int>(1, 1, {});
+      comm.send<int>(1, 1, std::span<const int>{});
     } else {
       EXPECT_TRUE(comm.recv<int>(0, 1).empty());
     }

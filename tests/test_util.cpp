@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/memory_meter.hpp"
 #include "util/random.hpp"
@@ -229,6 +230,60 @@ TEST(Stopwatch, FormatDuration) {
   EXPECT_STREQ(util::format_duration({1.5}, buffer, sizeof(buffer)), "1.500 s");
   EXPECT_STREQ(util::format_duration({0.0025}, buffer, sizeof(buffer)), "2.500 ms");
   EXPECT_STREQ(util::format_duration({25e-6}, buffer, sizeof(buffer)), "25.0 us");
+}
+
+// ---------------------------------------------------------------------------
+// Json (the bench output format)
+// ---------------------------------------------------------------------------
+
+TEST(Json, BuildDumpParseRoundTrip) {
+  util::Json doc = util::Json::object();
+  doc["bench"] = "level_comm";
+  doc["records"] = std::int64_t{16000};
+  doc["ok"] = true;
+  doc["ratio"] = 1.25;
+  util::Json runs = util::Json::array();
+  util::Json run = util::Json::object();
+  run["procs"] = 8;
+  run["fused"] = false;
+  runs.push_back(std::move(run));
+  doc["runs"] = std::move(runs);
+
+  const util::Json parsed = util::Json::parse(doc.dump(2));
+  EXPECT_EQ(parsed.at("bench").as_string(), "level_comm");
+  EXPECT_EQ(parsed.at("records").as_int(), 16000);
+  EXPECT_TRUE(parsed.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(parsed.at("ratio").as_double(), 1.25);
+  EXPECT_EQ(parsed.at("runs").size(), 1u);
+  EXPECT_EQ(parsed.at("runs").at(0).at("procs").as_int(), 8);
+  EXPECT_FALSE(parsed.at("runs").at(0).at("fused").as_bool());
+  // Deterministic serialization: dump(parse(dump(x))) == dump(x).
+  EXPECT_EQ(parsed.dump(2), doc.dump(2));
+  // Compact form parses identically.
+  EXPECT_EQ(util::Json::parse(doc.dump(0)).dump(2), doc.dump(2));
+}
+
+TEST(Json, ParsesEscapesAndNested) {
+  const util::Json v = util::Json::parse(
+      R"({"s": "a\"b\\c\ndA", "xs": [1, -2.5, 3e2, null, [true]]})");
+  EXPECT_EQ(v.at("s").as_string(), "a\"b\\c\ndA");
+  EXPECT_EQ(v.at("xs").size(), 5u);
+  EXPECT_DOUBLE_EQ(v.at("xs").at(1).as_double(), -2.5);
+  EXPECT_DOUBLE_EQ(v.at("xs").at(2).as_double(), 300.0);
+  EXPECT_TRUE(v.at("xs").at(3).is_null());
+  EXPECT_TRUE(v.at("xs").at(4).at(0).as_bool());
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "nan"}) {
+    EXPECT_THROW((void)util::Json::parse(bad), std::invalid_argument)
+        << "input: " << bad;
+  }
+  const util::Json v = util::Json::parse("{\"a\": 1}");
+  EXPECT_THROW((void)v.at("missing"), std::out_of_range);
+  EXPECT_THROW((void)v.at("a").as_string(), std::invalid_argument);
+  EXPECT_EQ(v.find("missing"), nullptr);
 }
 
 }  // namespace
