@@ -8,6 +8,9 @@
 // Phase 2 kills one rank at each level in turn (deterministic injection),
 // then times resume-from-checkpoint against a full retrain; both must yield
 // a tree byte-identical to the fault-free baseline (verified via tree_io).
+// Phase 3 compares the two recovery policies end to end: after a mid-tree
+// rank death, restart the full world from the checkpoint vs shrink to the
+// p-1 survivors and repartition (elastic restore) — both byte-identical.
 #include <unistd.h>
 
 #include <chrono>
@@ -135,8 +138,58 @@ int main(int argc, char** argv) {
             retrain_s / recovery_s);
   }
 
+  // Phase 3: restart vs shrink-to-survivors after a mid-tree rank death.
+  // Each timed run covers the whole recovery: the failed attempt, the
+  // checkpoint reload (full-world restart vs elastic repartition across the
+  // survivors) and the completion of the tree.
+  bench::CsvWriter policy_csv(
+      args, "fault_recovery_policy.csv",
+      "kill_level,restart_s,shrink_s,shrink_ranks,ratio");
+  std::printf("\nrecovery policy after a rank death (full recovery time)\n");
+  std::printf("%10s | %12s %12s | %8s\n", "kill level", "restart(s)",
+              "shrink(s)", "ratio");
+  for (int level = 1; level < levels; level += 2) {
+    double policy_seconds[2] = {0.0, 0.0};
+    int shrink_ranks = ranks;
+    for (const core::RecoveryPolicy policy :
+         {core::RecoveryPolicy::kRestart, core::RecoveryPolicy::kShrink}) {
+      std::filesystem::remove_all(ckpt_root);
+      mp::FaultPlan plan;
+      plan.parse("kill:r=" + std::to_string(ranks - 1) +
+                 ",level=" + std::to_string(level));
+      mp::RunOptions faulty;
+      faulty.fault_plan = &plan;
+      core::RecoveryReport report;
+      const double recovery_s = wall_seconds([&] {
+        report = core::ScalParC::fit_with_recovery(
+            training, ranks, ckpt_controls, mp::CostModel::zero(), faulty, 3,
+            policy);
+      });
+      if (tree_bytes(report.fit.tree) != expected) {
+        std::printf("ERROR: %s recovery at level %d diverged from baseline\n",
+                    policy == core::RecoveryPolicy::kShrink ? "shrink"
+                                                            : "restart",
+                    level);
+        return 1;
+      }
+      if (policy == core::RecoveryPolicy::kShrink) {
+        policy_seconds[1] = recovery_s;
+        shrink_ranks = report.events.empty() ? ranks
+                                             : report.events[0].ranks_after;
+      } else {
+        policy_seconds[0] = recovery_s;
+      }
+    }
+    std::printf("%10d | %12.3f %12.3f | %7.2fx  (%d survivors)\n", level,
+                policy_seconds[0], policy_seconds[1],
+                policy_seconds[0] / policy_seconds[1], shrink_ranks);
+    policy_csv.row("%d,%.6f,%.6f,%d,%.6f", level, policy_seconds[0],
+                   policy_seconds[1], shrink_ranks,
+                   policy_seconds[0] / policy_seconds[1]);
+  }
+
   std::filesystem::remove_all(ckpt_root);
   std::printf("\nall recovered trees byte-identical to the fault-free run\n");
-  std::printf("csv: %s\n", csv.path().c_str());
+  std::printf("csv: %s, %s\n", csv.path().c_str(), policy_csv.path().c_str());
   return 0;
 }

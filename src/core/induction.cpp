@@ -9,6 +9,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/count_matrix.hpp"
+#include "core/elastic_restore.hpp"
 #include "core/gini.hpp"
 #include "core/node_table.hpp"
 #include "core/split_finder.hpp"
@@ -260,7 +261,8 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     if (manifest.level != latest) {
       throw CheckpointError("manifest level disagrees with its directory name");
     }
-    if (manifest.ranks != p) {
+    const bool repartition = manifest.ranks != p;
+    if (repartition && !controls.checkpoint.allow_repartition) {
       throw CheckpointError("checkpoint was written by " +
                             std::to_string(manifest.ranks) +
                             " ranks; resuming with " + std::to_string(p));
@@ -293,36 +295,68 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       active.push_back(std::move(node));
     }
 
-    CheckpointRankReader reader(level_dir, comm.rank());
-    const auto restore_offsets = [&](std::vector<std::uint64_t> raw,
-                                     std::size_t num_entries) {
-      std::vector<std::size_t> offsets(raw.begin(), raw.end());
-      if (offsets.size() != active.size() + 1 || offsets.front() != 0 ||
-          offsets.back() != num_entries ||
-          !std::is_sorted(offsets.begin(), offsets.end())) {
-        throw CheckpointError("restored segment offsets are inconsistent");
+    if (!repartition) {
+      CheckpointRankReader reader(level_dir, comm.rank());
+      const auto restore_offsets = [&](std::vector<std::uint64_t> raw,
+                                       std::size_t num_entries) {
+        std::vector<std::size_t> offsets(raw.begin(), raw.end());
+        if (offsets.size() != active.size() + 1 || offsets.front() != 0 ||
+            offsets.back() != num_entries ||
+            !std::is_sorted(offsets.begin(), offsets.end())) {
+          throw CheckpointError("restored segment offsets are inconsistent");
+        }
+        return offsets;
+      };
+      for (std::size_t li = 0; li < cont_lists.size(); ++li) {
+        ContList& list = cont_lists[li];
+        const std::string tag = "cont" + std::to_string(li);
+        list.entries = reader.read_section<ContinuousEntry>(tag);
+        list.offsets = restore_offsets(
+            reader.read_section<std::uint64_t>(tag + "_off"), list.entries.size());
+        list.mem = util::ScopedAllocation(comm.meter(),
+                                          util::MemCategory::kAttributeLists,
+                                          list.entries.size() * sizeof(ContinuousEntry));
       }
-      return offsets;
-    };
-    for (std::size_t li = 0; li < cont_lists.size(); ++li) {
-      ContList& list = cont_lists[li];
-      const std::string tag = "cont" + std::to_string(li);
-      list.entries = reader.read_section<ContinuousEntry>(tag);
-      list.offsets = restore_offsets(
-          reader.read_section<std::uint64_t>(tag + "_off"), list.entries.size());
-      list.mem = util::ScopedAllocation(comm.meter(),
-                                        util::MemCategory::kAttributeLists,
-                                        list.entries.size() * sizeof(ContinuousEntry));
-    }
-    for (std::size_t li = 0; li < cat_lists.size(); ++li) {
-      CatList& list = cat_lists[li];
-      const std::string tag = "cat" + std::to_string(li);
-      list.entries = reader.read_section<CategoricalEntry>(tag);
-      list.offsets = restore_offsets(
-          reader.read_section<std::uint64_t>(tag + "_off"), list.entries.size());
-      list.mem = util::ScopedAllocation(comm.meter(),
-                                        util::MemCategory::kAttributeLists,
-                                        list.entries.size() * sizeof(CategoricalEntry));
+      for (std::size_t li = 0; li < cat_lists.size(); ++li) {
+        CatList& list = cat_lists[li];
+        const std::string tag = "cat" + std::to_string(li);
+        list.entries = reader.read_section<CategoricalEntry>(tag);
+        list.offsets = restore_offsets(
+            reader.read_section<std::uint64_t>(tag + "_off"), list.entries.size());
+        list.mem = util::ScopedAllocation(comm.meter(),
+                                          util::MemCategory::kAttributeLists,
+                                          list.entries.size() * sizeof(CategoricalEntry));
+      }
+    } else {
+      // Shrink/grow restore: repartition every list written by
+      // manifest.ranks ranks across the current p ranks, preserving each
+      // node's globally sorted segment (see core/elastic_restore.hpp). The
+      // node table below is rebuilt for the current world every run, so its
+      // shard moves implicitly.
+      for (std::size_t li = 0; li < cont_lists.size(); ++li) {
+        ContList& list = cont_lists[li];
+        RestoredList<ContinuousEntry> restored =
+            elastic_restore_list<ContinuousEntry>(
+                comm, level_dir, manifest.ranks,
+                "cont" + std::to_string(li), active.size());
+        list.entries = std::move(restored.entries);
+        list.offsets = std::move(restored.offsets);
+        list.mem = util::ScopedAllocation(comm.meter(),
+                                          util::MemCategory::kAttributeLists,
+                                          list.entries.size() * sizeof(ContinuousEntry));
+      }
+      for (std::size_t li = 0; li < cat_lists.size(); ++li) {
+        CatList& list = cat_lists[li];
+        RestoredList<CategoricalEntry> restored =
+            elastic_restore_list<CategoricalEntry>(
+                comm, level_dir, manifest.ranks,
+                "cat" + std::to_string(li), active.size());
+        list.entries = std::move(restored.entries);
+        list.offsets = std::move(restored.offsets);
+        list.mem = util::ScopedAllocation(comm.meter(),
+                                          util::MemCategory::kAttributeLists,
+                                          list.entries.size() * sizeof(CategoricalEntry));
+      }
     }
     level_index = latest;
     stats.levels = latest;

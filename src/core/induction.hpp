@@ -79,6 +79,12 @@ enum class SplittingStrategy : int {
 struct CheckpointControls {
   std::string directory;  // empty disables checkpointing
   bool resume = false;
+  // Allow resuming under a different rank count than the checkpoint was
+  // written with: the restore repartitions every attribute list across the
+  // current world (see core/elastic_restore.hpp). Off by default so an
+  // accidental world-size mismatch stays a loud error; the shrink-to-
+  // survivors recovery policy switches it on.
+  bool allow_repartition = false;
 };
 
 struct InductionControls {

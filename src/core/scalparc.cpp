@@ -118,7 +118,8 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
                                            const InductionControls& controls,
                                            const mp::CostModel& model,
                                            const mp::RunOptions& run_options,
-                                           int max_retries) {
+                                           int max_retries,
+                                           RecoveryPolicy policy) {
   if (nranks <= 0) {
     throw std::invalid_argument(
         "ScalParC::fit_with_recovery: nranks must be positive");
@@ -132,9 +133,10 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
   RecoveryReport report;
   InductionControls attempt_controls = controls;
   mp::RunOptions attempt_options = run_options;
+  int world = nranks;
   for (int retry = 0;; ++retry) {
     Attempt attempt =
-        run_fit(training, nranks, attempt_controls, model, attempt_options);
+        run_fit(training, world, attempt_controls, model, attempt_options);
     report.attempts = retry + 1;
     if (!attempt.run.failed()) {
       report.fit = report_from(std::move(attempt));
@@ -149,6 +151,22 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
     // retry, matching a crashed-and-restarted process. Without this a
     // level-triggered kill would fire again on every resume, forever.
     attempt_options.fault_plan = nullptr;
+    // Shrink only on a classified rank death (the liveness registry names
+    // the casualties); a deadlock/timeout has no dead rank to remove, so a
+    // shrink request degrades to a restart of the same world.
+    const auto casualties = static_cast<int>(attempt.run.dead_ranks.size());
+    const bool rank_died =
+        attempt.run.failure_kind == mp::FailureKind::kRankDeath &&
+        casualties > 0;
+    if (policy == RecoveryPolicy::kShrink && rank_died && world > casualties) {
+      world -= casualties;
+      event.policy = RecoveryPolicy::kShrink;
+      // The survivors reload a checkpoint written by the larger world.
+      attempt_controls.checkpoint.allow_repartition = true;
+    } else {
+      event.policy = RecoveryPolicy::kRestart;
+    }
+    event.ranks_after = world;
     const std::optional<int> latest =
         checkpoint_latest_level(controls.checkpoint.directory);
     attempt_controls.checkpoint.resume = latest.has_value();

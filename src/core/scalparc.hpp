@@ -28,6 +28,14 @@ struct FitReport {
   mp::RunResult run;         // per-rank comm stats, memory peaks, timings
 };
 
+// What fit_with_recovery does after a failed attempt. kRestart re-runs the
+// full original world from the last checkpoint; kShrink drops the dead
+// rank(s) and continues with the survivors, repartitioning the checkpointed
+// attribute lists across the smaller world (elastic restore). Shrinking is
+// only sound when a specific rank provably died — deadlock and timeout
+// failures fall back to a restart even under kShrink.
+enum class RecoveryPolicy : int { kRestart = 0, kShrink = 1 };
+
 // One failure observed (and survived) by fit_with_recovery.
 struct RecoveryEvent {
   int failed_rank = -1;
@@ -35,6 +43,12 @@ struct RecoveryEvent {
   // checkpoint existed yet and the retry restarted from scratch.
   int resumed_level = -1;
   std::string message;  // what the failed rank threw
+  // Policy actually applied to this failure (a shrink request degrades to
+  // kRestart when no rank provably died).
+  RecoveryPolicy policy = RecoveryPolicy::kRestart;
+  // World size the retry ran with (smaller than the previous attempt's
+  // after a shrink).
+  int ranks_after = -1;
 };
 
 struct RecoveryReport {
@@ -86,12 +100,16 @@ class ScalParC {
   // which case the last failure is rethrown. Faults are treated as
   // transient — an injected fault plan is dropped after the first failure,
   // matching a crashed-and-restarted process. Requires a checkpoint
-  // directory in `controls`.
+  // directory in `controls`. Under RecoveryPolicy::kShrink a rank death
+  // removes the dead rank(s) from the world and the survivors continue from
+  // the checkpoint via elastic repartition, still producing the
+  // byte-identical tree.
   static RecoveryReport fit_with_recovery(
       const data::Dataset& training, int nranks,
       const InductionControls& controls,
       const mp::CostModel& model = mp::CostModel::zero(),
-      const mp::RunOptions& run_options = {}, int max_retries = 3);
+      const mp::RunOptions& run_options = {}, int max_retries = 3,
+      RecoveryPolicy policy = RecoveryPolicy::kRestart);
 };
 
 }  // namespace scalparc::core

@@ -1,6 +1,8 @@
 #include "mp/comm.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +19,30 @@ namespace {
 // that an injected deadlock resolves promptly, large enough that the probe
 // never shows up in profiles of healthy runs.
 constexpr std::chrono::milliseconds kRecvSlice{25};
+
+// splitmix64, for deterministic retransmit-backoff jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Backoff with +-25% deterministic jitter so retransmit timers of different
+// ranks/tags do not fire in lockstep, yet a fixed run replays identically.
+double jittered_ms(double backoff_ms, int rank, std::int64_t tag, int attempt) {
+  const std::uint64_t h =
+      mix64(static_cast<std::uint64_t>(rank) << 48 ^
+            static_cast<std::uint64_t>(tag) << 8 ^
+            static_cast<std::uint64_t>(attempt));
+  const double unit = static_cast<double>(h % 1024) / 1024.0;  // [0, 1)
+  return backoff_ms * (0.75 + 0.5 * unit);
+}
+
+std::chrono::steady_clock::duration duration_from_ms(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
 
 }  // namespace
 
@@ -77,7 +103,17 @@ void Comm::send_payload(int dst, std::int64_t tag, Payload payload) {
   // *detected* at the receiver, never silently mis-parsed.
   message.crc = util::crc32(message.payload.bytes());
   stats_.record_send(current_op_, message.payload.size());
+  Channel& channel = hub_.channel(rank_, dst);
+  const ReliabilityOptions& reliability = hub_.options().reliability;
+  if (reliability.enabled) {
+    // Sequence and retain a clean copy *before* wire faults touch the
+    // message: whatever the wire does, the receiver can always be given
+    // back exactly what was sent.
+    message.seq = channel.assign_seq();
+    channel.record_inflight(message);
+  }
   const FaultPlan* plan = hub_.options().fault_plan;
+  bool duplicate = false;
   if (plan != nullptr) {
     if (plan->drops_at_op(rank_, op)) {
       plan->count_drop();
@@ -86,8 +122,21 @@ void Comm::send_payload(int dst, std::int64_t tag, Payload payload) {
     if (plan->corrupts_at_op(rank_, op)) {
       plan->corrupt_payload(message.payload.mutable_bytes(), rank_, op);
     }
+    if (plan->duplicates_at_op(rank_, op)) {
+      plan->count_duplicate();
+      duplicate = true;
+    }
   }
-  hub_.channel(rank_, dst).push(std::move(message));
+  if (duplicate) {
+    Message copy;
+    copy.tag = message.tag;
+    copy.seq = message.seq;
+    copy.arrival_vtime = message.arrival_vtime;
+    copy.crc = message.crc;
+    copy.payload = Payload::copy_of(message.payload.bytes());
+    channel.push(std::move(copy));
+  }
+  channel.push(std::move(message));
 }
 
 Payload Comm::recv_payload(int src, std::int64_t tag) {
@@ -96,57 +145,144 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
   }
   begin_op("recv");
   Channel& channel = hub_.channel(src, rank_);
+  const RunOptions& options = hub_.options();
+  const ReliabilityOptions& reliability = options.reliability;
+  using clock = std::chrono::steady_clock;
+
+  // Lazily initialized slow-path state, shared across protocol retries: the
+  // overall timeout spans the whole logical receive, not one wire frame.
+  bool waiting = false;
+  bool bounded = false;
+  clock::time_point overall_deadline = clock::time_point::max();
+  clock::time_point next_retransmit = clock::time_point::max();
+  double backoff_ms = reliability.backoff_ms;
+  // Heal attempts charged against reliability.max_retransmits: nacks raised
+  // plus timer-driven retransmit requests that actually re-queued a copy.
+  int heal_attempts = 0;
+  int heals_performed = 0;
+  struct Unmark {
+    Hub* hub = nullptr;
+    int rank = 0;
+    ~Unmark() {
+      if (hub != nullptr) hub->mark_unblocked(rank);
+    }
+  } unmark;
+
   Message message;
-  if (!channel.try_pop(tag, message)) {
-    // Slow path: block in bounded slices; after each expired slice consult
-    // the deadlock detector and the overall per-receive timeout.
-    const RunOptions& options = hub_.options();
-    using clock = std::chrono::steady_clock;
-    const clock::time_point start = clock::now();
-    const bool bounded = options.recv_timeout_s > 0.0;
-    const clock::time_point overall_deadline =
-        bounded ? start + std::chrono::duration_cast<clock::duration>(
-                              std::chrono::duration<double>(options.recv_timeout_s))
-                : clock::time_point::max();
-    hub_.mark_blocked(rank_, src, tag);
-    struct Unmark {
-      Hub& hub;
-      int rank;
-      ~Unmark() { hub.mark_unblocked(rank); }
-    } unmark{hub_, rank_};
-    for (;;) {
-      clock::time_point slice = clock::now() + kRecvSlice;
-      if (slice > overall_deadline) slice = overall_deadline;
-      if (channel.try_pop_until(tag, message, slice) == Channel::PopStatus::kOk) {
-        break;
+  for (;;) {
+    bool got = channel.try_pop(tag, message);
+    if (!got) {
+      if (!waiting) {
+        waiting = true;
+        const clock::time_point start = clock::now();
+        bounded = options.recv_timeout_s > 0.0;
+        if (bounded) {
+          overall_deadline =
+              start + std::chrono::duration_cast<clock::duration>(
+                          std::chrono::duration<double>(options.recv_timeout_s));
+        }
+        if (reliability.enabled) {
+          next_retransmit =
+              start + duration_from_ms(
+                          jittered_ms(backoff_ms, rank_, tag, heal_attempts));
+        }
+        hub_.mark_blocked(rank_, src, tag);
+        unmark.hub = &hub_;
+        unmark.rank = rank_;
       }
-      if (options.detect_deadlock) {
-        const std::string diag = hub_.deadlock_diagnostic();
-        if (!diag.empty()) {
+      // Block in bounded slices; after each expired slice fire the
+      // retransmit timer if due, then consult the deadlock detector and the
+      // overall per-receive timeout.
+      for (;;) {
+        clock::time_point slice = clock::now() + kRecvSlice;
+        if (slice > overall_deadline) slice = overall_deadline;
+        if (slice > next_retransmit) slice = next_retransmit;
+        if (channel.try_pop_until(tag, message, slice) ==
+            Channel::PopStatus::kOk) {
+          got = true;
+          break;
+        }
+        const clock::time_point now = clock::now();
+        if (reliability.enabled && now >= next_retransmit) {
+          if (heal_attempts < reliability.max_retransmits) {
+            // The awaited frame is overdue: if the sender side still holds a
+            // clean unacknowledged copy for this tag, re-queue it (the frame
+            // was dropped); if not, the sender simply has not sent yet.
+            if (channel.request_retransmit(tag)) {
+              ++heal_attempts;
+              ++heals_performed;
+            }
+            backoff_ms = std::min(backoff_ms * 2.0, reliability.backoff_cap_ms);
+            next_retransmit =
+                now + duration_from_ms(
+                          jittered_ms(backoff_ms, rank_, tag, heal_attempts));
+          } else {
+            // Budget spent: hand authority back to the deadlock detector
+            // (its probe otherwise assumes this receiver will keep healing).
+            hub_.mark_heal_exhausted(rank_);
+            next_retransmit = clock::time_point::max();
+          }
+        }
+        if (options.detect_deadlock) {
+          const std::string diag = hub_.deadlock_diagnostic();
+          if (!diag.empty()) {
+            // Last poison-aware look: if the run was already poisoned (a
+            // peer died between our probe and its registration) unwind as a
+            // secondary RankAborted instead of a phantom primary failure.
+            if (channel.try_pop(tag, message)) {
+              got = true;
+              break;
+            }
+            hub_.poison_all();
+            throw DeadlockDetected(diag);
+          }
+        }
+        if (bounded && clock::now() >= overall_deadline) {
+          std::ostringstream what_out;
+          what_out << "recv timeout: rank " << rank_ << " waited "
+                   << options.recv_timeout_s << "s for recv(src=" << src
+                   << ", tag=" << tag << ")";
           hub_.poison_all();
-          throw DeadlockDetected(diag);
+          throw RecvTimeout(what_out.str());
         }
       }
-      if (bounded && clock::now() >= overall_deadline) {
-        std::ostringstream what_out;
-        what_out << "recv timeout: rank " << rank_ << " waited "
-                 << options.recv_timeout_s << "s for recv(src=" << src
-                 << ", tag=" << tag << ")";
-        hub_.poison_all();
-        throw RecvTimeout(what_out.str());
-      }
     }
+
+    // Protocol checks. Dedupe strictly before CRC: a duplicate of an
+    // already-accepted frame is discarded even if the wire mangled it, and a
+    // seq must only be marked accepted once its frame passes the checksum
+    // (a nacked frame's retransmission carries the same seq).
+    if (reliability.enabled && message.seq != 0 &&
+        channel.discard_if_duplicate(message.seq)) {
+      continue;
+    }
+    if (message.crc != util::crc32(message.payload.bytes())) {
+      if (reliability.enabled && message.seq != 0 &&
+          heal_attempts < reliability.max_retransmits &&
+          channel.nack_retransmit(message.seq)) {
+        ++heal_attempts;
+        ++heals_performed;
+        continue;
+      }
+      std::ostringstream what_out;
+      what_out << "corrupt message: rank " << rank_ << " recv(src=" << src
+               << ", tag=" << tag << ", bytes=" << message.payload.size()
+               << ") failed its CRC32 frame checksum";
+      throw CorruptMessage(what_out.str());
+    }
+    if (reliability.enabled && message.seq != 0) {
+      channel.acknowledge(message.seq);
+    }
+    if (message.arrival_vtime > vtime_) vtime_ = message.arrival_vtime;
+    // Each heal cost a modeled control round trip on top of the original
+    // arrival time (request or nack out, clean copy back).
+    if (heals_performed > 0) {
+      vtime_ += static_cast<double>(heals_performed) *
+                (2.0 * model_.latency_s + model_.send_overhead_s);
+    }
+    stats_.record_receive(message.payload.size());
+    return std::move(message.payload);
   }
-  if (message.crc != util::crc32(message.payload.bytes())) {
-    std::ostringstream what_out;
-    what_out << "corrupt message: rank " << rank_ << " recv(src=" << src
-             << ", tag=" << tag << ", bytes=" << message.payload.size()
-             << ") failed its CRC32 frame checksum";
-    throw CorruptMessage(what_out.str());
-  }
-  if (message.arrival_vtime > vtime_) vtime_ = message.arrival_vtime;
-  stats_.record_receive(message.payload.size());
-  return std::move(message.payload);
 }
 
 }  // namespace scalparc::mp

@@ -66,9 +66,11 @@ void FaultPlan::parse(const std::string& spec) {
       action.kind = FaultKind::kDelay;
     } else if (kind_text == "drop") {
       action.kind = FaultKind::kDrop;
+    } else if (kind_text == "duplicate") {
+      action.kind = FaultKind::kDuplicate;
     } else {
       bad_spec(item, "unknown kind '" + kind_text +
-                         "' (kill | corrupt | delay | drop)");
+                         "' (kill | corrupt | delay | drop | duplicate)");
     }
 
     bool have_rank = false;
@@ -105,6 +107,13 @@ void FaultPlan::parse(const std::string& spec) {
     if (action.kind == FaultKind::kDelay && action.delay_ms <= 0.0) {
       bad_spec(item, "delay needs ms=<positive>");
     }
+    for (const FaultAction& earlier : actions_) {
+      if (earlier.kind == action.kind && earlier.rank == action.rank &&
+          earlier.op == action.op && earlier.level == action.level) {
+        bad_spec(item, "duplicates an earlier action with the same "
+                       "(kind, rank, trigger); it would fire twice");
+      }
+    }
     actions_.push_back(action);
   }
 }
@@ -137,6 +146,15 @@ bool FaultPlan::corrupts_at_op(int rank, std::int64_t op) const {
 bool FaultPlan::drops_at_op(int rank, std::int64_t op) const {
   for (const FaultAction& a : actions_) {
     if (a.kind == FaultKind::kDrop && a.rank == rank && a.op == op) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::duplicates_at_op(int rank, std::int64_t op) const {
+  for (const FaultAction& a : actions_) {
+    if (a.kind == FaultKind::kDuplicate && a.rank == rank && a.op == op) {
+      return true;
+    }
   }
   return false;
 }

@@ -11,7 +11,11 @@
 //            checksum is computed, so the receiver detects CorruptMessage
 //   delay    sleep the rank's thread for a fixed wall-clock duration
 //   drop     swallow an outgoing message (the classic lost-message fault;
-//            the blocked receiver is reaped by the deadlock detector)
+//            healed in-band by the ack/retransmit layer when it is enabled,
+//            otherwise the blocked receiver is reaped by the deadlock
+//            detector)
+//   duplicate  push a second copy of an outgoing message with the same
+//            sequence number (retransmit-race fault; the receiver dedupes)
 //
 // Everything is deterministic: triggers are exact (rank, op) / (rank, level)
 // matches and corruption bit positions derive from a seed hashed with the
@@ -34,7 +38,7 @@ struct InjectedFault : std::runtime_error {
   explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
 };
 
-enum class FaultKind : int { kKill, kCorrupt, kDelay, kDrop };
+enum class FaultKind : int { kKill, kCorrupt, kDelay, kDrop, kDuplicate };
 
 struct FaultAction {
   FaultKind kind = FaultKind::kKill;
@@ -60,7 +64,10 @@ class FaultPlan {
   // Parses a ';'-separated spec and appends its actions, e.g.
   //   kill:r=2,level=3
   //   kill:r=1,op=50 ; corrupt:r=0,op=10 ; delay:r=1,op=5,ms=20 ; drop:r=0,op=3
-  // Throws std::invalid_argument on malformed input.
+  //   duplicate:r=1,op=4
+  // Throws std::invalid_argument on malformed input, including an action
+  // that repeats an earlier (kind, rank, trigger) — a duplicated entry would
+  // otherwise silently double-count.
   void parse(const std::string& spec);
 
   void set_seed(std::uint64_t seed) { seed_ = seed; }
@@ -75,6 +82,7 @@ class FaultPlan {
   bool kills_at_level(int rank, int level) const;
   bool corrupts_at_op(int rank, std::int64_t op) const;
   bool drops_at_op(int rank, std::int64_t op) const;
+  bool duplicates_at_op(int rank, std::int64_t op) const;
   double delay_ms_at_op(int rank, std::int64_t op) const;
 
   // Flips 1..3 payload bits at positions derived from (seed, rank, op).
@@ -87,9 +95,13 @@ class FaultPlan {
   std::uint64_t corruptions_injected() const { return corruptions_.load(); }
   std::uint64_t delays_injected() const { return delays_.load(); }
   std::uint64_t drops_injected() const { return drops_.load(); }
+  std::uint64_t duplicates_injected() const { return duplicates_.load(); }
   void count_kill() const { kills_.fetch_add(1, std::memory_order_relaxed); }
   void count_delay() const { delays_.fetch_add(1, std::memory_order_relaxed); }
   void count_drop() const { drops_.fetch_add(1, std::memory_order_relaxed); }
+  void count_duplicate() const {
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   std::vector<FaultAction> actions_;
@@ -98,6 +110,7 @@ class FaultPlan {
   mutable std::atomic<std::uint64_t> corruptions_{0};
   mutable std::atomic<std::uint64_t> delays_{0};
   mutable std::atomic<std::uint64_t> drops_{0};
+  mutable std::atomic<std::uint64_t> duplicates_{0};
 };
 
 }  // namespace scalparc::mp

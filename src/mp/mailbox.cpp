@@ -78,9 +78,135 @@ bool Channel::empty() const {
 
 std::size_t Channel::drain() {
   std::lock_guard<std::mutex> lock(mutex_);
-  const std::size_t count = queue_.size();
+  std::size_t undelivered = 0;
+  for (const Message& m : queue_) {
+    if (m.seq != 0 && accepted_locked(m.seq)) {
+      // A stale duplicate (retransmit race or injected duplicate fault) the
+      // receiver never needed to look at; absorbed, not lost.
+      ++stats_.duplicates;
+    } else {
+      ++undelivered;
+    }
+  }
   queue_.clear();
-  return count;
+  inflight_.clear();
+  return undelivered;
+}
+
+std::uint64_t Channel::assign_seq() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++next_seq_;
+}
+
+void Channel::record_inflight(const Message& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inflight_.size() >= inflight_cap_) inflight_.pop_front();
+  Inflight copy;
+  copy.seq = message.seq;
+  copy.tag = message.tag;
+  copy.arrival_vtime = message.arrival_vtime;
+  copy.crc = message.crc;
+  const std::span<const std::byte> bytes = message.payload.bytes();
+  copy.bytes.assign(bytes.begin(), bytes.end());
+  inflight_.push_back(std::move(copy));
+}
+
+void Channel::set_inflight_cap(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inflight_cap_ = cap == 0 ? 1 : cap;
+}
+
+bool Channel::accepted_locked(std::uint64_t seq) const {
+  return seq <= accepted_watermark_ || accepted_ahead_.count(seq) != 0;
+}
+
+bool Channel::discard_if_duplicate(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!accepted_locked(seq)) return false;
+  ++stats_.duplicates;
+  return true;
+}
+
+void Channel::acknowledge(std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!accepted_locked(seq)) {
+    if (seq == accepted_watermark_ + 1) {
+      ++accepted_watermark_;
+      while (accepted_ahead_.erase(accepted_watermark_ + 1) != 0) {
+        ++accepted_watermark_;
+      }
+    } else {
+      accepted_ahead_.insert(seq);
+    }
+  }
+  for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+    if (it->seq == seq) {
+      inflight_.erase(it);
+      break;
+    }
+  }
+}
+
+void Channel::requeue_locked(const Inflight& copy) {
+  Message message;
+  message.tag = copy.tag;
+  message.seq = copy.seq;
+  message.arrival_vtime = copy.arrival_vtime;
+  message.crc = copy.crc;
+  message.payload = Payload::copy_of(copy.bytes);
+  queue_.push_back(std::move(message));
+  ++stats_.retransmits;
+}
+
+bool Channel::nack_retransmit(std::uint64_t seq) {
+  bool requeued = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.nacks;
+    for (const Inflight& copy : inflight_) {
+      if (copy.seq == seq) {
+        requeue_locked(copy);
+        requeued = true;
+        break;
+      }
+    }
+  }
+  if (requeued) ready_.notify_all();
+  return requeued;
+}
+
+bool Channel::request_retransmit(std::int64_t tag) {
+  bool requeued = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Inflight& copy : inflight_) {
+      if (copy.tag != tag || accepted_locked(copy.seq)) continue;
+      // A copy whose frame is still queued is merely awaiting its pop; only
+      // a vanished (dropped) frame needs retransmission. Spurious requeues
+      // would be absorbed by dedupe anyway, but skipping them keeps the
+      // retransmit counter an honest measure of healing work.
+      const bool queued = std::any_of(
+          queue_.begin(), queue_.end(),
+          [&copy](const Message& m) { return m.seq == copy.seq; });
+      if (queued) continue;
+      requeue_locked(copy);
+      requeued = true;
+      break;
+    }
+  }
+  if (requeued) ready_.notify_all();
+  return requeued;
+}
+
+bool Channel::can_retransmit(std::int64_t tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(inflight_.begin(), inflight_.end(),
+                     [tag](const Inflight& c) { return c.tag == tag; });
+}
+
+ChannelStats Channel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
 }
 
 }  // namespace scalparc::mp

@@ -13,15 +13,27 @@
 // can bound every blocking wait: on expiry the Comm layer consults the Hub's
 // deadlock detector and either keeps waiting, aborts the run with a per-rank
 // diagnostic (DeadlockDetected), or gives up (RecvTimeout).
+//
+// Reliability (ack/retransmit): when enabled, every send carries a per-channel
+// monotone sequence number and the sender side of the channel retains a clean
+// byte copy of each unacknowledged message (bounded in-flight buffer). A
+// receiver that pops a frame failing its CRC nacks it by sequence number
+// (the clean copy is re-queued); a receiver whose wait times out requests a
+// retransmit by tag. Accepted sequence numbers are tracked (compacted
+// watermark + out-of-order set) so retransmit races and an injected
+// `duplicate` fault are absorbed by dedupe instead of being delivered twice.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "mp/message.hpp"
 
@@ -46,6 +58,24 @@ struct RecvTimeout : std::runtime_error {
 // the run can never make progress. Carries a per-rank diagnostic.
 struct DeadlockDetected : std::runtime_error {
   explicit DeadlockDetected(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Reliability counters of one channel (or an aggregate over channels).
+struct ChannelStats {
+  // Clean copies re-queued from the in-flight buffer (nack- or timer-driven).
+  std::uint64_t retransmits = 0;
+  // CRC-mismatch nacks raised by the receiver.
+  std::uint64_t nacks = 0;
+  // Frames discarded because their sequence number was already accepted.
+  std::uint64_t duplicates = 0;
+
+  ChannelStats& operator+=(const ChannelStats& other) {
+    retransmits += other.retransmits;
+    nacks += other.nacks;
+    duplicates += other.duplicates;
+    return *this;
+  }
+  std::uint64_t heal_events() const { return retransmits + duplicates; }
 };
 
 class Channel {
@@ -78,17 +108,71 @@ class Channel {
   // True if any message is queued (used by shutdown sanity checks).
   bool empty() const;
 
-  // Removes and counts all queued messages (post-abort hygiene).
+  // Removes all queued messages (post-abort hygiene) and returns how many of
+  // them were genuinely undelivered. Frames whose sequence number was already
+  // accepted are stale duplicates absorbed by the reliability layer — they
+  // are counted into stats().duplicates, not into the return value.
   std::size_t drain();
 
+  // --- reliability (ack/retransmit) protocol --------------------------
+  // Sender side. assign_seq hands out the next per-channel sequence number;
+  // record_inflight retains a clean byte copy of `message` (call it with the
+  // CRC-framed message *before* wire faults are applied) in a bounded buffer
+  // — when the buffer is full the oldest copy is evicted and can no longer
+  // be retransmitted.
+  std::uint64_t assign_seq();
+  void record_inflight(const Message& message);
+  void set_inflight_cap(std::size_t cap);
+
+  // Receiver side. discard_if_duplicate returns true (and counts a dupe) if
+  // `seq` was already accepted. acknowledge marks `seq` accepted and releases
+  // its in-flight copy. nack_retransmit re-queues the clean copy of `seq`
+  // (CRC-mismatch recovery); request_retransmit re-queues the oldest
+  // unacknowledged copy with `tag` that is not currently queued (lost-message
+  // recovery). Both return false when no retransmittable copy exists.
+  bool discard_if_duplicate(std::uint64_t seq);
+  void acknowledge(std::uint64_t seq);
+  bool nack_retransmit(std::uint64_t seq);
+  bool request_retransmit(std::int64_t tag);
+
+  // Deadlock-detector probe: true if a retransmittable copy with this tag is
+  // buffered, i.e. a blocked receiver can still heal the channel itself.
+  bool can_retransmit(std::int64_t tag) const;
+
+  ChannelStats stats() const;
+
  private:
+  // A clean (pre-fault) byte copy of an unacknowledged message.
+  struct Inflight {
+    std::uint64_t seq = 0;
+    std::int64_t tag = 0;
+    double arrival_vtime = 0.0;
+    std::uint32_t crc = 0;
+    std::vector<std::byte> bytes;
+  };
+
   // Caller must hold mutex_. Returns true and fills `out` on a tag match.
   bool take_locked(std::int64_t tag, Message& out);
+  // Caller must hold mutex_. True if `seq` is in the accepted set.
+  bool accepted_locked(std::uint64_t seq) const;
+  // Caller must hold mutex_. Rebuilds a Message from an in-flight copy and
+  // queues it (the caller notifies ready_ after releasing the lock).
+  void requeue_locked(const Inflight& copy);
 
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<Message> queue_;
   bool poisoned_ = false;
+
+  std::uint64_t next_seq_ = 0;
+  std::deque<Inflight> inflight_;
+  std::size_t inflight_cap_ = 64;
+  // Accepted sequence numbers: everything <= watermark plus a compacted
+  // out-of-order set (receives match by tag, so acceptance order can differ
+  // from send order).
+  std::uint64_t accepted_watermark_ = 0;
+  std::set<std::uint64_t> accepted_ahead_;
+  ChannelStats stats_;
 };
 
 }  // namespace scalparc::mp

@@ -82,6 +82,10 @@ struct Message {
   // Matching key. Collectives tag messages with a per-communicator sequence
   // number so that a rank running ahead can never confuse two operations.
   std::int64_t tag = 0;
+  // Per-channel monotone sequence number assigned by the reliability layer
+  // (1-based; 0 means "unsequenced", i.e. reliability disabled). Receivers
+  // dedupe on it and address nack/retransmit requests with it.
+  std::uint64_t seq = 0;
   // Modeled arrival time at the receiver (seconds on the virtual clock):
   // sender_vtime + latency + bytes * seconds_per_byte.
   double arrival_vtime = 0.0;

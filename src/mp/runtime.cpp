@@ -1,6 +1,7 @@
 #include "mp/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <sstream>
 #include <stdexcept>
@@ -11,11 +12,23 @@
 
 namespace scalparc::mp {
 
+double default_recv_timeout_s() {
+  if (const char* text = std::getenv("SCALPARC_TEST_RECV_TIMEOUT_S")) {
+    char* end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end != text && *end == '\0' && v > 0.0) return v;
+  }
+  return 120.0;
+}
+
 Hub::Hub(int nranks, const RunOptions& options)
     : nranks_(nranks), options_(options) {
   if (nranks <= 0) throw std::invalid_argument("Hub: nranks must be positive");
   channels_ = std::vector<Channel>(static_cast<std::size_t>(nranks) *
                                    static_cast<std::size_t>(nranks));
+  for (Channel& c : channels_) {
+    c.set_inflight_cap(options_.reliability.inflight_cap);
+  }
   waits_.resize(static_cast<std::size_t>(nranks));
   unfinished_ = nranks;
 }
@@ -35,17 +48,46 @@ void Hub::poison_all() {
   for (Channel& c : channels_) c.poison();
 }
 
+ChannelStats Hub::transport_stats() const {
+  ChannelStats total;
+  for (const Channel& c : channels_) total += c.stats();
+  return total;
+}
+
 void Hub::mark_blocked(int rank, int src, std::int64_t tag) {
   std::lock_guard<std::mutex> lock(wait_mutex_);
   WaitState& w = waits_[static_cast<std::size_t>(rank)];
   w.blocked = true;
   w.src = src;
   w.tag = tag;
+  w.heal_exhausted = false;  // fresh budget for every logical receive
+  ++w.epoch;
+}
+
+void Hub::mark_heal_exhausted(int rank) {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  waits_[static_cast<std::size_t>(rank)].heal_exhausted = true;
 }
 
 void Hub::mark_unblocked(int rank) {
   std::lock_guard<std::mutex> lock(wait_mutex_);
-  waits_[static_cast<std::size_t>(rank)].blocked = false;
+  WaitState& w = waits_[static_cast<std::size_t>(rank)];
+  w.blocked = false;
+  ++w.epoch;
+}
+
+void Hub::mark_dead(int rank) {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  waits_[static_cast<std::size_t>(rank)].dead = true;
+}
+
+std::vector<int> Hub::dead_ranks() const {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  std::vector<int> dead;
+  for (int r = 0; r < nranks_; ++r) {
+    if (waits_[static_cast<std::size_t>(r)].dead) dead.push_back(r);
+  }
+  return dead;
 }
 
 void Hub::mark_finished(int rank) {
@@ -61,15 +103,41 @@ void Hub::mark_finished(int rank) {
 std::string Hub::deadlock_diagnostic() {
   std::lock_guard<std::mutex> lock(wait_mutex_);
   if (unfinished_ == 0) return "";
+  // Liveness-epoch classification: a registered dead rank means this is not
+  // an all-blocked livelock — the blocked survivors are waiting on a rank
+  // that will never send again, and recovery must shrink the world to the
+  // survivors or restart it.
+  bool any_dead = false;
+  for (const WaitState& w : waits_) any_dead = any_dead || w.dead;
+  if (any_dead) {
+    std::ostringstream diag;
+    diag << "rank death: survivors are blocked on rank(s) that terminated;";
+    for (int r = 0; r < nranks_; ++r) {
+      const WaitState& w = waits_[static_cast<std::size_t>(r)];
+      if (w.dead) {
+        diag << " rank " << r << " dead (liveness epoch " << w.epoch << ");";
+      }
+    }
+    diag << " shrink to survivors or restart";
+    return diag.str();
+  }
   for (const WaitState& w : waits_) {
     if (!w.finished && !w.blocked) return "";  // someone can still progress
   }
   // All unfinished ranks are blocked; the run is stuck unless one of the
-  // awaited messages is already queued. Sends complete before the sender
-  // can register as blocked, so this probe cannot miss an in-flight push.
+  // awaited messages is already queued, or the reliability layer still holds
+  // a retransmittable copy (the blocked receiver will heal the channel
+  // itself). Sends complete before the sender can register as blocked, so
+  // this probe cannot miss an in-flight push.
   for (int r = 0; r < nranks_; ++r) {
     const WaitState& w = waits_[static_cast<std::size_t>(r)];
-    if (!w.finished && channel(w.src, r).has_message(w.tag)) return "";
+    if (w.finished) continue;
+    Channel& c = channel(w.src, r);
+    if (c.has_message(w.tag)) return "";
+    if (options_.reliability.enabled && !w.heal_exhausted &&
+        c.can_retransmit(w.tag)) {
+      return "";
+    }
   }
   std::ostringstream diag;
   diag << "deadlock: every unfinished rank is blocked with no deliverable "
@@ -78,7 +146,7 @@ std::string Hub::deadlock_diagnostic() {
     const WaitState& w = waits_[static_cast<std::size_t>(r)];
     if (w.finished) continue;
     diag << " rank " << r << " blocked in recv(src=" << w.src
-         << ", tag=" << w.tag << ");";
+         << ", tag=" << w.tag << ", liveness epoch " << w.epoch << ");";
   }
   return diag.str();
 }
@@ -123,9 +191,21 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
         body(comm);
       } catch (const RankAborted&) {
         // Secondary failure caused by another rank's abort; not reported.
-      } catch (...) {
+      } catch (const DeadlockDetected&) {
+        // The reporting rank is a victim, not a casualty: nobody provably
+        // died, so it is not registered in the liveness registry.
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         hub.poison_all();
+      } catch (const RecvTimeout&) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        hub.poison_all();
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Poison before registering the death: waiters must wake with
+        // RankAborted (secondary) rather than observe the death through the
+        // deadlock diagnostic and report a phantom primary failure.
+        hub.poison_all();
+        hub.mark_dead(r);
       }
       hub.mark_finished(r);
       outcome.stats = comm.stats();
@@ -135,15 +215,24 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
   for (std::thread& t : threads) t.join();
   result.wall_seconds = wall.elapsed_seconds();
 
+  result.dead_ranks = hub.dead_ranks();
   for (int r = 0; r < nranks; ++r) {
     if (!errors[static_cast<std::size_t>(r)]) continue;
     result.failed_rank = r;
     result.error = errors[static_cast<std::size_t>(r)];
     try {
       std::rethrow_exception(result.error);
+    } catch (const DeadlockDetected& e) {
+      result.failure_kind = FailureKind::kDeadlock;
+      result.failure_message = e.what();
+    } catch (const RecvTimeout& e) {
+      result.failure_kind = FailureKind::kTimeout;
+      result.failure_message = e.what();
     } catch (const std::exception& e) {
+      result.failure_kind = FailureKind::kRankDeath;
       result.failure_message = e.what();
     } catch (...) {
+      result.failure_kind = FailureKind::kRankDeath;
       result.failure_message = "non-standard exception";
     }
     break;
@@ -151,8 +240,11 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
 
   // Teardown hygiene: a poisoned run may leave undelivered messages queued;
   // drain them so they cannot leak into the diagnostics of a later run. A
-  // *clean* run with queued messages is a protocol bug and must be loud.
+  // *clean* run with queued messages is a protocol bug and must be loud —
+  // except for stale duplicates already absorbed by the reliability layer,
+  // which drain() classifies into the duplicate counter instead.
   result.undelivered_messages = hub.drain_all_channels();
+  result.transport = hub.transport_stats();
   if (!hub.all_channels_empty()) {
     throw std::logic_error("run_ranks: channels not empty after drain");
   }

@@ -31,16 +31,41 @@ namespace scalparc::mp {
 
 class FaultPlan;  // mp/fault.hpp
 
+// Default per-receive timeout: 120 s, overridable via the
+// SCALPARC_TEST_RECV_TIMEOUT_S environment variable so test binaries can make
+// fault-suite failures fail in seconds instead of minutes. Read on every call
+// (not cached) so tests can change it between runs.
+double default_recv_timeout_s();
+
+// Ack/retransmit layer configuration (see mp/mailbox.hpp). Enabled by
+// default: dropped, corrupted and duplicated messages heal in-band without
+// surfacing to the application.
+struct ReliabilityOptions {
+  bool enabled = true;
+  // Per-receive cap on heal attempts (nacks + timer retransmit requests);
+  // once exhausted the legacy failure paths (CorruptMessage, deadlock
+  // detector, recv timeout) take over.
+  int max_retransmits = 8;
+  // First timer-driven retransmit request fires after ~backoff_ms; each
+  // subsequent one doubles the wait (capped), with deterministic jitter.
+  double backoff_ms = 25.0;
+  double backoff_cap_ms = 1000.0;
+  // Per-channel bound on retained clean copies of unacknowledged sends.
+  std::size_t inflight_cap = 64;
+};
+
 struct RunOptions {
   // Faults to inject; nullptr runs clean. Must outlive the run.
   const FaultPlan* fault_plan = nullptr;
   // Per-receive wall-clock timeout in seconds; <= 0 disables. Generous by
   // default: it exists so a lost message can never hang ctest forever even
   // if the deadlock detector is switched off.
-  double recv_timeout_s = 120.0;
+  double recv_timeout_s = default_recv_timeout_s();
   // Abort with a per-rank diagnostic as soon as every unfinished rank is
   // blocked in a receive with no deliverable message.
   bool detect_deadlock = true;
+  // Self-healing transport (ack/retransmit/dedupe).
+  ReliabilityOptions reliability;
 };
 
 // Shared state between the ranks of one run: the p x p channel matrix plus
@@ -69,29 +94,50 @@ class Hub {
   // Aborts the run: wakes every blocked receiver with RankAborted.
   void poison_all();
 
-  // --- deadlock detection ---------------------------------------------
+  // Aggregated reliability counters over all channels.
+  ChannelStats transport_stats() const;
+
+  // --- deadlock detection and liveness --------------------------------
   // Ranks register what they are blocked on; a rank whose wait slice
   // expires asks for a diagnostic. Non-empty result means the run is
   // provably stuck: every unfinished rank is blocked and none of their
-  // awaited messages is queued (sends are buffered, so no new message can
-  // ever appear).
+  // awaited messages is queued or retransmittable (sends are buffered, so
+  // no new message can ever appear).
+  //
+  // Each rank carries a liveness epoch, bumped on every blocked/unblocked
+  // transition; the diagnostic reports it, and mark_dead records a rank that
+  // terminated with a primary error so the diagnostic (and the recovery
+  // layer, via RunResult::dead_ranks) can classify "rank dead — shrink or
+  // restart" apart from "all ranks blocked" livelock.
   void mark_blocked(int rank, int src, std::int64_t tag);
   void mark_unblocked(int rank);
+  // The blocked receiver exhausted its retransmit budget: the detector must
+  // stop assuming it will heal the channel itself and regain authority to
+  // declare the run stuck.
+  void mark_heal_exhausted(int rank);
   void mark_finished(int rank);
+  void mark_dead(int rank);
+  std::vector<int> dead_ranks() const;
   std::string deadlock_diagnostic();
 
  private:
   struct WaitState {
     bool blocked = false;
     bool finished = false;
+    bool dead = false;
+    // True once this receive's retransmit budget ran out (reset on every
+    // new block): disables the can_retransmit deadlock-probe suppression.
+    bool heal_exhausted = false;
     int src = -1;
     std::int64_t tag = 0;
+    // Liveness epoch: number of blocked/unblocked transitions observed.
+    std::uint64_t epoch = 0;
   };
 
   int nranks_;
   RunOptions options_;
   std::vector<Channel> channels_;
-  std::mutex wait_mutex_;
+  mutable std::mutex wait_mutex_;
   std::vector<WaitState> waits_;
   int unfinished_ = 0;
 };
@@ -101,6 +147,12 @@ struct RankOutcome {
   util::MemoryMeter meter;
   double vtime_seconds = 0.0;
 };
+
+// Classification of a failed run, derived from the primary error's type:
+// kRankDeath means a specific rank terminated (its partitions are gone and
+// the world can shrink to the survivors); kDeadlock / kTimeout mean no rank
+// provably died — only a full restart is sound.
+enum class FailureKind { kNone, kRankDeath, kDeadlock, kTimeout };
 
 struct RunResult {
   // Modeled parallel runtime: max over ranks of the final virtual clock.
@@ -115,9 +167,16 @@ struct RunResult {
   int failed_rank = -1;
   std::string failure_message;
   std::exception_ptr error;
+  FailureKind failure_kind = FailureKind::kNone;
+  // Every rank that terminated with its own primary error (liveness
+  // registry); the complement are the survivors a shrink recovery keeps.
+  std::vector<int> dead_ranks;
   // Messages discarded from the channels during teardown (non-zero only
   // after an aborted run).
   std::size_t undelivered_messages = 0;
+  // Aggregated ack/retransmit counters over all channels: how much in-band
+  // healing the transport performed during the run.
+  ChannelStats transport;
 
   bool failed() const { return failed_rank >= 0; }
 

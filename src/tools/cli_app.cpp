@@ -53,10 +53,21 @@ commands:
                --fault-plan SPEC    inject deterministic faults, e.g.
                                     kill:r=2,level=3 | kill:r=1,op=50 |
                                     corrupt:r=0,op=10 | delay:r=1,op=5,ms=20 |
-                                    drop:r=0,op=3  (';'-separated list)
+                                    drop:r=0,op=3 | duplicate:r=1,op=4
+                                    (';'-separated list)
                --fault-seed S       seed for corruption bit choice (default 1)
                --recv-timeout SECS  per-receive timeout, <=0 disables
-                                    (default 120)
+                                    (default 120, or
+                                    SCALPARC_TEST_RECV_TIMEOUT_S)
+               --recovery-policy P  restart | shrink: what a failed run does
+                                    after a rank death — restart the full
+                                    world or continue with the survivors
+                                    (default restart; needs --checkpoint-dir)
+               --max-retransmits N  per-receive heal budget of the ack/
+                                    retransmit transport; 0 disables healing
+                                    (default 8)
+               --backoff-ms MS      first retransmit-request delay; doubles
+                                    per attempt, capped (default 25)
   predict    evaluate a saved model on a CSV
                --model FILE         saved tree (required)
                --data FILE          CSV with labels (required)
@@ -144,8 +155,37 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
     err << "train: --resume requires --checkpoint-dir\n";
     return 2;
   }
+  core::RecoveryPolicy policy = core::RecoveryPolicy::kRestart;
+  const std::string policy_name = args.get_string("recovery-policy", "restart");
+  if (policy_name == "shrink") {
+    policy = core::RecoveryPolicy::kShrink;
+  } else if (policy_name != "restart") {
+    err << "unknown --recovery-policy '" << policy_name
+        << "' (restart | shrink)\n";
+    return 2;
+  }
+  if (policy == core::RecoveryPolicy::kShrink &&
+      controls.checkpoint.directory.empty()) {
+    err << "train: --recovery-policy shrink requires --checkpoint-dir\n";
+    return 2;
+  }
   mp::RunOptions run_options;
-  run_options.recv_timeout_s = args.get_double("recv-timeout", 120.0);
+  run_options.recv_timeout_s =
+      args.get_double("recv-timeout", mp::default_recv_timeout_s());
+  const std::int64_t max_retransmits = args.get_int("max-retransmits", 8);
+  if (max_retransmits < 0) {
+    err << "train: --max-retransmits must be >= 0\n";
+    return 2;
+  }
+  run_options.reliability.max_retransmits =
+      static_cast<int>(max_retransmits);
+  run_options.reliability.enabled = max_retransmits > 0;
+  const double backoff_ms = args.get_double("backoff-ms", 25.0);
+  if (backoff_ms <= 0.0) {
+    err << "train: --backoff-ms must be positive\n";
+    return 2;
+  }
+  run_options.reliability.backoff_ms = backoff_ms;
   mp::FaultPlan plan;
   const std::string fault_spec = args.get_string("fault-plan", "");
   if (!fault_spec.empty()) {
@@ -163,12 +203,19 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
         << "\n";
   } else if (!controls.checkpoint.directory.empty()) {
     core::RecoveryReport recovered = core::ScalParC::fit_with_recovery(
-        training, ranks, controls, mp::CostModel::zero(), run_options);
+        training, ranks, controls, mp::CostModel::zero(), run_options, 3,
+        policy);
     for (const core::RecoveryEvent& event : recovered.events) {
       out << "recovered from rank " << event.failed_rank << " failure ("
           << (event.resumed_level >= 0
                   ? "resumed at level " + std::to_string(event.resumed_level)
                   : std::string("restarted from scratch"))
+          << ", "
+          << (event.policy == core::RecoveryPolicy::kShrink
+                  ? "shrunk to " + std::to_string(event.ranks_after) +
+                        " survivor rank(s)"
+                  : "restarted " + std::to_string(event.ranks_after) +
+                        " rank(s)")
           << "): " << event.message << "\n";
     }
     report = std::move(recovered.fit);
@@ -178,6 +225,11 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
   }
   out << "trained on " << training.num_records() << " records with " << ranks
       << " simulated ranks\n";
+  if (report.run.transport.heal_events() > 0) {
+    out << "transport healed in-band: " << report.run.transport.retransmits
+        << " retransmit(s), " << report.run.transport.nacks << " nack(s), "
+        << report.run.transport.duplicates << " duplicate(s) absorbed\n";
+  }
   out << "tree: " << report.tree.num_nodes() << " nodes, "
       << report.tree.num_leaves() << " leaves, depth " << report.tree.depth()
       << "\n";

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -143,6 +144,75 @@ TEST(Cli, MissingInputFileIsReportedNotCrash) {
                           "--model", temp_path("never.tree")});
   EXPECT_EQ(result.code, 1);
   EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, ShrinkRecoveryPolicyContinuesWithSurvivors) {
+  const std::string csv = track(temp_path("cli_shrink.csv"));
+  const std::string model = track(temp_path("cli_shrink.tree"));
+  const std::string clean_model = track(temp_path("cli_shrink_clean.tree"));
+  const std::string ckpt = temp_path("cli_shrink_ckpt");
+  ASSERT_EQ(run({"generate", "--records", "2000", "--out", csv}).code, 0);
+  ASSERT_EQ(run({"train", "--data", csv, "--model", clean_model, "--ranks",
+                 "4", "--max-depth", "4"}).code, 0);
+
+  CliResult train = run({"train", "--data", csv, "--model", model, "--ranks",
+                         "4", "--max-depth", "4", "--checkpoint-dir", ckpt,
+                         "--fault-plan", "kill:r=2,level=1",
+                         "--recovery-policy", "shrink"});
+  EXPECT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("shrunk to 3 survivor rank(s)"),
+            std::string::npos)
+      << train.out;
+  EXPECT_NE(train.out.find("model saved"), std::string::npos);
+
+  // Byte-identical to the clean 4-rank model.
+  std::ifstream a(model), b(clean_model);
+  std::stringstream abuf, bbuf;
+  abuf << a.rdbuf();
+  bbuf << b.rdbuf();
+  EXPECT_EQ(abuf.str(), bbuf.str());
+  std::filesystem::remove_all(ckpt);
+}
+
+TEST_F(CliWorkflow, TransportHealingIsReportedByTrain) {
+  const std::string csv = track(temp_path("cli_heal.csv"));
+  const std::string model = track(temp_path("cli_heal.tree"));
+  ASSERT_EQ(run({"generate", "--records", "1000", "--out", csv}).code, 0);
+  CliResult train = run(
+      {"train", "--data", csv, "--model", model, "--ranks", "2",
+       "--max-depth", "3", "--backoff-ms", "4",
+       "--fault-plan", "drop:r=0,op=2;drop:r=0,op=3;drop:r=0,op=4"});
+  EXPECT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("transport healed in-band:"), std::string::npos)
+      << train.out;
+}
+
+TEST(Cli, RecoveryAndReliabilityFlagValidation) {
+  CliResult bad_policy = run({"train", "--data", "x.csv", "--model", "m",
+                              "--recovery-policy", "bogus"});
+  EXPECT_EQ(bad_policy.code, 2);
+  EXPECT_NE(bad_policy.err.find("--recovery-policy"), std::string::npos);
+
+  CliResult no_ckpt = run({"train", "--data", "x.csv", "--model", "m",
+                           "--recovery-policy", "shrink"});
+  EXPECT_EQ(no_ckpt.code, 2);
+  EXPECT_NE(no_ckpt.err.find("requires --checkpoint-dir"), std::string::npos);
+
+  CliResult bad_budget = run({"train", "--data", "x.csv", "--model", "m",
+                              "--max-retransmits", "-1"});
+  EXPECT_EQ(bad_budget.code, 2);
+  EXPECT_NE(bad_budget.err.find("--max-retransmits"), std::string::npos);
+
+  CliResult bad_backoff = run({"train", "--data", "x.csv", "--model", "m",
+                               "--backoff-ms", "0"});
+  EXPECT_EQ(bad_backoff.code, 2);
+  EXPECT_NE(bad_backoff.err.find("--backoff-ms"), std::string::npos);
+
+  // A fault plan with a duplicated action is rejected with the entry text.
+  CliResult dup = run({"train", "--data", "x.csv", "--model", "m",
+                       "--fault-plan", "drop:r=0,op=3;drop:r=0,op=3"});
+  EXPECT_EQ(dup.code, 1);
+  EXPECT_NE(dup.err.find("duplicates an earlier action"), std::string::npos);
 }
 
 TEST_F(CliWorkflow, PredictRejectsSchemaMismatch) {

@@ -13,6 +13,7 @@
 #include "mp/collectives.hpp"
 #include "mp/comm.hpp"
 #include "mp/costmodel.hpp"
+#include "mp/fault.hpp"
 #include "mp/runtime.hpp"
 #include "util/random.hpp"
 
@@ -334,6 +335,74 @@ TEST(CollectiveBatch, AddRejectsBadRoot) {
                                          mp::SumOp{}, std::int64_t{0}, 7),
                  std::invalid_argument);
   });
+}
+
+// Packed rounds ride the self-healing transport: drop, corrupt and duplicate
+// faults injected into the fused frames heal via ack/retransmit and every
+// rank still computes the exact unfused reference result.
+TEST(CollectiveBatch, FusedRoundsHealInjectedWireFaults) {
+  const int p = 4;
+  const std::uint64_t seed = 7;
+  const std::vector<SegmentSpec> specs = make_directory(seed, p);
+
+  auto round = [&](mp::Comm& comm) {
+    const int r = comm.rank();
+    mp::CollectiveBatch batch(comm);
+    std::vector<std::size_t> ids;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      ids.push_back(batch.add<std::int64_t>(
+          int_values(seed * 1000 + s, r, specs[s].size), mp::SumOp{},
+          std::int64_t{0}));
+    }
+    batch.exscan();
+    std::vector<std::int64_t> flat;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const auto view = batch.view<std::int64_t>(ids[s]);
+      flat.insert(flat.end(), view.begin(), view.end());
+    }
+    batch.reset();
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      ids[s] = batch.add<std::int64_t>(
+          int_values(seed * 2000 + s, r, specs[s].size), mp::SumOp{},
+          std::int64_t{0});
+    }
+    batch.allreduce();
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const auto view = batch.view<std::int64_t>(ids[s]);
+      flat.insert(flat.end(), view.begin(), view.end());
+    }
+    return flat;
+  };
+
+  std::vector<std::vector<std::int64_t>> clean(static_cast<std::size_t>(p));
+  mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+    clean[static_cast<std::size_t>(comm.rank())] = round(comm);
+  });
+
+  mp::FaultPlan plan;
+  plan.parse(
+      "drop:r=0,op=1;drop:r=1,op=2;"
+      "corrupt:r=2,op=1;corrupt:r=3,op=2;"
+      "duplicate:r=0,op=3;duplicate:r=2,op=4");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  options.reliability.backoff_ms = 4.0;
+  options.reliability.backoff_cap_ms = 40.0;
+  std::vector<std::vector<std::int64_t>> healed(static_cast<std::size_t>(p));
+  const mp::RunResult run = mp::try_run_ranks(
+      p, kZero,
+      [&](mp::Comm& comm) {
+        healed[static_cast<std::size_t>(comm.rank())] = round(comm);
+      },
+      options);
+  EXPECT_FALSE(run.failed()) << run.failure_message;
+  EXPECT_GE(plan.drops_injected(), 1u);
+  EXPECT_GE(run.transport.retransmits, 1u);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(healed[static_cast<std::size_t>(r)],
+              clean[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
 }
 
 }  // namespace

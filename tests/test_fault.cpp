@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
@@ -94,6 +95,47 @@ TEST(FaultPlan, ParsesEveryKind) {
   EXPECT_TRUE(plan.drops_at_op(0, 3));
   EXPECT_DOUBLE_EQ(plan.delay_ms_at_op(1, 5), 20.0);
   EXPECT_DOUBLE_EQ(plan.delay_ms_at_op(1, 6), 0.0);
+}
+
+TEST(FaultPlan, ParsesDuplicateKind) {
+  mp::FaultPlan plan;
+  plan.parse("duplicate:r=1,op=4");
+  ASSERT_EQ(plan.actions().size(), 1u);
+  EXPECT_EQ(plan.actions()[0].kind, mp::FaultKind::kDuplicate);
+  EXPECT_TRUE(plan.duplicates_at_op(1, 4));
+  EXPECT_FALSE(plan.duplicates_at_op(1, 5));
+  EXPECT_FALSE(plan.duplicates_at_op(0, 4));
+}
+
+// Two actions with the same (kind, rank, trigger) would fire twice at one
+// point; the parser rejects the plan and names the offending entry.
+TEST(FaultPlan, RejectsDuplicateActions) {
+  const struct {
+    const char* spec;
+    const char* offender;  // entry text the diagnostic must quote
+  } bad[] = {
+      {"drop:r=0,op=3 ; drop:r=0,op=3", "drop:r=0,op=3"},
+      {"kill:r=2,level=3;corrupt:r=1,op=9;kill:r=2,level=3",
+       "kill:r=2,level=3"},
+      {"duplicate:r=1,op=4 ;duplicate:r=1,op=4", "duplicate:r=1,op=4"},
+  };
+  for (const auto& c : bad) {
+    mp::FaultPlan plan;
+    try {
+      plan.parse(c.spec);
+      FAIL() << "accepted: " << c.spec;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("duplicates an earlier action"), std::string::npos)
+          << c.spec << " -> " << what;
+      EXPECT_NE(what.find(c.offender), std::string::npos)
+          << c.spec << " -> " << what;
+    }
+  }
+  // Same kind and rank but different triggers is a legitimate plan.
+  mp::FaultPlan ok;
+  ok.parse("drop:r=0,op=3 ; drop:r=0,op=4");
+  EXPECT_EQ(ok.actions().size(), 2u);
 }
 
 TEST(FaultPlan, RejectsMalformedSpecs) {
@@ -191,6 +233,9 @@ TEST(FaultInjection, CorruptedPayloadIsDetectedNotMisparsed) {
   plan.parse("corrupt:r=0,op=1");
   mp::RunOptions options;
   options.fault_plan = &plan;
+  // This test pins the legacy *detection* path; with the ack/retransmit
+  // layer on, the same fault heals in-band (see TransportHealing below).
+  options.reliability.enabled = false;
   const mp::RunResult run = mp::try_run_ranks(
       2, kZero,
       [](mp::Comm& comm) {
@@ -220,6 +265,7 @@ TEST(FaultInjection, CorruptionFuzzAlwaysDetected) {
     plan.set_seed(seed);
     mp::RunOptions options;
     options.fault_plan = &plan;
+    options.reliability.enabled = false;  // pin the detection path
     const std::size_t payload_bytes = 1 + (seed * 37) % 2048;
     const mp::RunResult run = mp::try_run_ranks(
         2, kZero,
@@ -263,14 +309,15 @@ TEST(FaultInjection, DelayFiresAndRunStillSucceeds) {
   EXPECT_GE(seconds_since(start), 0.03);
 }
 
-// A dropped message leaves the receiver blocked forever; the all-blocked
-// deadlock detector must reap it with a diagnostic naming the blocked rank,
-// well within the recv timeout.
+// With the reliability layer off, a dropped message leaves the receiver
+// blocked forever; the all-blocked deadlock detector must reap it with a
+// diagnostic naming the blocked rank, well within the recv timeout.
 TEST(FaultInjection, DroppedMessageIsReapedByDeadlockDetector) {
   mp::FaultPlan plan;
   plan.parse("drop:r=0,op=1");
   mp::RunOptions options;
   options.fault_plan = &plan;
+  options.reliability.enabled = false;  // pin the detection path
   options.recv_timeout_s = 300.0;  // detection, not timeout, must end this
   const auto start = std::chrono::steady_clock::now();
   const mp::RunResult run = mp::try_run_ranks(
@@ -299,6 +346,7 @@ TEST(FaultInjection, RecvTimeoutBackstopWhenDetectionDisabled) {
   plan.parse("drop:r=0,op=1");
   mp::RunOptions options;
   options.fault_plan = &plan;
+  options.reliability.enabled = false;  // pin the backstop path
   options.detect_deadlock = false;
   options.recv_timeout_s = 0.3;
   const mp::RunResult run = mp::try_run_ranks(
@@ -563,6 +611,442 @@ TEST(FaultRecovery, RecoveryRequiresCheckpointDirectory) {
   const data::Dataset training = make_training(500);
   EXPECT_THROW(core::ScalParC::fit_with_recovery(training, 2, {}),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing transport: ack/retransmit/dedupe absorbs wire faults in-band
+// ---------------------------------------------------------------------------
+
+// Fast heal timers for tests: a dropped frame is re-requested after ~4 ms
+// instead of the production 25 ms.
+mp::RunOptions fast_heal_options(const mp::FaultPlan* plan) {
+  mp::RunOptions options;
+  options.fault_plan = plan;
+  options.reliability.backoff_ms = 4.0;
+  options.reliability.backoff_cap_ms = 40.0;
+  return options;
+}
+
+TEST(TransportHealing, DroppedMessageIsRetransmittedInBand) {
+  mp::FaultPlan plan;
+  plan.parse("drop:r=0,op=1");
+  const mp::RunOptions options = fast_heal_options(&plan);
+  const mp::RunResult run = mp::try_run_ranks(
+      2, kZero,
+      [](mp::Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send_value<int>(1, 1, 7);  // eaten by the wire, then healed
+        } else {
+          EXPECT_EQ(comm.recv_value<int>(0, 1), 7);
+        }
+      },
+      options);
+  EXPECT_FALSE(run.failed()) << run.failure_message;
+  EXPECT_EQ(plan.drops_injected(), 1u);
+  EXPECT_GE(run.transport.retransmits, 1u);
+  EXPECT_EQ(run.transport.nacks, 0u);
+}
+
+TEST(TransportHealing, CorruptedMessageIsNackedAndHealed) {
+  mp::FaultPlan plan;
+  plan.parse("corrupt:r=0,op=1");
+  const mp::RunOptions options = fast_heal_options(&plan);
+  const mp::RunResult run = mp::try_run_ranks(
+      2, kZero,
+      [](mp::Comm& comm) {
+        if (comm.rank() == 0) {
+          std::vector<std::int64_t> payload(64);
+          for (std::size_t i = 0; i < payload.size(); ++i) {
+            payload[i] = static_cast<std::int64_t>(i);
+          }
+          comm.send<std::int64_t>(1, 9, payload);
+        } else {
+          const std::vector<std::int64_t> got = comm.recv<std::int64_t>(0, 9);
+          ASSERT_EQ(got.size(), 64u);
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i], static_cast<std::int64_t>(i)) << i;
+          }
+        }
+      },
+      options);
+  EXPECT_FALSE(run.failed()) << run.failure_message;
+  EXPECT_EQ(plan.corruptions_injected(), 1u);
+  EXPECT_GE(run.transport.nacks, 1u);
+  EXPECT_GE(run.transport.retransmits, 1u);
+}
+
+TEST(TransportHealing, DuplicatedMessageIsDedupedBySequence) {
+  mp::FaultPlan plan;
+  plan.parse("duplicate:r=0,op=1");
+  const mp::RunOptions options = fast_heal_options(&plan);
+  const mp::RunResult run = mp::try_run_ranks(
+      2, kZero,
+      [](mp::Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send_value<int>(1, 5, 11);
+          comm.send_value<int>(1, 5, 13);
+        } else {
+          // The duplicate of the first frame must not shadow the second.
+          EXPECT_EQ(comm.recv_value<int>(0, 5), 11);
+          EXPECT_EQ(comm.recv_value<int>(0, 5), 13);
+        }
+      },
+      options);
+  EXPECT_FALSE(run.failed()) << run.failure_message;
+  EXPECT_EQ(plan.duplicates_injected(), 1u);
+  EXPECT_GE(run.transport.duplicates, 1u);
+  EXPECT_EQ(run.undelivered_messages, 0u);
+}
+
+// The acceptance bar of this PR: drop, corrupt and duplicate faults injected
+// into a live induction heal inside the transport — zero checkpoint
+// restarts, retransmit counters prove the healing happened, and the tree is
+// byte-identical to the fault-free run. Exercised under both the fused and
+// the unfused collective paths.
+TEST(TransportHealing, MixedFaultsHealInsideInductionToIdenticalTree) {
+  const data::Dataset training = make_training(2000);
+  for (const bool fused : {true, false}) {
+    core::InductionControls controls;
+    controls.options.max_depth = 4;
+    controls.options.fuse_collectives = fused;
+    const std::string expected =
+        tree_bytes(core::ScalParC::fit(training, 2, controls).tree);
+
+    // Faults only trigger on send ops and the send/recv pattern at any
+    // given op index is an induction internal; three consecutive indices
+    // per kind guarantee each kind lands on at least one send.
+    mp::FaultPlan plan;
+    plan.parse(
+        "drop:r=0,op=2;drop:r=0,op=3;drop:r=0,op=4;"
+        "corrupt:r=1,op=5;corrupt:r=1,op=6;corrupt:r=1,op=7;"
+        "duplicate:r=0,op=8;duplicate:r=0,op=9;duplicate:r=0,op=10");
+    const mp::RunOptions options = fast_heal_options(&plan);
+    const core::FitReport report =
+        core::ScalParC::fit(training, 2, controls, kZero, options);
+    EXPECT_EQ(tree_bytes(report.tree), expected) << "fused=" << fused;
+    EXPECT_FALSE(report.run.failed()) << "fused=" << fused;
+    EXPECT_GE(plan.drops_injected(), 1u) << "fused=" << fused;
+    EXPECT_GE(plan.corruptions_injected(), 1u) << "fused=" << fused;
+    EXPECT_GE(plan.duplicates_injected(), 1u) << "fused=" << fused;
+    EXPECT_GE(report.run.transport.retransmits, 1u) << "fused=" << fused;
+    EXPECT_GE(report.run.transport.nacks, 1u) << "fused=" << fused;
+    EXPECT_GE(report.run.transport.duplicates, 1u) << "fused=" << fused;
+  }
+}
+
+// Sweep satellite: a single drop at *every* op index of a 2-rank induction.
+// Wherever the wire eats a frame, the transport self-heals and the tree is
+// byte-identical to the fault-free run — no checkpointing, no restart.
+TEST(TransportHealing, SingleDropAtEveryOpHealsToIdenticalTree) {
+  const data::Dataset training = make_training(600);
+  core::InductionControls controls;
+  controls.options.max_depth = 3;
+  const std::string expected =
+      tree_bytes(core::ScalParC::fit(training, 2, controls).tree);
+
+  // Calibrate: op indices are deterministic, so a clean run tells us how
+  // many ops each rank executes.
+  const std::vector<std::size_t> sizes =
+      sort::equal_partition_sizes(training.num_records(), 2);
+  const std::vector<std::size_t> offsets = sort::offsets_from_sizes(sizes);
+  std::int64_t total_ops[2] = {0, 0};
+  mp::run_ranks(2, kZero, [&](mp::Comm& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    (void)core::ScalParC::fit_rank(
+        comm, training.slice(offsets[r], offsets[r + 1]),
+        static_cast<std::int64_t>(offsets[r]), training.num_records(),
+        controls);
+    total_ops[r] = comm.comm_ops();
+  });
+  ASSERT_GT(total_ops[0], 10);
+
+  std::uint64_t healed_runs = 0;
+  for (int rank = 0; rank < 2; ++rank) {
+    for (std::int64_t op = 1; op <= total_ops[rank]; ++op) {
+      mp::FaultPlan plan;
+      plan.parse("drop:r=" + std::to_string(rank) +
+                 ",op=" + std::to_string(op));
+      const mp::RunOptions options = fast_heal_options(&plan);
+      const core::FitReport report =
+          core::ScalParC::fit(training, 2, controls, kZero, options);
+      ASSERT_EQ(tree_bytes(report.tree), expected)
+          << "rank=" << rank << " op=" << op;
+      // Drop triggers only fire on send ops; when this index was a send,
+      // the healed run must show the retransmit that saved it.
+      if (plan.drops_injected() > 0) {
+        EXPECT_GE(report.run.transport.retransmits, 1u)
+            << "rank=" << rank << " op=" << op;
+        ++healed_runs;
+      }
+    }
+  }
+  EXPECT_GT(healed_runs, 0u);
+}
+
+// With the retransmit budget exhausted the detector regains authority:
+// a drop under max_retransmits=0 is reaped as a deadlock promptly instead
+// of hanging until the recv timeout.
+TEST(TransportHealing, ExhaustedBudgetFallsBackToDeadlockDetector) {
+  mp::FaultPlan plan;
+  plan.parse("drop:r=0,op=1");
+  mp::RunOptions options = fast_heal_options(&plan);
+  options.reliability.max_retransmits = 0;
+  options.recv_timeout_s = 300.0;  // detection, not timeout, must end this
+  const auto start = std::chrono::steady_clock::now();
+  const mp::RunResult run = mp::try_run_ranks(
+      2, kZero,
+      [](mp::Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send_value<int>(1, 1, 7);
+        } else {
+          (void)comm.recv_value<int>(0, 1);
+        }
+      },
+      options);
+  EXPECT_TRUE(run.failed());
+  EXPECT_EQ(run.failure_kind, mp::FailureKind::kDeadlock);
+  EXPECT_LT(seconds_since(start), 30.0);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness-epoch classification: rank death vs all-blocked deadlock
+// ---------------------------------------------------------------------------
+
+TEST(Liveness, HubClassifiesRankDeathApartFromDeadlock) {
+  mp::Hub hub(2);
+  // Both ranks blocked on each other with empty channels: a livelock.
+  hub.mark_blocked(0, 1, 3);
+  hub.mark_blocked(1, 0, 4);
+  const std::string deadlock = hub.deadlock_diagnostic();
+  EXPECT_NE(deadlock.find("deadlock: every unfinished rank is blocked"),
+            std::string::npos);
+  EXPECT_NE(deadlock.find("liveness epoch"), std::string::npos);
+  EXPECT_EQ(deadlock.find("rank death"), std::string::npos);
+
+  // Now rank 0 dies: the same blocked survivor must be classified as a
+  // rank-death casualty, not a livelock.
+  hub.mark_unblocked(0);
+  hub.mark_dead(0);
+  hub.mark_finished(0);
+  const std::string death = hub.deadlock_diagnostic();
+  EXPECT_NE(death.find("rank death"), std::string::npos);
+  EXPECT_NE(death.find("rank 0 dead"), std::string::npos);
+  EXPECT_NE(death.find("shrink to survivors or restart"), std::string::npos);
+  ASSERT_EQ(hub.dead_ranks().size(), 1u);
+  EXPECT_EQ(hub.dead_ranks()[0], 0);
+}
+
+TEST(Liveness, KilledRankIsClassifiedAsRankDeath) {
+  mp::FaultPlan plan;
+  plan.parse("kill:r=1,op=1");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  const mp::RunResult run = mp::try_run_ranks(
+      4, kZero,
+      [](mp::Comm& comm) {
+        std::vector<std::int64_t> v{comm.rank()};
+        (void)mp::allreduce_vec(comm, std::span<const std::int64_t>(v),
+                                mp::SumOp{});
+      },
+      options);
+  EXPECT_TRUE(run.failed());
+  EXPECT_EQ(run.failure_kind, mp::FailureKind::kRankDeath);
+  ASSERT_EQ(run.dead_ranks.size(), 1u);
+  EXPECT_EQ(run.dead_ranks[0], 1);
+}
+
+TEST(Liveness, DeadlockReportsNoDeadRanks) {
+  mp::FaultPlan plan;
+  plan.parse("drop:r=0,op=1");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  options.reliability.enabled = false;  // make the drop fatal
+  const mp::RunResult run = mp::try_run_ranks(
+      2, kZero,
+      [](mp::Comm& comm) {
+        if (comm.rank() == 0) {
+          comm.send_value<int>(1, 1, 7);
+        } else {
+          (void)comm.recv_value<int>(0, 1);
+        }
+      },
+      options);
+  EXPECT_TRUE(run.failed());
+  EXPECT_EQ(run.failure_kind, mp::FailureKind::kDeadlock);
+  EXPECT_TRUE(run.dead_ranks.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SCALPARC_TEST_RECV_TIMEOUT_S environment override
+// ---------------------------------------------------------------------------
+
+TEST(RecvTimeoutDefault, EnvironmentVariableOverridesDefault) {
+  const char* saved = std::getenv("SCALPARC_TEST_RECV_TIMEOUT_S");
+  const std::string saved_value = saved ? saved : "";
+
+  ::setenv("SCALPARC_TEST_RECV_TIMEOUT_S", "7.5", 1);
+  EXPECT_DOUBLE_EQ(mp::default_recv_timeout_s(), 7.5);
+  EXPECT_DOUBLE_EQ(mp::RunOptions{}.recv_timeout_s, 7.5);
+
+  // Malformed or non-positive values fall back to the built-in default.
+  for (const char* bad : {"0", "-3", "abc", "12x", ""}) {
+    ::setenv("SCALPARC_TEST_RECV_TIMEOUT_S", bad, 1);
+    EXPECT_DOUBLE_EQ(mp::default_recv_timeout_s(), 120.0) << bad;
+  }
+  ::unsetenv("SCALPARC_TEST_RECV_TIMEOUT_S");
+  EXPECT_DOUBLE_EQ(mp::default_recv_timeout_s(), 120.0);
+
+  if (saved != nullptr) {
+    ::setenv("SCALPARC_TEST_RECV_TIMEOUT_S", saved_value.c_str(), 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shrink-to-survivors recovery
+// ---------------------------------------------------------------------------
+
+TEST(ShrinkRecovery, SurvivorsContinueFromCheckpointToIdenticalTree) {
+  const data::Dataset training = make_training(4000);
+  core::InductionControls controls;
+  controls.options.max_depth = 6;
+  const std::string expected =
+      tree_bytes(core::ScalParC::fit(training, 4, controls).tree);
+
+  TempDir dir("scalparc_shrink");
+  mp::FaultPlan plan;
+  plan.parse("kill:r=2,level=2");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  core::InductionControls ckpt = controls;
+  ckpt.checkpoint.directory = dir.path;
+  const core::RecoveryReport report = core::ScalParC::fit_with_recovery(
+      training, 4, ckpt, kZero, options, 3, core::RecoveryPolicy::kShrink);
+  EXPECT_EQ(report.attempts, 2);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].failed_rank, 2);
+  EXPECT_EQ(report.events[0].policy, core::RecoveryPolicy::kShrink);
+  EXPECT_EQ(report.events[0].ranks_after, 3);
+  EXPECT_EQ(report.events[0].resumed_level, 2);
+  EXPECT_EQ(tree_bytes(report.fit.tree), expected);
+}
+
+// Shrink matrix: every kill level and several world sizes, including the
+// degenerate shrink to a single surviving rank.
+TEST(ShrinkRecovery, ShrinkMatrixAcrossLevelsAndWorlds) {
+  const data::Dataset training = make_training(3000);
+  core::InductionControls controls;
+  controls.options.max_depth = 5;
+  const std::string expected =
+      tree_bytes(core::ScalParC::fit(training, 2, controls).tree);
+
+  for (const int p : {2, 4}) {
+    for (int level = 1; level <= 3; ++level) {
+      const int victim = (level + 1) % p;
+      TempDir dir("scalparc_shrink_matrix");
+      mp::FaultPlan plan;
+      plan.parse("kill:r=" + std::to_string(victim) +
+                 ",level=" + std::to_string(level));
+      mp::RunOptions options;
+      options.fault_plan = &plan;
+      core::InductionControls ckpt = controls;
+      ckpt.checkpoint.directory = dir.path;
+      const core::RecoveryReport report = core::ScalParC::fit_with_recovery(
+          training, p, ckpt, kZero, options, 3,
+          core::RecoveryPolicy::kShrink);
+      EXPECT_EQ(report.attempts, 2) << "p=" << p << " level=" << level;
+      ASSERT_EQ(report.events.size(), 1u) << "p=" << p << " level=" << level;
+      EXPECT_EQ(report.events[0].policy, core::RecoveryPolicy::kShrink)
+          << "p=" << p << " level=" << level;
+      EXPECT_EQ(report.events[0].ranks_after, p - 1)
+          << "p=" << p << " level=" << level;
+      EXPECT_EQ(tree_bytes(report.fit.tree), expected)
+          << "p=" << p << " level=" << level << " victim=" << victim;
+    }
+  }
+}
+
+// A death before the first checkpoint commits still shrinks the world; the
+// survivors restart from scratch with p-1 ranks.
+TEST(ShrinkRecovery, DeathBeforeFirstCheckpointRestartsWithSurvivors) {
+  const data::Dataset training = make_training(2000);
+  core::InductionControls controls;
+  controls.options.max_depth = 4;
+  const std::string expected =
+      tree_bytes(core::ScalParC::fit(training, 4, controls).tree);
+
+  TempDir dir("scalparc_shrink_scratch");
+  mp::FaultPlan plan;
+  plan.parse("kill:r=1,op=1");  // inside presort, nothing committed yet
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  core::InductionControls ckpt = controls;
+  ckpt.checkpoint.directory = dir.path;
+  const core::RecoveryReport report = core::ScalParC::fit_with_recovery(
+      training, 4, ckpt, kZero, options, 3, core::RecoveryPolicy::kShrink);
+  EXPECT_EQ(report.attempts, 2);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].policy, core::RecoveryPolicy::kShrink);
+  EXPECT_EQ(report.events[0].ranks_after, 3);
+  EXPECT_EQ(report.events[0].resumed_level, -1);
+  EXPECT_EQ(tree_bytes(report.fit.tree), expected);
+}
+
+// A deadlock has no provable casualty, so a shrink request degrades to a
+// restart of the full world.
+TEST(ShrinkRecovery, DeadlockDegradesShrinkToRestart) {
+  const data::Dataset training = make_training(2000);
+  core::InductionControls controls;
+  controls.options.max_depth = 4;
+  const std::string expected =
+      tree_bytes(core::ScalParC::fit(training, 2, controls).tree);
+
+  TempDir dir("scalparc_shrink_degrade");
+  mp::FaultPlan plan;
+  plan.parse("drop:r=0,op=7");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  options.reliability.enabled = false;  // make the drop a fatal deadlock
+  core::InductionControls ckpt = controls;
+  ckpt.checkpoint.directory = dir.path;
+  const core::RecoveryReport report = core::ScalParC::fit_with_recovery(
+      training, 2, ckpt, kZero, options, 3, core::RecoveryPolicy::kShrink);
+  EXPECT_EQ(report.attempts, 2);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].policy, core::RecoveryPolicy::kRestart);
+  EXPECT_EQ(report.events[0].ranks_after, 2);
+  EXPECT_EQ(tree_bytes(report.fit.tree), expected);
+}
+
+// Elastic restore directly: a checkpoint written by 4 ranks resumes under
+// 1, 2, 3 and 6 ranks (shrink and grow) once repartition is allowed, always
+// to the identical tree; without the opt-in the mismatch stays a loud error.
+TEST(ShrinkRecovery, ElasticResumeAcrossWorldSizes) {
+  const data::Dataset training = make_training(3000);
+  core::InductionControls controls;
+  controls.options.max_depth = 5;
+  const std::string expected =
+      tree_bytes(core::ScalParC::fit(training, 4, controls).tree);
+
+  TempDir dir("scalparc_elastic");
+  core::InductionControls ckpt = controls;
+  ckpt.checkpoint.directory = dir.path;
+  mp::FaultPlan plan;
+  plan.parse("kill:r=2,level=3");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  EXPECT_THROW(core::ScalParC::fit(training, 4, ckpt, kZero, options),
+               mp::InjectedFault);
+
+  EXPECT_THROW(core::ScalParC::resume_from_checkpoint(training, 3, ckpt),
+               core::CheckpointError);
+
+  core::InductionControls elastic = ckpt;
+  elastic.checkpoint.allow_repartition = true;
+  for (const int p : {1, 2, 3, 6}) {
+    const core::FitReport resumed =
+        core::ScalParC::resume_from_checkpoint(training, p, elastic);
+    EXPECT_EQ(tree_bytes(resumed.tree), expected) << "p=" << p;
+  }
 }
 
 }  // namespace
