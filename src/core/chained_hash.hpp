@@ -13,6 +13,7 @@
 // duplicate keys in the same round). Enquiry returns a found flag per key.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <stdexcept>

@@ -1,8 +1,13 @@
 #include "core/checkpoint.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/tree_io.hpp"
 #include "util/crc32.hpp"

@@ -24,6 +24,7 @@
 // CheckpointError — never silently mis-parsed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>

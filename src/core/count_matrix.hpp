@@ -7,6 +7,7 @@
 // reductions unchanged.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <numeric>
 #include <span>

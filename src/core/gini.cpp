@@ -1,7 +1,10 @@
 #include "core/gini.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <stdexcept>
 
 namespace scalparc::core {
@@ -83,19 +86,74 @@ double BinaryImpurityScanner::current_impurity() const {
   }
   const double n = static_cast<double>(node_total_);
   if (criterion_ == SplitCriterion::kGini) {
-    double below_sq = 0.0;
-    double above_sq = 0.0;
+    // Exact integer sums of squares, then the shared final expression — the
+    // same arithmetic IncrementalImpurityScanner evaluates, so the two
+    // scanners agree bitwise.
+    std::int64_t below_sq = 0;
+    std::int64_t above_sq = 0;
     for (std::size_t j = 0; j < totals_.size(); ++j) {
+      const std::int64_t below = below_[j];
+      const std::int64_t above = totals_[j] - below;
+      below_sq += below * below;
+      above_sq += above * above;
+    }
+    return weighted_gini_from_sumsq(node_total_, below_total_, above_total,
+                                    below_sq, above_sq);
+  }
+  double below_h = 0.0;
+  double above_h = 0.0;
+  for (std::size_t j = 0; j < totals_.size(); ++j) {
+    if (below_[j] > 0) {
       const double fb =
           static_cast<double>(below_[j]) / static_cast<double>(below_total_);
-      const double fa = static_cast<double>(totals_[j] - below_[j]) /
-                        static_cast<double>(above_total);
-      below_sq += fb * fb;
-      above_sq += fa * fa;
+      below_h -= fb * std::log2(fb);
     }
-    return (static_cast<double>(below_total_) / n) * (1.0 - below_sq) +
-           (static_cast<double>(above_total) / n) * (1.0 - above_sq);
+    const std::int64_t above = totals_[j] - below_[j];
+    if (above > 0) {
+      const double fa =
+          static_cast<double>(above) / static_cast<double>(above_total);
+      above_h -= fa * std::log2(fa);
+    }
   }
+  return (static_cast<double>(below_total_) / n) * below_h +
+         (static_cast<double>(above_total) / n) * above_h;
+}
+
+IncrementalImpurityScanner::IncrementalImpurityScanner(
+    std::span<const std::int64_t> node_totals,
+    std::span<const std::int64_t> below_start, SplitCriterion criterion)
+    : totals_(node_totals.begin(), node_totals.end()),
+      below_(below_start.begin(), below_start.end()),
+      criterion_(criterion) {
+  if (totals_.size() != below_.size() || totals_.empty()) {
+    throw std::invalid_argument(
+        "IncrementalImpurityScanner: histogram size mismatch");
+  }
+  for (std::size_t j = 0; j < totals_.size(); ++j) {
+    node_total_ += totals_[j];
+    below_total_ += below_[j];
+    if (below_[j] > totals_[j]) {
+      throw std::invalid_argument(
+          "IncrementalImpurityScanner: below exceeds totals");
+    }
+    const std::int64_t above = totals_[j] - below_[j];
+    below_sq_ += below_[j] * below_[j];
+    above_sq_ += above * above;
+  }
+}
+
+double IncrementalImpurityScanner::current_impurity() const {
+  const std::int64_t above_total = node_total_ - below_total_;
+  if (below_total_ == 0 || above_total == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (criterion_ == SplitCriterion::kGini) {
+    return weighted_gini_from_sumsq(node_total_, below_total_, above_total,
+                                    below_sq_, above_sq_);
+  }
+  // Entropy: no O(1) sufficient statistic; identical loop to the recompute
+  // scanner so the two criteria paths stay bit-compatible.
+  const double n = static_cast<double>(node_total_);
   double below_h = 0.0;
   double above_h = 0.0;
   for (std::size_t j = 0; j < totals_.size(); ++j) {

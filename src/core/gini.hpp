@@ -13,6 +13,7 @@
 // processor-count invariant (exercised heavily by the tests).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -39,9 +40,30 @@ inline double gini_of_split(const CountMatrix& matrix) {
   return impurity_of_split(matrix, SplitCriterion::kGini);
 }
 
-// Incremental evaluator for the continuous-attribute linear scan: maintains
+// Weighted two-partition gini from integer sums of squares. Both the
+// recompute scanner and the incremental scanner evaluate this exact
+// expression, with `below_sq` = sum_j below_j^2 and `above_sq` =
+// sum_j (total_j - below_j)^2 held as exact integers — which is what makes
+// the two paths bit-identical: identical integers in, identical double
+// arithmetic out.
+inline double weighted_gini_from_sumsq(std::int64_t node_total,
+                                       std::int64_t below_total,
+                                       std::int64_t above_total,
+                                       std::int64_t below_sq,
+                                       std::int64_t above_sq) {
+  const double n = static_cast<double>(node_total);
+  const double bt = static_cast<double>(below_total);
+  const double at = static_cast<double>(above_total);
+  const double below_gini = 1.0 - static_cast<double>(below_sq) / (bt * bt);
+  const double above_gini = 1.0 - static_cast<double>(above_sq) / (at * at);
+  return (bt / n) * below_gini + (at / n) * above_gini;
+}
+
+// Recompute evaluator for the continuous-attribute linear scan: maintains
 // the class histogram of records strictly below the moving split point and
-// recomputes the two-partition weighted impurity in O(classes) per step.
+// recomputes the two-partition weighted impurity in O(classes) per call.
+// Kept as the differential oracle for IncrementalImpurityScanner (and the
+// AoS data layout); both produce bit-identical impurities.
 class BinaryImpurityScanner {
  public:
   // `node_totals` are the node's global per-class counts; `below_start` is
@@ -73,5 +95,58 @@ class BinaryImpurityScanner {
 
 // The paper-era name, kept for readability where gini is meant.
 using BinaryGiniScanner = BinaryImpurityScanner;
+
+// Incremental-update kernel for the continuous scan (the SoA fast path):
+// alongside the below histogram it maintains the integer sums of squares of
+// both partitions, so advancing one record — or a run-length block of
+// `count` equal-valued records of one class — is O(1), and the gini
+// evaluation at a candidate point is O(1) instead of O(classes).
+//
+//   below_sq' = below_sq + k * (2 * below_j + k)      (k records of class j)
+//   above_sq' = above_sq - k * (2 * above_j - k)
+//
+// All updates are exact integer arithmetic, so the sums equal what a fresh
+// O(classes) recompute would produce and current_impurity() is bit-identical
+// to BinaryImpurityScanner (they share weighted_gini_from_sumsq). The
+// entropy criterion has no O(1) sufficient statistic; it falls back to the
+// same O(classes) loop as the recompute scanner.
+class IncrementalImpurityScanner {
+ public:
+  IncrementalImpurityScanner(std::span<const std::int64_t> node_totals,
+                             std::span<const std::int64_t> below_start,
+                             SplitCriterion criterion = SplitCriterion::kGini);
+
+  // Moves one record of class `cls` from the upper to the lower partition.
+  void advance(std::int32_t cls) { advance_run(cls, 1); }
+
+  // Moves `count` records of class `cls` at once (a run of equal values).
+  void advance_run(std::int32_t cls, std::int64_t count) {
+    const auto j = static_cast<std::size_t>(cls);
+    const std::int64_t below = below_[j];
+    const std::int64_t above = totals_[j] - below;
+    below_sq_ += count * (2 * below + count);
+    above_sq_ -= count * (2 * above - count);
+    below_[j] = below + count;
+    below_total_ += count;
+  }
+
+  // Weighted impurity for the current position; +inf if either side is
+  // empty. O(1) for gini, O(classes) for entropy.
+  double current_impurity() const;
+
+  std::int64_t below_total() const { return below_total_; }
+  std::span<const std::int64_t> below_counts() const { return below_; }
+  SplitCriterion criterion() const { return criterion_; }
+  int num_classes() const { return static_cast<int>(totals_.size()); }
+
+ private:
+  std::vector<std::int64_t> totals_;
+  std::vector<std::int64_t> below_;
+  std::int64_t node_total_ = 0;
+  std::int64_t below_total_ = 0;
+  std::int64_t below_sq_ = 0;  // sum_j below_j^2
+  std::int64_t above_sq_ = 0;  // sum_j (totals_j - below_j)^2
+  SplitCriterion criterion_ = SplitCriterion::kGini;
+};
 
 }  // namespace scalparc::core

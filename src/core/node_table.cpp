@@ -1,5 +1,10 @@
 #include "core/node_table.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
 namespace scalparc::core {
 
 void NodeTable::update(std::span<const std::int64_t> rids,

@@ -34,6 +34,19 @@ enum class CategoricalReduction : int {
   kAllRanks = 1,
 };
 
+// In-memory layout of the continuous attribute lists during induction
+// (DESIGN.md; docs/architecture.md "memory layout & scan kernels").
+enum class DataLayout : int {
+  // Padded 24-byte array-of-structs entries, scanned by the recompute
+  // impurity scanner. The seed implementation; kept as the differential
+  // oracle and the bench baseline.
+  kAoS = 0,
+  // Structure-of-arrays columns (20 bytes/record, separate value/rid/class
+  // streams), scanned by the incremental run-length gini kernel, with
+  // per-level scratch served from an arena. The fast path.
+  kSoA = 1,
+};
+
 struct InductionOptions {
   // Hard depth cap (root is depth 0). 64 never binds in practice; tests use
   // small values to exercise the cutoff.
@@ -60,6 +73,12 @@ struct InductionOptions {
   // fingerprint: a checkpoint written under one setting resumes under the
   // other.
   bool fuse_collectives = true;
+  // Continuous-list layout. Both layouts produce byte-identical trees and
+  // byte-identical checkpoint files (sections are always written in AoS
+  // entry form), which is why this flag — like fuse_collectives — is
+  // deliberately NOT part of the SPMD/checkpoint fingerprint: a checkpoint
+  // written under one layout resumes under the other.
+  DataLayout layout = DataLayout::kSoA;
 };
 
 }  // namespace scalparc::core

@@ -1,7 +1,12 @@
 #include "core/predict.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "mp/collectives.hpp"
 

@@ -2,6 +2,7 @@
 // against the synthetic generator's ground truth.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>

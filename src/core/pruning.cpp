@@ -1,6 +1,8 @@
 #include "core/pruning.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "data/schema.hpp"

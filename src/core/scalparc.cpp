@@ -1,5 +1,7 @@
 #include "core/scalparc.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <utility>

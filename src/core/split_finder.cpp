@@ -1,5 +1,9 @@
 #include "core/split_finder.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -13,50 +17,79 @@ bool candidate_less(const SplitCandidate& a, const SplitCandidate& b) {
   return a.subset < b.subset;
 }
 
-std::size_t scan_continuous_segment(std::span<const data::ContinuousEntry> segment,
-                                    BinaryImpurityScanner& scanner, bool has_prev,
-                                    double prev_value, std::int32_t attribute,
+std::size_t scan_continuous_columns(const data::ContinuousColumns& cols,
+                                    std::size_t begin, std::size_t end,
+                                    IncrementalImpurityScanner& scanner,
+                                    bool has_prev, double prev_value,
+                                    std::int32_t attribute,
                                     SplitCandidate& best) {
+  const double* const values = cols.values.data();
+  const std::int32_t* const cls = cols.cls.data();
+  const int num_classes = scanner.num_classes();
+
+  // Within one attribute scan every candidate shares (attribute, kind) and
+  // thresholds strictly increase, so candidate_less degenerates to a strict
+  // gini comparison: a later candidate wins only on strictly smaller gini.
+  // Track just (gini, threshold) locally and merge into `best` once.
+  double local_gini = std::numeric_limits<double>::infinity();
+  double local_threshold = 0.0;
+
   double prev = prev_value;
   bool has = has_prev;
-  for (const data::ContinuousEntry& entry : segment) {
-    if (has && entry.value != prev) {
-      // Candidate "A < entry.value": the left partition is exactly the
-      // records advanced so far (all have value <= prev < entry.value).
+  std::size_t i = begin;
+  while (i < end) {
+    const double v = values[i];
+    std::size_t j = i + 1;
+    while (j < end && values[j] == v) ++j;
+
+    if (has && v != prev) {
       const double g = scanner.current_impurity();
-      SplitCandidate candidate;
-      candidate.gini = g;
-      candidate.attribute = attribute;
-      candidate.kind = SplitKind::kContinuous;
-      candidate.threshold = entry.value;
-      if (candidate_less(candidate, best)) best = candidate;
+      if (g < local_gini) {
+        local_gini = g;
+        local_threshold = v;
+      }
     }
-    scanner.advance(entry.cls);
-    prev = entry.value;
+
+    // Advance the whole run of equal values at once. Two classes is the
+    // common case and the class stream is 0/1, so the count is a plain sum
+    // the compiler vectorizes; otherwise fall back to per-record updates.
+    const std::int64_t run = static_cast<std::int64_t>(j - i);
+    if (num_classes == 2) {
+      std::int64_t ones = 0;
+      for (std::size_t k = i; k < j; ++k) ones += cls[k];
+      if (ones > 0) scanner.advance_run(1, ones);
+      if (run - ones > 0) scanner.advance_run(0, run - ones);
+    } else {
+      for (std::size_t k = i; k < j; ++k) scanner.advance(cls[k]);
+    }
+
+    prev = v;
     has = true;
+    i = j;
   }
-  return segment.size();
+
+  if (local_gini < std::numeric_limits<double>::infinity()) {
+    SplitCandidate candidate;
+    candidate.gini = local_gini;
+    candidate.attribute = attribute;
+    candidate.kind = SplitKind::kContinuous;
+    candidate.threshold = local_threshold;
+    if (candidate_less(candidate, best)) best = candidate;
+  }
+  return end - begin;
 }
 
 namespace {
 
-// Gini of the binary split defined by `subset` (bit v set -> value v on the
-// left), or +inf if either side is empty.
-double subset_impurity(const CountMatrix& matrix, std::uint64_t subset,
-                       SplitCriterion criterion) {
-  const int c = matrix.cols();
-  std::vector<std::int64_t> left(static_cast<std::size_t>(c), 0);
-  std::vector<std::int64_t> right(static_cast<std::size_t>(c), 0);
-  for (int v = 0; v < matrix.rows(); ++v) {
-    auto& side = (subset >> v) & 1u ? left : right;
-    for (int j = 0; j < c; ++j) side[static_cast<std::size_t>(j)] += matrix.at(v, j);
-  }
-  std::int64_t nl = 0;
-  std::int64_t nr = 0;
-  for (int j = 0; j < c; ++j) {
-    nl += left[static_cast<std::size_t>(j)];
-    nr += right[static_cast<std::size_t>(j)];
-  }
+// Impurity of the binary split whose committed left/right class histograms
+// are `left`/`right` (exact int64 counts), or +inf if either side is empty.
+// Histograms are exact integer sums, so the result is independent of the
+// order rows were accumulated in — evaluating a candidate incrementally
+// gives bitwise the same double as rebuilding both sides from scratch.
+double sides_impurity(std::span<const std::int64_t> left,
+                      std::span<const std::int64_t> right,
+                      std::int64_t nl, std::int64_t nr,
+                      SplitCriterion criterion) {
   if (nl == 0 || nr == 0) return std::numeric_limits<double>::infinity();
   const double n = static_cast<double>(nl + nr);
   return (static_cast<double>(nl) / n) * impurity_of_counts(left, criterion) +
@@ -86,6 +119,33 @@ SplitCandidate subset_candidate(const CountMatrix& matrix,
   }
   // Greedy forward selection (SLIQ-style): repeatedly move the value that
   // most improves the split into the left subset; keep the best seen.
+  //
+  // The committed left/right class histograms persist across rounds; each
+  // candidate move of row v is evaluated by temporarily shifting that one
+  // row across — O(C) per candidate instead of rebuilding both sides from
+  // the matrix (O(V*C)), so a round costs O(V*C) rather than O(V^2*C).
+  const int c = matrix.cols();
+  std::vector<std::int64_t> left(static_cast<std::size_t>(c), 0);
+  std::vector<std::int64_t> right(static_cast<std::size_t>(c), 0);
+  std::int64_t nl = 0;
+  std::int64_t nr = 0;
+  for (int v = 0; v < matrix.rows(); ++v) {
+    for (int j = 0; j < c; ++j) {
+      right[static_cast<std::size_t>(j)] += matrix.at(v, j);
+    }
+    nr += matrix.row_total(v);
+  }
+
+  const auto shift_row = [&](int v, int direction) {
+    for (int j = 0; j < c; ++j) {
+      const std::int64_t count = matrix.at(v, j) * direction;
+      left[static_cast<std::size_t>(j)] += count;
+      right[static_cast<std::size_t>(j)] -= count;
+    }
+    nl += matrix.row_total(v) * direction;
+    nr -= matrix.row_total(v) * direction;
+  };
+
   std::uint64_t subset = 0;
   double best_gini = std::numeric_limits<double>::infinity();
   std::uint64_t best_subset = 0;
@@ -95,13 +155,16 @@ SplitCandidate subset_candidate(const CountMatrix& matrix,
     for (int v = 0; v < matrix.rows(); ++v) {
       if ((subset >> v) & 1u) continue;
       if (matrix.row_total(v) == 0) continue;
-      const double g = subset_impurity(matrix, subset | (std::uint64_t{1} << v), criterion);
+      shift_row(v, +1);
+      const double g = sides_impurity(left, right, nl, nr, criterion);
+      shift_row(v, -1);
       if (g < round_best) {
         round_best = g;
         round_value = v;
       }
     }
     if (round_value < 0) break;  // no move keeps both sides non-empty
+    shift_row(round_value, +1);
     subset |= std::uint64_t{1} << round_value;
     if (round_best < best_gini) {
       best_gini = round_best;

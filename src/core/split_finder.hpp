@@ -10,6 +10,7 @@
 // with the records strictly below v forming the left partition.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -56,10 +57,47 @@ struct CandidateMinOp {
 // start (below-counts from the FindSplitI parallel prefix); `has_prev` /
 // `prev_value` describe the last attribute value on any earlier rank within
 // the same node (from the boundary exscan). Returns the number of work units
-// performed (one per entry).
+// performed (one per entry). Works with either impurity scanner; the
+// recompute scanner makes this the differential oracle for the columnar
+// kernel below.
+template <typename Scanner>
 std::size_t scan_continuous_segment(std::span<const data::ContinuousEntry> segment,
-                                    BinaryImpurityScanner& scanner, bool has_prev,
+                                    Scanner& scanner, bool has_prev,
                                     double prev_value, std::int32_t attribute,
+                                    SplitCandidate& best) {
+  double prev = prev_value;
+  bool has = has_prev;
+  for (const data::ContinuousEntry& entry : segment) {
+    if (has && entry.value != prev) {
+      // Candidate "A < entry.value": the left partition is exactly the
+      // records advanced so far (all have value <= prev < entry.value).
+      const double g = scanner.current_impurity();
+      SplitCandidate candidate;
+      candidate.gini = g;
+      candidate.attribute = attribute;
+      candidate.kind = SplitKind::kContinuous;
+      candidate.threshold = entry.value;
+      if (candidate_less(candidate, best)) best = candidate;
+    }
+    scanner.advance(entry.cls);
+    prev = entry.value;
+    has = true;
+  }
+  return segment.size();
+}
+
+// Columnar scan kernel: same contract as scan_continuous_segment over
+// records [begin, end) of a SoA fragment, with the per-record work
+// restructured for the hardware. Equal values are grouped into runs; the
+// impurity is evaluated once per run boundary in O(1) (incremental sums of
+// squares), and class counting inside a run is a branchless reduction over
+// the cls stream that auto-vectorizes in the two-class case. Produces
+// bitwise-identical decisions to the entry scan.
+std::size_t scan_continuous_columns(const data::ContinuousColumns& cols,
+                                    std::size_t begin, std::size_t end,
+                                    IncrementalImpurityScanner& scanner,
+                                    bool has_prev, double prev_value,
+                                    std::int32_t attribute,
                                     SplitCandidate& best);
 
 // Best categorical split of a node given its *global* count matrix

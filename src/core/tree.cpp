@@ -1,9 +1,12 @@
 #include "core/tree.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace scalparc::core {
 

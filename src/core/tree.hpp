@@ -5,6 +5,7 @@
 // labels, unseen-categorical fallbacks and MDL pruning).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

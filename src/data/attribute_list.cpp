@@ -1,5 +1,10 @@
 #include "data/attribute_list.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
 namespace scalparc::data {
 
 std::vector<ContinuousEntry> build_continuous_list(const Dataset& block,
@@ -26,6 +31,75 @@ std::vector<CategoricalEntry> build_categorical_list(const Dataset& block,
     list[row].cls = block.label(row);
   }
   return list;
+}
+
+ContinuousColumns build_continuous_columns(const Dataset& block, int attribute,
+                                           std::int64_t first_rid) {
+  const auto column = block.continuous_column(attribute);
+  const std::size_t n = block.num_records();
+  ContinuousColumns cols;
+  cols.resize(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    cols.values[row] = column[row];
+    cols.rids[row] = first_rid + static_cast<std::int64_t>(row);
+    cols.cls[row] = block.label(row);
+  }
+  return cols;
+}
+
+CategoricalColumns build_categorical_columns(const Dataset& block,
+                                             int attribute,
+                                             std::int64_t first_rid) {
+  const auto column = block.categorical_column(attribute);
+  const std::size_t n = block.num_records();
+  CategoricalColumns cols;
+  cols.resize(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    cols.rids[row] = first_rid + static_cast<std::int64_t>(row);
+    cols.values[row] = column[row];
+    cols.cls[row] = block.label(row);
+  }
+  return cols;
+}
+
+ContinuousColumns columns_from_entries(
+    std::span<const ContinuousEntry> entries) {
+  ContinuousColumns cols;
+  cols.resize(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    cols.values[i] = entries[i].value;
+    cols.rids[i] = entries[i].rid;
+    cols.cls[i] = entries[i].cls;
+  }
+  return cols;
+}
+
+CategoricalColumns columns_from_entries(
+    std::span<const CategoricalEntry> entries) {
+  CategoricalColumns cols;
+  cols.resize(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    cols.rids[i] = entries[i].rid;
+    cols.values[i] = entries[i].value;
+    cols.cls[i] = entries[i].cls;
+  }
+  return cols;
+}
+
+void entries_from_columns(const ContinuousColumns& cols,
+                          std::vector<ContinuousEntry>& out) {
+  out.resize(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    out[i] = ContinuousEntry{cols.values[i], cols.rids[i], cols.cls[i], 0};
+  }
+}
+
+void entries_from_columns(const CategoricalColumns& cols,
+                          std::vector<CategoricalEntry>& out) {
+  out.resize(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    out[i] = CategoricalEntry{cols.rids[i], cols.values[i], cols.cls[i]};
+  }
 }
 
 }  // namespace scalparc::data

@@ -1,7 +1,11 @@
 #include "data/dataset.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 namespace scalparc::data {
 

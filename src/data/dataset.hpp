@@ -6,6 +6,7 @@
 // [0, cardinality).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -1,8 +1,11 @@
 #include "data/gaussian.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace scalparc::data {
 

@@ -9,6 +9,7 @@
 // generate their blocks independently.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

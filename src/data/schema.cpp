@@ -1,7 +1,11 @@
 #include "data/schema.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace scalparc::data {
 

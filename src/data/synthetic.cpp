@@ -1,7 +1,11 @@
 #include "data/synthetic.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace scalparc::data {

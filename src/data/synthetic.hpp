@@ -17,6 +17,7 @@
 // block of records with no communication, and any two runs agree exactly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 

@@ -1,6 +1,11 @@
 #include "mp/collective_batch.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
 #include <utility>
+#include <vector>
 
 namespace scalparc::mp {
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "mp/fault.hpp"
@@ -269,6 +270,14 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
                << ", tag=" << tag << ", bytes=" << message.payload.size()
                << ") failed its CRC32 frame checksum";
       throw CorruptMessage(what_out.str());
+    }
+    // Leave the liveness registry *before* acknowledging: the ack drops the
+    // sender's retransmittable copy, so a deadlock probe sampling between the
+    // ack and the guard's unmark would see this rank blocked with nothing
+    // deliverable — a phantom deadlock under heavy CPU oversubscription.
+    if (unmark.hub != nullptr) {
+      hub_.mark_unblocked(rank_);
+      unmark.hub = nullptr;
     }
     if (reliability.enabled && message.seq != 0) {
       channel.acknowledge(message.seq);

@@ -12,6 +12,7 @@
 // of another (sends are buffered and never block).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <span>

@@ -1,7 +1,11 @@
 #include "mp/fault.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <span>
 #include <sstream>
+#include <string>
 
 namespace scalparc::mp {
 

@@ -1,6 +1,9 @@
 #include "mp/mailbox.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <utility>
 
 namespace scalparc::mp {

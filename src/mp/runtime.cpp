@@ -1,11 +1,16 @@
 #include "mp/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "mp/fault.hpp"
 #include "util/stopwatch.hpp"
@@ -101,6 +106,24 @@ void Hub::mark_finished(int rank) {
 }
 
 std::string Hub::deadlock_diagnostic() {
+  // A rank is briefly still registered as blocked in the instants between
+  // popping its frame and leaving the registry, so a single probe can observe
+  // a phantom "all blocked, nothing deliverable" state when threads are
+  // starved (oversubscribed CPUs). True deadlock is *stable*: confirm by
+  // re-probing after a pause and requiring every liveness epoch unchanged —
+  // any progress in between bumps an epoch and cancels the verdict.
+  std::vector<std::uint64_t> first;
+  std::string diag = deadlock_probe(&first);
+  if (diag.empty() || first.empty()) return diag;  // clear, or stable death
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<std::uint64_t> second;
+  diag = deadlock_probe(&second);
+  if (diag.empty()) return "";
+  if (second.empty()) return diag;  // escalated to a rank-death diagnostic
+  return first == second ? diag : "";
+}
+
+std::string Hub::deadlock_probe(std::vector<std::uint64_t>* epochs) {
   std::lock_guard<std::mutex> lock(wait_mutex_);
   if (unfinished_ == 0) return "";
   // Liveness-epoch classification: a registered dead rank means this is not
@@ -145,6 +168,7 @@ std::string Hub::deadlock_diagnostic() {
   for (int r = 0; r < nranks_; ++r) {
     const WaitState& w = waits_[static_cast<std::size_t>(r)];
     if (w.finished) continue;
+    epochs->push_back(w.epoch);
     diag << " rank " << r << " blocked in recv(src=" << w.src
          << ", tag=" << w.tag << ", liveness epoch " << w.epoch << ");";
   }

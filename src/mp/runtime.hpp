@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -121,6 +122,12 @@ class Hub {
   std::string deadlock_diagnostic();
 
  private:
+  // One-shot registry scan. Empty string: someone can still progress. For an
+  // all-blocked livelock verdict, the unfinished ranks' liveness epochs are
+  // appended to `epochs` (left empty for the rank-death classification) so
+  // deadlock_diagnostic can demand a stable re-observation before aborting.
+  std::string deadlock_probe(std::vector<std::uint64_t>* epochs);
+
   struct WaitState {
     bool blocked = false;
     bool finished = false;

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <queue>
+#include <span>
 #include <stdexcept>
 #include <vector>
 

@@ -1,8 +1,11 @@
 #include "ooc/ooc_sprint.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -182,8 +185,8 @@ OocReport fit_ooc_sprint(const data::Dataset& training,
       TypedReader<ContinuousEntry> reader(cont.file, &io, buffer);
       for (std::size_t i = 0; i < m; ++i) {
         const std::vector<std::int64_t> zeros(static_cast<std::size_t>(c), 0);
-        core::BinaryImpurityScanner scanner(active[i].class_totals, zeros,
-                                            induction.criterion);
+        core::IncrementalImpurityScanner scanner(active[i].class_totals, zeros,
+                                                 induction.criterion);
         double prev = 0.0;
         bool has = false;
         ContinuousEntry entry;

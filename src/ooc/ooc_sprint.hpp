@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/options.hpp"
 #include "core/tree.hpp"

@@ -1,5 +1,8 @@
 #include "ooc/spill_file.hpp"
 
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <unistd.h>
 
 #include <atomic>

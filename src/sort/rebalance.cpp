@@ -1,7 +1,9 @@
 #include "sort/rebalance.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace scalparc::sort {
 

@@ -9,6 +9,7 @@
 // assume.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

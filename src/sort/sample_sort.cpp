@@ -1,6 +1,8 @@
 #include "sort/partition_util.hpp"
 
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace scalparc::sort {
 

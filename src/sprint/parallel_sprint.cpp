@@ -1,5 +1,7 @@
 #include "sprint/parallel_sprint.hpp"
 
+#include <cstdint>
+
 namespace scalparc::sprint {
 
 core::FitReport fit_parallel_sprint(const data::Dataset& training, int nranks,

@@ -7,6 +7,8 @@
 // two systems differ on exactly the axis the paper compares.
 #pragma once
 
+#include <cstdint>
+
 #include "core/scalparc.hpp"
 
 namespace scalparc::sprint {

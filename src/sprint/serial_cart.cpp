@@ -1,7 +1,10 @@
 #include "sprint/serial_cart.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -83,7 +86,8 @@ struct Builder {
         std::sort(entries.begin(), entries.end(), data::ContinuousEntryLess{});
         if (stats != nullptr) stats->sorted_elements += entries.size();
         const std::vector<std::int64_t> zeros(static_cast<std::size_t>(c), 0);
-        core::BinaryImpurityScanner scanner(counts, zeros, options.criterion);
+        core::IncrementalImpurityScanner scanner(counts, zeros,
+                                                 options.criterion);
         core::scan_continuous_segment(entries, scanner, false, 0.0,
                                       static_cast<std::int32_t>(a), best);
       } else {

@@ -7,6 +7,8 @@
 // the benches show the re-sorting cost the paper motivates against.
 #pragma once
 
+#include <cstdint>
+
 #include "core/options.hpp"
 #include "core/tree.hpp"
 #include "data/dataset.hpp"

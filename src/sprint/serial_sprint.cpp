@@ -1,7 +1,10 @@
 #include "sprint/serial_sprint.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -128,8 +131,8 @@ core::DecisionTree fit_serial_sprint(const data::Dataset& training,
     for (ContList& list : cont_lists) {
       for (std::size_t i = 0; i < m; ++i) {
         const std::vector<std::int64_t> zeros(static_cast<std::size_t>(c), 0);
-        core::BinaryImpurityScanner scanner(active[i].class_totals, zeros,
-                                            options.criterion);
+        core::IncrementalImpurityScanner scanner(active[i].class_totals, zeros,
+                                                 options.criterion);
         std::span<const ContinuousEntry> segment(
             list.entries.data() + list.offsets[i],
             list.offsets[i + 1] - list.offsets[i]);

@@ -1,5 +1,7 @@
 #include "tools/cli_app.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <exception>
 #include <fstream>

@@ -1,7 +1,11 @@
 #include "util/cli.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace scalparc::util {
 

@@ -3,7 +3,9 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
+#include <string>
 
 namespace scalparc::util {
 

@@ -1,5 +1,6 @@
 #include "util/stopwatch.hpp"
 
+#include <cstddef>
 #include <cstdio>
 
 namespace scalparc::util {

@@ -1,0 +1,630 @@
+// Differential property suite for the SoA data plane: the columnar
+// attribute lists, the incremental gini kernel, the flat hash table, and the
+// arena must be *observationally invisible* — byte-identical trees,
+// byte-identical checkpoint files, cross-layout resume — with the AoS
+// entry-list path kept alive as the oracle (InductionOptions::layout).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/chained_hash.hpp"
+#include "core/count_matrix.hpp"
+#include "core/flat_hash.hpp"
+#include "core/gini.hpp"
+#include "core/scalparc.hpp"
+#include "core/split_finder.hpp"
+#include "core/tree_io.hpp"
+#include "data/attribute_list.hpp"
+#include "data/synthetic.hpp"
+#include "mp/fault.hpp"
+#include "mp/runtime.hpp"
+#include "sort/partition_util.hpp"
+#include "sort/rebalance.hpp"
+#include "sort/sample_sort.hpp"
+#include "util/arena.hpp"
+
+namespace scalparc {
+namespace {
+
+namespace fs = std::filesystem;
+
+using core::DataLayout;
+using core::DecisionTree;
+using core::InductionControls;
+using core::ScalParC;
+using core::SplitCandidate;
+
+const mp::CostModel kZero = mp::CostModel::zero();
+
+std::string tree_bytes(const DecisionTree& tree) {
+  std::ostringstream out;
+  core::save_tree(tree, out);
+  return out.str();
+}
+
+// Mixed continuous + categorical workload (9 Quest attributes) so both list
+// kinds and both split kinds go through the layout under test.
+data::Dataset make_mixed_training(std::uint64_t records, std::uint64_t seed = 11) {
+  data::GeneratorConfig config;
+  config.seed = seed;
+  config.function = data::LabelFunction::kF6;
+  config.num_attributes = 9;
+  config.label_noise = 0.05;
+  return data::QuestGenerator(config).generate(0, records);
+}
+
+// Continuous-heavy workload matching the fault suite (deep enough trees for
+// mid-run checkpoints).
+data::Dataset make_deep_training(std::uint64_t records, std::uint64_t seed = 3) {
+  data::GeneratorConfig config;
+  config.seed = seed;
+  config.function = data::LabelFunction::kF2;
+  config.num_attributes = 7;
+  return data::QuestGenerator(config).generate(0, records);
+}
+
+InductionControls layout_controls(DataLayout layout) {
+  InductionControls controls;
+  controls.options.layout = layout;
+  return controls;
+}
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& stem)
+      : path((fs::temp_directory_path() /
+              (stem + "_" + std::to_string(::getpid()) + "_" +
+               std::to_string(counter_++)))
+                 .string()) {}
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static inline int counter_ = 0;
+};
+
+// All regular files under `root`, keyed by path relative to root.
+std::map<std::string, std::string> file_map(const std::string& root) {
+  std::map<std::string, std::string> out;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    out[fs::relative(entry.path(), root).string()] = buffer.str();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trees are byte-identical across layouts
+// ---------------------------------------------------------------------------
+
+TEST(LayoutDifferential, TreeByteIdenticalAcrossLayouts) {
+  const data::Dataset training = make_mixed_training(1200);
+  for (const int p : {1, 2, 4, 8}) {
+    const core::FitReport soa =
+        ScalParC::fit(training, p, layout_controls(DataLayout::kSoA), kZero);
+    const core::FitReport aos =
+        ScalParC::fit(training, p, layout_controls(DataLayout::kAoS), kZero);
+    EXPECT_EQ(tree_bytes(soa.tree), tree_bytes(aos.tree)) << "p=" << p;
+    EXPECT_EQ(soa.tree.accuracy(training), aos.tree.accuracy(training))
+        << "p=" << p;
+  }
+}
+
+TEST(LayoutDifferential, TreeByteIdenticalWithSubsetSplitsAndEntropy) {
+  // Entropy has no O(1) sufficient statistic, so the incremental scanner's
+  // fallback path and the subset split's incremental histograms are both on
+  // trial here.
+  const data::Dataset training = make_mixed_training(900, /*seed=*/4);
+  for (const int p : {1, 4}) {
+    InductionControls soa = layout_controls(DataLayout::kSoA);
+    soa.options.categorical_split = core::CategoricalSplit::kBinarySubset;
+    soa.options.criterion = core::SplitCriterion::kEntropy;
+    InductionControls aos = soa;
+    aos.options.layout = DataLayout::kAoS;
+    EXPECT_EQ(tree_bytes(ScalParC::fit(training, p, soa, kZero).tree),
+              tree_bytes(ScalParC::fit(training, p, aos, kZero).tree))
+        << "p=" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints: identical files, cross-layout resume
+// ---------------------------------------------------------------------------
+
+TEST(LayoutDifferential, CheckpointFilesByteIdenticalAcrossLayouts) {
+  // Sections are always written as AoS entries regardless of the in-memory
+  // layout, so the on-disk artifacts must match byte for byte.
+  const data::Dataset training = make_deep_training(2000);
+  TempDir soa_dir("scalparc_layout_soa");
+  TempDir aos_dir("scalparc_layout_aos");
+  InductionControls soa = layout_controls(DataLayout::kSoA);
+  soa.options.max_depth = 5;
+  soa.checkpoint.directory = soa_dir.path;
+  InductionControls aos = soa;
+  aos.options.layout = DataLayout::kAoS;
+  aos.checkpoint.directory = aos_dir.path;
+
+  const std::string soa_tree = tree_bytes(ScalParC::fit(training, 2, soa, kZero).tree);
+  const std::string aos_tree = tree_bytes(ScalParC::fit(training, 2, aos, kZero).tree);
+  EXPECT_EQ(soa_tree, aos_tree);
+
+  const auto soa_files = file_map(soa_dir.path);
+  const auto aos_files = file_map(aos_dir.path);
+  ASSERT_FALSE(soa_files.empty());
+  ASSERT_EQ(soa_files.size(), aos_files.size());
+  for (const auto& [name, bytes] : soa_files) {
+    const auto it = aos_files.find(name);
+    ASSERT_NE(it, aos_files.end()) << name << " missing from AoS checkpoint";
+    EXPECT_EQ(bytes, it->second) << name << " differs across layouts";
+  }
+}
+
+TEST(LayoutDifferential, EachLayoutResumesTheOthersCheckpoint) {
+  // The layout is deliberately excluded from the checkpoint fingerprint:
+  // a checkpoint written under either layout must resume under the other
+  // and still reproduce the clean tree.
+  const data::Dataset training = make_deep_training(2000);
+  InductionControls base;
+  base.options.max_depth = 5;
+  const std::string expected =
+      tree_bytes(ScalParC::fit(training, 4, base, kZero).tree);
+
+  for (const auto& [writer, resumer] :
+       {std::pair{DataLayout::kAoS, DataLayout::kSoA},
+        std::pair{DataLayout::kSoA, DataLayout::kAoS}}) {
+    TempDir dir("scalparc_layout_xresume");
+    InductionControls write = base;
+    write.options.layout = writer;
+    write.checkpoint.directory = dir.path;
+    EXPECT_EQ(tree_bytes(ScalParC::fit(training, 4, write, kZero).tree),
+              expected);
+
+    InductionControls resume = base;
+    resume.options.layout = resumer;
+    resume.checkpoint.directory = dir.path;
+    const core::FitReport report =
+        ScalParC::resume_from_checkpoint(training, 4, resume, kZero);
+    EXPECT_EQ(tree_bytes(report.tree), expected)
+        << "writer=" << static_cast<int>(writer)
+        << " resumer=" << static_cast<int>(resumer);
+  }
+}
+
+TEST(LayoutDifferential, KillAndResumeUnderSoAMatchesAoSTree) {
+  const data::Dataset training = make_deep_training(4000);
+  InductionControls aos = layout_controls(DataLayout::kAoS);
+  aos.options.max_depth = 6;
+  const std::string expected =
+      tree_bytes(ScalParC::fit(training, 4, aos, kZero).tree);
+
+  TempDir dir("scalparc_layout_kill");
+  mp::FaultPlan plan;
+  plan.parse("kill:r=1,level=2");
+  mp::RunOptions options;
+  options.fault_plan = &plan;
+  InductionControls soa = layout_controls(DataLayout::kSoA);
+  soa.options.max_depth = 6;
+  soa.checkpoint.directory = dir.path;
+  const core::RecoveryReport report =
+      ScalParC::fit_with_recovery(training, 4, soa, kZero, options);
+  EXPECT_EQ(report.attempts, 2);
+  ASSERT_EQ(report.events.size(), 1u);
+  EXPECT_EQ(report.events[0].resumed_level, 2);
+  EXPECT_EQ(tree_bytes(report.fit.tree), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Impurity scanners: bitwise equality
+// ---------------------------------------------------------------------------
+
+TEST(ScannerDifferential, RecomputeAndIncrementalBitwiseIdentical) {
+  std::mt19937 rng(17);
+  for (const int c : {2, 3, 5}) {
+    for (const auto criterion :
+         {core::SplitCriterion::kGini, core::SplitCriterion::kEntropy}) {
+      std::vector<std::int64_t> totals(static_cast<std::size_t>(c), 0);
+      std::vector<std::int32_t> stream;
+      std::uniform_int_distribution<int> class_of(0, c - 1);
+      for (int i = 0; i < 500; ++i) {
+        const int cls = class_of(rng);
+        ++totals[static_cast<std::size_t>(cls)];
+        stream.push_back(cls);
+      }
+      const std::vector<std::int64_t> zeros(static_cast<std::size_t>(c), 0);
+      core::BinaryImpurityScanner recompute(totals, zeros, criterion);
+      core::IncrementalImpurityScanner incremental(totals, zeros, criterion);
+      EXPECT_EQ(recompute.current_impurity(), incremental.current_impurity());
+      for (const std::int32_t cls : stream) {
+        recompute.advance(cls);
+        incremental.advance(cls);
+        // Bitwise-equal doubles (infinity at the boundaries included).
+        EXPECT_EQ(recompute.current_impurity(), incremental.current_impurity())
+            << "c=" << c << " criterion=" << static_cast<int>(criterion);
+      }
+      EXPECT_EQ(recompute.below_total(), incremental.below_total());
+    }
+  }
+}
+
+TEST(ScannerDifferential, AdvanceRunMatchesRepeatedAdvance) {
+  const std::vector<std::int64_t> totals = {40, 25, 35};
+  const std::vector<std::int64_t> zeros = {0, 0, 0};
+  core::IncrementalImpurityScanner by_run(totals, zeros);
+  core::IncrementalImpurityScanner by_one(totals, zeros);
+  const std::vector<std::pair<std::int32_t, std::int64_t>> runs = {
+      {0, 7}, {2, 11}, {1, 1}, {0, 13}, {1, 24}, {2, 24}};
+  for (const auto& [cls, count] : runs) {
+    by_run.advance_run(cls, count);
+    for (std::int64_t k = 0; k < count; ++k) by_one.advance(cls);
+    EXPECT_EQ(by_run.current_impurity(), by_one.current_impurity());
+    EXPECT_EQ(by_run.below_total(), by_one.below_total());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar scan kernel vs the entry-walk oracle
+// ---------------------------------------------------------------------------
+
+TEST(ScanKernelDifferential, ColumnsKernelMatchesEntryScan) {
+  std::mt19937 rng(23);
+  for (const int c : {2, 4}) {  // 2 exercises the vectorized counting path
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::size_t n = 200 + trial * 17;
+      std::uniform_int_distribution<int> value_of(0, 39);
+      std::uniform_int_distribution<int> class_of(0, c - 1);
+      std::vector<data::ContinuousEntry> entries(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        entries[i].value = static_cast<double>(value_of(rng)) * 0.25;
+        entries[i].rid = static_cast<std::int64_t>(i);
+        entries[i].cls = class_of(rng);
+      }
+      std::sort(entries.begin(), entries.end(), data::ContinuousEntryLess{});
+      const data::ContinuousColumns cols = data::columns_from_entries(entries);
+      std::vector<std::int64_t> totals(static_cast<std::size_t>(c), 0);
+      for (const auto& e : entries) ++totals[static_cast<std::size_t>(e.cls)];
+
+      // Cut the list into a random FindSplitI-style fragment and scan it
+      // with both kernels, seeded with the same prefix state.
+      std::uniform_int_distribution<std::size_t> cut(0, n);
+      std::size_t begin = cut(rng);
+      std::size_t end = cut(rng);
+      if (begin > end) std::swap(begin, end);
+      std::vector<std::int64_t> below(static_cast<std::size_t>(c), 0);
+      for (std::size_t i = 0; i < begin; ++i) {
+        ++below[static_cast<std::size_t>(entries[i].cls)];
+      }
+      const bool has_prev = begin > 0;
+      const double prev_value = has_prev ? entries[begin - 1].value : 0.0;
+
+      SplitCandidate best_entry;
+      core::BinaryImpurityScanner recompute(totals, below);
+      const std::size_t work_entry = core::scan_continuous_segment(
+          std::span<const data::ContinuousEntry>(entries.data() + begin,
+                                                 end - begin),
+          recompute, has_prev, prev_value, /*attribute=*/3, best_entry);
+
+      SplitCandidate best_cols;
+      core::IncrementalImpurityScanner incremental(totals, below);
+      const std::size_t work_cols = core::scan_continuous_columns(
+          cols, begin, end, incremental, has_prev, prev_value, /*attribute=*/3,
+          best_cols);
+
+      EXPECT_EQ(work_entry, work_cols);
+      EXPECT_EQ(best_entry.gini, best_cols.gini) << "c=" << c;
+      EXPECT_EQ(best_entry.attribute, best_cols.attribute);
+      EXPECT_EQ(best_entry.kind, best_cols.kind);
+      EXPECT_EQ(best_entry.threshold, best_cols.threshold);
+      EXPECT_EQ(recompute.below_total(), incremental.below_total());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subset split: incremental histograms vs rebuild-from-scratch oracle
+// ---------------------------------------------------------------------------
+
+// The pre-optimization algorithm: greedy forward selection where every
+// candidate subset's left/right histograms are rebuilt from the matrix
+// (O(V^2*C) per round).
+SplitCandidate subset_oracle(const core::CountMatrix& matrix,
+                             std::int32_t attribute,
+                             core::SplitCriterion criterion) {
+  const int c = matrix.cols();
+  const auto subset_impurity = [&](std::uint64_t subset) {
+    std::vector<std::int64_t> left(static_cast<std::size_t>(c), 0);
+    std::vector<std::int64_t> right(static_cast<std::size_t>(c), 0);
+    std::int64_t nl = 0;
+    std::int64_t nr = 0;
+    for (int v = 0; v < matrix.rows(); ++v) {
+      const bool in_left = (subset >> v) & 1u;
+      for (int j = 0; j < c; ++j) {
+        ((in_left ? left : right))[static_cast<std::size_t>(j)] += matrix.at(v, j);
+      }
+      (in_left ? nl : nr) += matrix.row_total(v);
+    }
+    if (nl == 0 || nr == 0) return std::numeric_limits<double>::infinity();
+    const double n = static_cast<double>(nl + nr);
+    return (static_cast<double>(nl) / n) *
+               core::impurity_of_counts(left, criterion) +
+           (static_cast<double>(nr) / n) *
+               core::impurity_of_counts(right, criterion);
+  };
+
+  SplitCandidate candidate;
+  std::uint64_t subset = 0;
+  double best_gini = std::numeric_limits<double>::infinity();
+  std::uint64_t best_subset = 0;
+  for (;;) {
+    double round_best = std::numeric_limits<double>::infinity();
+    int round_value = -1;
+    for (int v = 0; v < matrix.rows(); ++v) {
+      if ((subset >> v) & 1u) continue;
+      if (matrix.row_total(v) == 0) continue;
+      const double g = subset_impurity(subset | (std::uint64_t{1} << v));
+      if (g < round_best) {
+        round_best = g;
+        round_value = v;
+      }
+    }
+    if (round_value < 0) break;
+    subset |= std::uint64_t{1} << round_value;
+    if (round_best < best_gini) {
+      best_gini = round_best;
+      best_subset = subset;
+    }
+  }
+  if (best_gini == std::numeric_limits<double>::infinity()) return candidate;
+  candidate.gini = best_gini;
+  candidate.attribute = attribute;
+  candidate.kind = core::SplitKind::kCategoricalSubset;
+  candidate.subset = best_subset;
+  return candidate;
+}
+
+TEST(SubsetSplitDifferential, IncrementalGreedyMatchesRebuildOracle) {
+  std::mt19937 rng(31);
+  for (const int rows : {2, 5, 17}) {
+    for (const int c : {2, 3}) {
+      for (const auto criterion :
+           {core::SplitCriterion::kGini, core::SplitCriterion::kEntropy}) {
+        for (int trial = 0; trial < 10; ++trial) {
+          core::CountMatrix matrix(rows, c);
+          std::uniform_int_distribution<int> count_of(0, 9);
+          for (int v = 0; v < rows; ++v) {
+            if (trial % 3 == 0 && v % 4 == 1) continue;  // leave empty rows
+            for (int j = 0; j < c; ++j) {
+              for (int k = count_of(rng); k > 0; --k) matrix.increment(v, j);
+            }
+          }
+          const SplitCandidate fast = core::best_categorical_split(
+              matrix, 5, core::CategoricalSplit::kBinarySubset, criterion);
+          const SplitCandidate slow = subset_oracle(matrix, 5, criterion);
+          EXPECT_EQ(fast.gini, slow.gini)
+              << "rows=" << rows << " c=" << c << " trial=" << trial;
+          EXPECT_EQ(fast.subset, slow.subset);
+          EXPECT_EQ(fast.kind, slow.kind);
+          EXPECT_EQ(fast.attribute, slow.attribute);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SoA sample sort / rebalance vs the entry versions
+// ---------------------------------------------------------------------------
+
+TEST(SortDifferential, SampleSortColumnsMatchesEntrySort) {
+  for (const int p : {1, 3, 4}) {
+    mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+      std::mt19937 rng(100 + static_cast<unsigned>(comm.rank()));
+      std::uniform_int_distribution<int> value_of(0, 30);
+      std::uniform_int_distribution<int> size_of(5, 60);
+      const int n = size_of(rng);
+      std::vector<data::ContinuousEntry> entries(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        entries[static_cast<std::size_t>(i)].value =
+            static_cast<double>(value_of(rng));
+        entries[static_cast<std::size_t>(i)].rid = comm.rank() * 1000 + i;
+        entries[static_cast<std::size_t>(i)].cls = i % 2;
+      }
+      const data::ContinuousColumns cols = data::columns_from_entries(entries);
+
+      const std::vector<data::ContinuousEntry> sorted_entries =
+          sort::sample_sort(comm, entries, data::ContinuousEntryLess{});
+      const data::ContinuousColumns sorted_cols =
+          sort::sample_sort_columns(comm, cols);
+
+      ASSERT_EQ(sorted_cols.size(), sorted_entries.size());
+      for (std::size_t i = 0; i < sorted_entries.size(); ++i) {
+        EXPECT_EQ(sorted_cols.values[i], sorted_entries[i].value);
+        EXPECT_EQ(sorted_cols.rids[i], sorted_entries[i].rid);
+        EXPECT_EQ(sorted_cols.cls[i], sorted_entries[i].cls);
+      }
+    });
+  }
+}
+
+TEST(SortDifferential, RebalanceColumnsMatchesEntryRebalance) {
+  const int p = 4;
+  mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+    // Deliberately skewed local sizes.
+    const std::size_t n = static_cast<std::size_t>(comm.rank()) * 13 + 2;
+    std::vector<data::ContinuousEntry> entries(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      entries[i].value = static_cast<double>(comm.rank()) + 0.01 * static_cast<double>(i);
+      entries[i].rid = comm.rank() * 100 + static_cast<std::int64_t>(i);
+      entries[i].cls = static_cast<std::int32_t>(i % 2);
+    }
+    const data::ContinuousColumns cols = data::columns_from_entries(entries);
+    std::uint64_t total = mp::allreduce_value(
+        comm, static_cast<std::uint64_t>(n), mp::SumOp{});
+    const std::vector<std::size_t> targets =
+        sort::equal_partition_sizes(total, static_cast<std::size_t>(p));
+
+    const std::vector<data::ContinuousEntry> balanced_entries =
+        sort::rebalance(comm, entries, targets);
+    const data::ContinuousColumns balanced_cols =
+        sort::rebalance_columns(comm, cols, targets);
+
+    ASSERT_EQ(balanced_cols.size(), balanced_entries.size());
+    EXPECT_EQ(balanced_cols.size(),
+              targets[static_cast<std::size_t>(comm.rank())]);
+    for (std::size_t i = 0; i < balanced_entries.size(); ++i) {
+      EXPECT_EQ(balanced_cols.values[i], balanced_entries[i].value);
+      EXPECT_EQ(balanced_cols.rids[i], balanced_entries[i].rid);
+      EXPECT_EQ(balanced_cols.cls[i], balanced_entries[i].cls);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Flat hash table vs the chained oracle
+// ---------------------------------------------------------------------------
+
+TEST(FlatHashDifferential, MatchesChainedTable) {
+  struct Payload {
+    std::int64_t tag = 0;
+  };
+  for (const int p : {1, 3}) {
+    mp::run_ranks(p, kZero, [&](mp::Comm& comm) {
+      // Few buckets: heavy collisions in the chained table, heavy probing
+      // and several capacity doublings in the flat one.
+      core::DistributedChainedHashTable<Payload> chained(comm, 97);
+      core::DistributedFlatHashTable<Payload> flat(comm, 97);
+
+      std::vector<core::DistributedChainedHashTable<Payload>::Update> cupd;
+      std::vector<core::DistributedFlatHashTable<Payload>::Update> fupd;
+      for (std::int64_t k = comm.rank(); k < 5000; k += comm.size()) {
+        const std::int64_t key = (k * 37) % 6007;
+        cupd.push_back({key, {k}});
+        fupd.push_back({key, {k}});
+      }
+      chained.update(cupd);
+      flat.update(fupd);
+      // Second round overwrites a subset: insert-or-assign semantics.
+      cupd.clear();
+      fupd.clear();
+      for (std::int64_t k = comm.rank(); k < 1000; k += comm.size()) {
+        cupd.push_back({k, {-k}});
+        fupd.push_back({k, {-k}});
+      }
+      chained.update(cupd, /*block_limit=*/100);
+      flat.update(fupd, /*block_limit=*/100);
+
+      std::vector<std::int64_t> keys;
+      for (std::int64_t k = comm.rank(); k < 7000; k += comm.size()) {
+        keys.push_back(k);  // includes keys never inserted
+      }
+      const auto from_chained = chained.enquire(keys);
+      const auto from_flat = flat.enquire(keys);
+      ASSERT_EQ(from_chained.size(), from_flat.size());
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        EXPECT_EQ(from_chained[i].found, from_flat[i].found) << keys[i];
+        if (from_chained[i].found) {
+          EXPECT_EQ(from_chained[i].value.tag, from_flat[i].value.tag)
+              << keys[i];
+        }
+      }
+    });
+  }
+}
+
+TEST(FlatHash, GrowsBeyondInitialCapacity) {
+  struct Payload {
+    std::int64_t tag = 0;
+  };
+  mp::run_ranks(1, kZero, [&](mp::Comm& comm) {
+    core::DistributedFlatHashTable<Payload> table(comm, 8);
+    const std::size_t initial = table.local_capacity();
+    std::vector<core::DistributedFlatHashTable<Payload>::Update> updates;
+    for (std::int64_t k = 0; k < 2000; ++k) updates.push_back({k, {k * 3}});
+    table.update(updates);
+    EXPECT_EQ(table.local_entries(), 2000u);
+    EXPECT_GT(table.local_capacity(), initial);
+    // Load factor stays under the 70% rehash threshold.
+    EXPECT_LE((table.local_entries() + 1) * 10, table.local_capacity() * 7 +
+                                                    10);
+    std::vector<std::int64_t> keys;
+    for (std::int64_t k = 0; k < 2000; ++k) keys.push_back(k);
+    const auto found = table.enquire(keys);
+    for (std::int64_t k = 0; k < 2000; ++k) {
+      ASSERT_TRUE(found[static_cast<std::size_t>(k)].found) << k;
+      EXPECT_EQ(found[static_cast<std::size_t>(k)].value.tag, k * 3);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+TEST(Arena, AllocationsAreZeroedDistinctAndStable) {
+  util::Arena arena;
+  std::vector<std::span<std::int64_t>> spans;
+  // Allocate enough to force chained-block growth; earlier spans must stay
+  // valid and keep their contents.
+  for (int round = 0; round < 6; ++round) {
+    auto span = arena.alloc_zeroed<std::int64_t>(1000);
+    for (const std::int64_t v : span) EXPECT_EQ(v, 0);
+    for (std::size_t i = 0; i < span.size(); ++i) {
+      span[i] = round * 100000 + static_cast<std::int64_t>(i);
+    }
+    spans.push_back(span);
+  }
+  EXPECT_GT(arena.num_blocks(), 1u);
+  for (int round = 0; round < 6; ++round) {
+    for (std::size_t i = 0; i < spans[static_cast<std::size_t>(round)].size();
+         ++i) {
+      EXPECT_EQ(spans[static_cast<std::size_t>(round)][i],
+                round * 100000 + static_cast<std::int64_t>(i))
+          << "round " << round;
+    }
+  }
+}
+
+TEST(Arena, ResetCoalescesAndRecycles) {
+  util::Arena arena;
+  for (int i = 0; i < 5; ++i) (void)arena.alloc<std::byte>(3000);
+  const std::size_t grown_capacity = arena.capacity();
+  EXPECT_GT(arena.num_blocks(), 1u);
+  arena.reset();
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  EXPECT_GE(arena.capacity(), grown_capacity);
+  EXPECT_EQ(arena.used(), 0u);
+  // Steady state: the same allocation pattern now fits the single block.
+  for (int i = 0; i < 5; ++i) (void)arena.alloc<std::byte>(3000);
+  EXPECT_EQ(arena.num_blocks(), 1u);
+  arena.reset();
+  auto zeroed = arena.alloc_zeroed<std::int32_t>(64);
+  for (const std::int32_t v : zeroed) EXPECT_EQ(v, 0);
+}
+
+TEST(Arena, RespectsAlignment) {
+  util::Arena arena;
+  (void)arena.alloc<char>(3);
+  const auto doubles = arena.alloc<double>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(doubles.data()) %
+                alignof(double),
+            0u);
+  (void)arena.alloc<char>(1);
+  const auto ints = arena.alloc<std::int64_t>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ints.data()) %
+                alignof(std::int64_t),
+            0u);
+}
+
+}  // namespace
+}  // namespace scalparc
