@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "mp/metrics.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -38,6 +39,10 @@ struct RunRow {
   std::uint64_t max_bytes_sent_per_rank = 0;
   std::vector<LevelStats> levels;
   double presort_vtime_s = 0.0;
+  // Merged metrics registry of the run (comm.*, induction.*, ...), embedded
+  // under "details" so downstream tooling reads one vocabulary across the
+  // CLI's --metrics-out and the bench documents.
+  Json details;
 };
 
 Json to_json(const RunRow& row) {
@@ -61,6 +66,7 @@ Json to_json(const RunRow& row) {
     levels.push_back(std::move(entry));
   }
   run["levels"] = std::move(levels);
+  run["details"] = row.details;
   return run;
 }
 
@@ -100,6 +106,16 @@ bool validate(const Json& doc) {
             level.at("max_bytes_sent_per_rank").as_int() < 0 ||
             level.at("vtime_s").as_double() < 0.0) {
           return complain("level entry out of range");
+        }
+      }
+      // details.metrics must decode as a metrics registry snapshot with the
+      // comm.* family present (the vocabulary shared with --metrics-out).
+      const Json* details = run.find("details");
+      if (details != nullptr) {
+        const scalparc::mp::MetricsSnapshot snapshot =
+            scalparc::mp::MetricsSnapshot::from_json(details->at("metrics"));
+        if (snapshot.value("comm.bytes_sent") <= 0.0) {
+          return complain("details.metrics lacks comm.bytes_sent");
         }
       }
       (fused ? fused_vtime : unfused_vtime).emplace_back(procs, total);
@@ -185,6 +201,10 @@ int main(int argc, char** argv) {
             std::max(row.max_bytes_sent_per_rank, rank.stats.bytes_sent);
       }
       row.levels = report.stats.per_level;
+      mp::MetricsSnapshot merged = report.run.metrics;
+      core::absorb_induction_stats(merged, report.stats);
+      row.details = Json::object();
+      row.details["metrics"] = merged.to_json();
       rows.push_back(std::move(row));
     }
   }

@@ -40,6 +40,7 @@
 #include "core/gini.hpp"
 #include "core/split_finder.hpp"
 #include "data/attribute_list.hpp"
+#include "mp/metrics.hpp"
 #include "util/json.hpp"
 #include "util/stopwatch.hpp"
 
@@ -63,6 +64,9 @@ struct TableRow {
   double chained_probes_per_s = 0.0;
   double flat_probes_per_s = 0.0;
   double flat_speedup = 0.0;
+  // Metrics registry of the flat-table run (hash.probe_length histogram,
+  // hash.occupancy_pct, comm.*), embedded under "details" in the JSON.
+  Json details;
 };
 
 // Schema + claim validation; prints the first violation and returns false.
@@ -116,6 +120,16 @@ bool validate(const Json& doc) {
       if (!(run.at("chained_probes_per_s").as_double() > 0.0) ||
           !(run.at("flat_probes_per_s").as_double() > 0.0)) {
         return complain("table run has non-positive throughput");
+      }
+      // details.metrics must decode as a registry snapshot with the flat
+      // table's probe telemetry present.
+      const Json* details = run.find("details");
+      if (details != nullptr) {
+        const scalparc::mp::MetricsSnapshot snapshot =
+            scalparc::mp::MetricsSnapshot::from_json(details->at("metrics"));
+        if (snapshot.value("hash.lookups") <= 0.0) {
+          return complain("details.metrics lacks hash.lookups");
+        }
       }
     }
   } catch (const std::exception& e) {
@@ -257,12 +271,13 @@ int main(int argc, char** argv) {
   // updates and enquires its strided share of the keys (scrambled so keys
   // land on every owner), table_iters times.
   double table_checksum = 0.0;
-  const auto time_table = [&]<typename Table>(int p, Table*) {
+  const auto time_table = [&]<typename Table>(int p, Table*,
+                                              Json* details = nullptr) {
     double best_seconds = 0.0;
     for (int rep = 0; rep < reps; ++rep) {
       std::vector<double> elapsed(static_cast<std::size_t>(p), 0.0);
       std::vector<double> sinks(static_cast<std::size_t>(p), 0.0);
-      mp::run_ranks(p, model, [&](mp::Comm& comm) {
+      const mp::RunResult run = mp::run_ranks(p, model, [&](mp::Comm& comm) {
         Table table(comm, keys);
         std::vector<typename Table::Update> updates;
         std::vector<std::int64_t> enquiry;
@@ -289,6 +304,10 @@ int main(int argc, char** argv) {
       const double rep_seconds = *std::max_element(elapsed.begin(), elapsed.end());
       best_seconds = rep == 0 ? rep_seconds : std::min(best_seconds, rep_seconds);
       for (const double s : sinks) table_checksum += s;
+      if (details != nullptr) {
+        *details = Json::object();
+        (*details)["metrics"] = run.metrics.to_json();
+      }
     }
     return best_seconds;
   };
@@ -340,7 +359,8 @@ int main(int argc, char** argv) {
     row.chained_seconds = time_table(
         row.procs, static_cast<core::DistributedChainedHashTable<Payload>*>(nullptr));
     row.flat_seconds = time_table(
-        row.procs, static_cast<core::DistributedFlatHashTable<Payload>*>(nullptr));
+        row.procs, static_cast<core::DistributedFlatHashTable<Payload>*>(nullptr),
+        &row.details);
     row.chained_probes_per_s = probed / row.chained_seconds;
     row.flat_probes_per_s = probed / row.flat_seconds;
     row.flat_speedup = row.flat_probes_per_s / row.chained_probes_per_s;
@@ -387,6 +407,7 @@ int main(int argc, char** argv) {
     run["chained_probes_per_s"] = row.chained_probes_per_s;
     run["flat_probes_per_s"] = row.flat_probes_per_s;
     run["flat_speedup"] = row.flat_speedup;
+    run["details"] = row.details;
     table_runs.push_back(std::move(run));
   }
   doc["table_runs"] = std::move(table_runs);

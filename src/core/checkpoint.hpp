@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/tree.hpp"
+#include "mp/metrics.hpp"
 #include "ooc/spill_file.hpp"
 
 namespace scalparc::core {
@@ -113,6 +114,11 @@ class CheckpointRankWriter {
     writer.flush();
     sections_.push_back(detail::SectionInfo{
         name, writer.count(), writer.count() * sizeof(T), writer.crc()});
+    if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+      sink->add("checkpoint.sections_written", 1);
+      sink->add("checkpoint.bytes_written",
+                static_cast<double>(sections_.back().bytes));
+    }
   }
 
   void finalize() { detail::write_rank_manifest(dir_, rank_, sections_); }
@@ -158,6 +164,10 @@ class CheckpointRankReader {
     if (reader.crc() != info->crc) {
       throw CheckpointError("section file '" + path +
                             "' failed its CRC32 check");
+    }
+    if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+      sink->add("checkpoint.sections_read", 1);
+      sink->add("checkpoint.bytes_read", static_cast<double>(info->bytes));
     }
     return out;
   }

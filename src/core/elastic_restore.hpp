@@ -35,6 +35,7 @@
 #include "mp/collectives.hpp"
 #include "mp/comm.hpp"
 #include "sort/partition_util.hpp"
+#include "util/trace.hpp"
 
 namespace scalparc::core {
 
@@ -57,6 +58,13 @@ RestoredList<Entry> elastic_restore_list(mp::Comm& comm,
   const int p = comm.size();
   const auto r = static_cast<std::size_t>(comm.rank());
   const std::size_t m = num_nodes;
+
+  util::TraceScope span("elastic_restore", /*level=*/-1,
+                        /*nodes=*/static_cast<std::int64_t>(m));
+  span.set_begin_vtime(comm.vtime());
+  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+    sink->add("checkpoint.elastic_restores", 1);
+  }
 
   // 1. Read this rank's contiguous block of writer partitions.
   const std::vector<std::size_t> block_sizes = sort::equal_partition_sizes(
@@ -164,6 +172,8 @@ RestoredList<Entry> elastic_restore_list(mp::Comm& comm,
           tag + "'");
     }
   }
+  span.set_bytes(static_cast<std::int64_t>(out.entries.size() * sizeof(Entry)));
+  span.set_end_vtime(comm.vtime());
   return out;
 }
 

@@ -64,6 +64,11 @@ class DistributedFlatHashTable {
                                   capacity * (sizeof(Slot) + 1));
   }
 
+  ~DistributedFlatHashTable() { publish_metrics(); }
+  DistributedFlatHashTable(const DistributedFlatHashTable&) = delete;
+  DistributedFlatHashTable& operator=(const DistributedFlatHashTable&) =
+      delete;
+
   std::uint64_t num_buckets() const { return num_buckets_; }
 
   int owner_of(std::int64_t key) const {
@@ -184,30 +189,43 @@ class DistributedFlatHashTable {
 
   Lookup probe(std::int64_t key, std::size_t home) const {
     const std::size_t mask = slots_.size() - 1;
-    for (std::size_t s = home;; s = (s + 1) & mask) {
-      if (!full_[s]) return Lookup{};
-      if (slots_[s].key == key) return Lookup{slots_[s].value, true};
+    std::uint64_t length = 1;
+    ++lookups_;
+    for (std::size_t s = home;; s = (s + 1) & mask, ++length) {
+      if (!full_[s]) {
+        probe_lengths_.observe(length);
+        return Lookup{};
+      }
+      if (slots_[s].key == key) {
+        probe_lengths_.observe(length);
+        return Lookup{slots_[s].value, true};
+      }
     }
   }
 
   void insert_or_assign(std::int64_t key, const V& value) {
     if ((size_ + 1) * 10 > slots_.size() * 7) grow();
     const std::size_t mask = slots_.size() - 1;
-    for (std::size_t s = home_of(key);; s = (s + 1) & mask) {
+    std::uint64_t length = 1;
+    ++updates_;
+    for (std::size_t s = home_of(key);; s = (s + 1) & mask, ++length) {
       if (!full_[s]) {
         full_[s] = 1;
         slots_[s] = Slot{key, value};
         ++size_;
+        probe_lengths_.observe(length);
         return;
       }
       if (slots_[s].key == key) {
         slots_[s].value = value;
+        probe_lengths_.observe(length);
         return;
       }
     }
   }
 
   void grow() {
+    ++grows_;
     std::vector<Slot> old_slots = std::move(slots_);
     std::vector<std::uint8_t> old_full = std::move(full_);
     const std::size_t capacity = old_slots.size() * 2;
@@ -250,6 +268,29 @@ class DistributedFlatHashTable {
     }
   }
 
+  // Flushes the table's probe telemetry into the calling rank's bound
+  // metrics snapshot (no-op without one). Counters reset afterwards so a
+  // second flush — e.g. destructor after an explicit call — adds nothing.
+  void publish_metrics() {
+    mp::MetricsSnapshot* sink = mp::metrics_sink();
+    if (sink == nullptr) return;
+    if (probe_lengths_.count > 0) {
+      sink->merge_histogram("hash.probe_length", probe_lengths_);
+    }
+    if (lookups_ > 0) sink->add("hash.lookups", static_cast<double>(lookups_));
+    if (updates_ > 0) sink->add("hash.updates", static_cast<double>(updates_));
+    if (grows_ > 0) sink->add("hash.grows", static_cast<double>(grows_));
+    if (lookups_ > 0 || updates_ > 0) {
+      sink->gauge_max("hash.occupancy_pct",
+                      100.0 * static_cast<double>(size_) /
+                          static_cast<double>(slots_.size()));
+      sink->gauge_max("hash.local_capacity",
+                      static_cast<double>(slots_.size()));
+    }
+    probe_lengths_ = mp::Histogram{};
+    lookups_ = updates_ = grows_ = 0;
+  }
+
   mp::Comm& comm_;
   std::uint64_t num_buckets_;
   std::uint64_t block_ = 0;
@@ -257,6 +298,12 @@ class DistributedFlatHashTable {
   std::vector<std::uint8_t> full_;
   std::size_t size_ = 0;
   util::ScopedAllocation mem_;
+  // Probe telemetry: lengths include the terminal slot, so a hit in the home
+  // slot observes 1. `mutable` because enquire-side probing is const.
+  mutable mp::Histogram probe_lengths_;
+  mutable std::uint64_t lookups_ = 0;
+  std::uint64_t updates_ = 0;
+  std::uint64_t grows_ = 0;
 };
 
 }  // namespace scalparc::core

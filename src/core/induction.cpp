@@ -21,9 +21,11 @@
 #include "data/attribute_list.hpp"
 #include "mp/collective_batch.hpp"
 #include "mp/collectives.hpp"
+#include "mp/metrics.hpp"
 #include "sort/rebalance.hpp"
 #include "sort/sample_sort.hpp"
 #include "util/arena.hpp"
+#include "util/trace.hpp"
 
 namespace scalparc::core {
 
@@ -113,6 +115,28 @@ std::span<const Entry> segment_of(const std::vector<Entry>& entries,
                                 offsets[node + 1] - offsets[node]);
 }
 
+// Phase span carrying both clocks: wall time from the TraceScope itself and
+// the modeled virtual clock sampled at construction/destruction. The phase
+// spans tile every vtime-advancing statement of the induction, so a trace's
+// per-rank vtime deltas sum to InductionStats::total_seconds.
+class PhaseSpan {
+ public:
+  PhaseSpan(mp::Comm& comm, const char* name, int level = -1,
+            std::int64_t nodes = -1, std::int64_t records = -1)
+      : comm_(comm), scope_(name, level, nodes, records) {
+    scope_.set_begin_vtime(comm.vtime());
+  }
+  ~PhaseSpan() { scope_.set_end_vtime(comm_.vtime()); }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  void set_bytes(std::int64_t bytes) { scope_.set_bytes(bytes); }
+
+ private:
+  mp::Comm& comm_;
+  util::TraceScope scope_;
+};
+
 }  // namespace
 
 InductionResult induce_tree_distributed(mp::Comm& comm,
@@ -147,6 +171,10 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
   // fingerprint doubles as the checkpoint compatibility stamp: a resume
   // under different parameters could not reproduce the tree, so manifests
   // record it and the restore path rejects a mismatch.
+  // Setup phase span: Presort (sort + root histogram) on a fresh run, the
+  // checkpoint restore on a resume. Ends where the level loop begins.
+  std::optional<PhaseSpan> setup_span(
+      std::in_place, comm, resuming ? "checkpoint_restore" : "presort");
   std::uint64_t fp = 0xcbf29ce484222325ULL;  // FNV-1a
   {
     const auto mix = [&fp](std::uint64_t v) {
@@ -530,16 +558,24 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
   std::vector<std::size_t> cat_segs(cat_lists.size());
   std::vector<std::size_t> map_segs(cat_lists.size());
 
+  setup_span.reset();
+
   // -------------------------------------------------------------------------
   // Level loop.
   // -------------------------------------------------------------------------
   while (!active.empty()) {
+    const std::size_t m = active.size();
+    std::int64_t level_records = 0;
+    for (const ActiveNode& node : active) level_records += node.total;
+    const auto mm = static_cast<std::int64_t>(m);
     // Persist this level's consistent state before processing it. The write
     // is collective: rank 0 prepares the staging directory and later commits
     // it; every rank contributes its attribute-list partitions in between.
     // Barriers order the three steps so a committed level_<L> directory
     // always holds a complete, mutually consistent file set.
     if (checkpointing) {
+      PhaseSpan ckpt_span(comm, "checkpoint_write", level_index, mm,
+                          level_records);
       if (comm.rank() == 0) checkpoint_prepare_staging(ckpt_root, level_index);
       mp::barrier(comm);
       const std::string staging = checkpoint_staging_dir(ckpt_root, level_index);
@@ -603,7 +639,6 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     // committed — so recovery restarts exactly at the level that failed.
     comm.fault_level_boundary(level_index);
 
-    const std::size_t m = active.size();
     level_arena.reset();
     const std::uint64_t level_start_bytes = comm.stats().bytes_sent;
     const auto level_start_calls = comm.stats().calls_by_op;
@@ -679,6 +714,8 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     if (fused) {
       // One packed exscan carries every continuous list's count matrices AND
       // boundary elements: 2A collectives fuse into 1.
+      std::optional<PhaseSpan> phase(std::in_place, comm, "findsplit_i",
+                                     level_index, mm, level_records);
       batch.reset();
       for (std::size_t li = 0; li < cont_lists.size(); ++li) {
         count_continuous(cont_lists[li], counts_scratch);
@@ -690,10 +727,12 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
             std::span<const Boundary>(boundary_scratch), RightmostOp{},
             Boundary{});
       }
+      phase->set_bytes(static_cast<std::int64_t>(batch.packed_bytes()));
       util::ScopedAllocation counts_mem(comm.meter(),
                                         util::MemCategory::kCountMatrices,
                                         2 * batch.packed_bytes());
       batch.exscan();
+      phase.emplace(comm, "findsplit_ii", level_index, mm, level_records);
       for (std::size_t li = 0; li < cont_lists.size(); ++li) {
         scan_cont_list(cont_lists[li],
                        batch.view<std::int64_t>(cont_count_segs[li]),
@@ -701,6 +740,8 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       }
     } else {
       for (ContList& list : cont_lists) {
+        std::optional<PhaseSpan> phase(std::in_place, comm, "findsplit_i",
+                                       level_index, mm, level_records);
         count_continuous(list, counts_scratch);
         util::ScopedAllocation counts_mem(
             comm.meter(), util::MemCategory::kCountMatrices,
@@ -712,6 +753,7 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
         const std::vector<Boundary> prev = mp::exscan_vec(
             comm, std::span<const Boundary>(boundary_scratch), RightmostOp{},
             Boundary{});
+        phase.emplace(comm, "findsplit_ii", level_index, mm, level_records);
         scan_cont_list(list, below_start, prev);
       }
     }
@@ -768,6 +810,8 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       // One packed round makes every categorical list's count matrices
       // global: A collectives fuse into 1 (reduce_rooted carries each
       // matrix to its own coordinator; allreduce replicates them all).
+      std::optional<PhaseSpan> phase(std::in_place, comm, "findsplit_i",
+                                     level_index, mm, level_records);
       batch.reset();
       for (std::size_t li = 0; li < cat_lists.size(); ++li) {
         count_categorical(cat_lists[li], counts_scratch);
@@ -775,6 +819,7 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
             std::span<const std::int64_t>(counts_scratch), mp::SumOp{},
             std::int64_t{0}, all_ranks ? 0 : cat_lists[li].coordinator);
       }
+      phase->set_bytes(static_cast<std::int64_t>(batch.packed_bytes()));
       util::ScopedAllocation counts_mem(comm.meter(),
                                         util::MemCategory::kCountMatrices,
                                         batch.packed_bytes());
@@ -783,6 +828,7 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       } else {
         batch.reduce_rooted();
       }
+      phase.emplace(comm, "findsplit_ii", level_index, mm, level_records);
       for (std::size_t li = 0; li < cat_lists.size(); ++li) {
         CatList& list = cat_lists[li];
         if (all_ranks || comm.rank() == list.coordinator) {
@@ -794,6 +840,8 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       }
     } else {
       for (CatList& list : cat_lists) {
+        std::optional<PhaseSpan> phase(std::in_place, comm, "findsplit_i",
+                                       level_index, mm, level_records);
         count_categorical(list, counts_scratch);
         util::ScopedAllocation counts_mem(
             comm.meter(), util::MemCategory::kCountMatrices,
@@ -806,6 +854,7 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
                 : mp::reduce_vec(comm,
                                  std::span<const std::int64_t>(counts_scratch),
                                  mp::SumOp{}, list.coordinator);
+        phase.emplace(comm, "findsplit_ii", level_index, mm, level_records);
         if (all_ranks || comm.rank() == list.coordinator) {
           list.global_counts = std::move(global);
           eval_categorical(list);
@@ -815,10 +864,17 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
       }
     }
 
-    best = mp::allreduce_vec(comm, std::span<const SplitCandidate>(best),
-                             CandidateMinOp{});
+    {
+      // The min-allreduce that makes every rank agree on the winning
+      // candidate per node — the closing collective of FindSplitII.
+      PhaseSpan phase(comm, "findsplit_ii", level_index, mm, level_records);
+      best = mp::allreduce_vec(comm, std::span<const SplitCandidate>(best),
+                               CandidateMinOp{});
+    }
     stats.findsplit_seconds += comm.vtime() - level_start_vtime;
     const double split_phase_start_vtime = comm.vtime();
+    std::optional<PhaseSpan> split_span(std::in_place, comm, "performsplit_i",
+                                        level_index, mm, level_records);
 
     // ---------------- Decide which nodes split -----------------------------
     std::vector<bool> will_split(m, false);
@@ -1079,7 +1135,11 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     }
 
     // Scatter this level's rid -> child assignments.
+    split_span->set_bytes(static_cast<std::int64_t>(
+        update_rids.size() * (sizeof(std::int64_t) + sizeof(std::int32_t))));
     publish_assignments(update_rids, update_children);
+    split_span.emplace(comm, "performsplit_ii", level_index, mm,
+                       level_records);
 
     // ---------------- PerformSplitII ---------------------------------------
     // For every list: enquire children for segments whose node split on a
@@ -1207,6 +1267,8 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
         collect_enquiry(list, enquiry_scratch);
       }
       enquiry_begin[li] = enquiry_scratch.size();
+      split_span->set_bytes(static_cast<std::int64_t>(enquiry_scratch.size() *
+                                                      sizeof(std::int64_t)));
       const std::vector<std::int32_t> answers =
           lookup_assignments(enquiry_scratch);
       const std::span<const std::int32_t> all(answers);
@@ -1236,15 +1298,16 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     }
 
     // ---------------- Level bookkeeping ------------------------------------
+    split_span.reset();
     stats.performsplit_seconds += comm.vtime() - split_phase_start_vtime;
     ++stats.levels;
     if (controls.collect_level_stats) {
+      PhaseSpan level_span(comm, "level_stats", level_index, mm,
+                           level_records);
       LevelStats level;
       level.level = stats.levels;
-      level.active_nodes = static_cast<std::int64_t>(m);
-      std::int64_t records = 0;
-      for (const ActiveNode& node : active) records += node.total;
-      level.active_records = records;
+      level.active_nodes = mm;
+      level.active_records = level_records;
       // Count collective entries before the level-stats collectives below
       // add their own.
       std::uint64_t calls = 0;
@@ -1266,7 +1329,45 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
   }
 
   stats.total_seconds = comm.vtime();
+  // Surface the phase breakdown through the unified registry when this rank
+  // runs under run_ranks (the thread-local sink is bound there).
+  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+    absorb_induction_stats(*sink, stats);
+  }
   return result;
+}
+
+void absorb_induction_stats(mp::MetricsSnapshot& snapshot,
+                            const InductionStats& stats) {
+  // The stats are SPMD-identical (or near-identical) across ranks, so every
+  // family is a max-merged gauge: folding p copies yields the per-run value,
+  // not p times it.
+  snapshot.gauge_max("induction.presort_seconds", stats.presort_seconds);
+  snapshot.gauge_max("induction.findsplit_seconds", stats.findsplit_seconds);
+  snapshot.gauge_max("induction.performsplit_seconds",
+                     stats.performsplit_seconds);
+  snapshot.gauge_max("induction.total_seconds", stats.total_seconds);
+  snapshot.gauge_max("induction.levels", static_cast<double>(stats.levels));
+  std::int64_t collective_calls = 0;
+  std::uint64_t max_bytes = 0;
+  std::int64_t max_nodes = 0;
+  std::int64_t max_records = 0;
+  for (const LevelStats& level : stats.per_level) {
+    collective_calls += level.collective_calls;
+    max_bytes = std::max(max_bytes, level.max_bytes_sent_per_rank);
+    max_nodes = std::max(max_nodes, level.active_nodes);
+    max_records = std::max(max_records, level.active_records);
+  }
+  if (!stats.per_level.empty()) {
+    snapshot.gauge_max("induction.collective_calls",
+                       static_cast<double>(collective_calls));
+    snapshot.gauge_max("induction.max_bytes_sent_per_rank_level",
+                       static_cast<double>(max_bytes));
+    snapshot.gauge_max("induction.max_active_nodes",
+                       static_cast<double>(max_nodes));
+    snapshot.gauge_max("induction.max_active_records",
+                       static_cast<double>(max_records));
+  }
 }
 
 }  // namespace scalparc::core

@@ -106,4 +106,12 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
                                         std::uint64_t total_records,
                                         const InductionControls& controls);
 
+// Translates the legacy per-phase stats into induction.* metric families
+// (gauges: the values are SPMD-identical, so max-merging across ranks yields
+// per-run values). induce_tree_distributed calls this on the bound
+// metrics_sink automatically; callers holding only an InductionStats (e.g.
+// the CLI after fit) can apply it to a merged snapshot.
+void absorb_induction_stats(mp::MetricsSnapshot& snapshot,
+                            const InductionStats& stats);
+
 }  // namespace scalparc::core

@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "mp/metrics.hpp"
+
 namespace scalparc::core {
 
 void NodeTable::update(std::span<const std::int64_t> rids,
@@ -12,6 +14,10 @@ void NodeTable::update(std::span<const std::int64_t> rids,
                        std::int64_t block_limit) {
   if (rids.size() != children.size()) {
     throw std::invalid_argument("NodeTable::update: rid/child size mismatch");
+  }
+  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+    sink->add("nodetable.updates", 1);
+    sink->add("nodetable.update_entries", static_cast<double>(rids.size()));
   }
   std::vector<DistributedHashTable<NodeTableEntry>::Update> updates(rids.size());
   for (std::size_t i = 0; i < rids.size(); ++i) {
@@ -23,6 +29,10 @@ void NodeTable::update(std::span<const std::int64_t> rids,
 
 std::vector<std::int32_t> NodeTable::enquire(
     std::span<const std::int64_t> rids) {
+  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+    sink->add("nodetable.enquiries", 1);
+    sink->add("nodetable.enquiry_entries", static_cast<double>(rids.size()));
+  }
   std::vector<NodeTableEntry> entries = table_.enquire(rids);
   std::vector<std::int32_t> children(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) {

@@ -104,6 +104,7 @@ void Comm::send_payload(int dst, std::int64_t tag, Payload payload) {
   // *detected* at the receiver, never silently mis-parsed.
   message.crc = util::crc32(message.payload.bytes());
   stats_.record_send(current_op_, message.payload.size());
+  message_bytes_hist_.observe(message.payload.size());
   Channel& channel = hub_.channel(rank_, dst);
   const ReliabilityOptions& reliability = hub_.options().reliability;
   if (reliability.enabled) {
@@ -205,6 +206,7 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
         }
         const clock::time_point now = clock::now();
         if (reliability.enabled && now >= next_retransmit) {
+          ++backoff_waits_;
           if (heal_attempts < reliability.max_retransmits) {
             // The awaited frame is overdue: if the sender side still holds a
             // clean unacknowledged copy for this tag, re-queue it (the frame
@@ -225,6 +227,7 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
           }
         }
         if (options.detect_deadlock) {
+          ++deadlock_probes_;
           const std::string diag = hub_.deadlock_diagnostic();
           if (!diag.empty()) {
             // Last poison-aware look: if the run was already poisoned (a
@@ -289,6 +292,7 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
       vtime_ += static_cast<double>(heals_performed) *
                 (2.0 * model_.latency_s + model_.send_overhead_s);
     }
+    heals_ += static_cast<std::uint64_t>(heals_performed);
     stats_.record_receive(message.payload.size());
     return std::move(message.payload);
   }

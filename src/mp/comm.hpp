@@ -21,6 +21,7 @@
 
 #include "mp/costmodel.hpp"
 #include "mp/message.hpp"
+#include "mp/metrics.hpp"
 #include "mp/stats.hpp"
 #include "util/memory_meter.hpp"
 
@@ -102,6 +103,18 @@ class Comm {
   const CommStats& stats() const { return stats_; }
   util::MemoryMeter* meter() const { return meter_; }
 
+  // --- transport health telemetry ------------------------------------------
+  // Cheap member counters updated on the send/recv hot paths; run_ranks
+  // absorbs them into the rank's MetricsSnapshot when the rank finishes
+  // (comm.message_bytes, transport.backoff_waits/heals,
+  // runtime.deadlock_probes families).
+  const Histogram& message_bytes_histogram() const {
+    return message_bytes_hist_;
+  }
+  std::uint64_t backoff_waits() const { return backoff_waits_; }
+  std::uint64_t heals() const { return heals_; }
+  std::uint64_t deadlock_probes() const { return deadlock_probes_; }
+
   // Tag source for collectives; advanced identically on all ranks.
   std::int64_t next_collective_tag() { return --collective_tag_; }
 
@@ -131,6 +144,10 @@ class Comm {
   CostModel model_;
   util::MemoryMeter* meter_;
   CommStats stats_;
+  Histogram message_bytes_hist_;
+  std::uint64_t backoff_waits_ = 0;     // retransmit-timer expiries in recv
+  std::uint64_t heals_ = 0;             // retransmits/nacks this rank drove
+  std::uint64_t deadlock_probes_ = 0;   // deadlock_diagnostic consultations
   double vtime_ = 0.0;
   std::int64_t collective_tag_ = 0;
   std::int64_t comm_ops_ = 0;

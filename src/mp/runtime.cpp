@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mp/fault.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace scalparc::mp {
@@ -93,6 +94,13 @@ std::vector<int> Hub::dead_ranks() const {
     if (waits_[static_cast<std::size_t>(r)].dead) dead.push_back(r);
   }
   return dead;
+}
+
+std::uint64_t Hub::total_liveness_epoch_bumps() const {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  std::uint64_t total = 0;
+  for (const WaitState& w : waits_) total += w.epoch;
+  return total;
 }
 
 void Hub::mark_finished(int rank) {
@@ -210,6 +218,10 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       RankOutcome& outcome = result.ranks[static_cast<std::size_t>(r)];
+      // Bind the thread-local rank context (log-line prefix + trace lane)
+      // and the rank's metrics sink for the lifetime of the body.
+      util::ThreadRankGuard rank_guard(r);
+      MetricsSinkGuard sink_guard(&outcome.metrics);
       Comm comm(hub, r, model, &outcome.meter);
       try {
         body(comm);
@@ -234,6 +246,24 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
       hub.mark_finished(r);
       outcome.stats = comm.stats();
       outcome.vtime_seconds = comm.vtime();
+      absorb_comm_stats(outcome.metrics, outcome.stats);
+      outcome.metrics.merge_histogram("comm.message_bytes",
+                                      comm.message_bytes_histogram());
+      if (comm.backoff_waits() > 0) {
+        outcome.metrics.add("transport.backoff_waits",
+                            static_cast<double>(comm.backoff_waits()));
+      }
+      if (comm.heals() > 0) {
+        outcome.metrics.add("transport.heals",
+                            static_cast<double>(comm.heals()));
+      }
+      if (comm.deadlock_probes() > 0) {
+        outcome.metrics.add("runtime.deadlock_probes",
+                            static_cast<double>(comm.deadlock_probes()));
+      }
+      outcome.metrics.gauge_max(
+          "memory.peak_bytes_per_rank",
+          static_cast<double>(outcome.meter.peak_bytes()));
     });
   }
   for (std::thread& t : threads) t.join();
@@ -282,6 +312,16 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
   for (const RankOutcome& r : result.ranks) {
     result.modeled_seconds = std::max(result.modeled_seconds, r.vtime_seconds);
   }
+
+  // Fold the per-rank snapshots plus the run-scoped transport/runtime
+  // counters into the unified registry.
+  for (const RankOutcome& r : result.ranks) result.metrics.merge(r.metrics);
+  absorb_channel_stats(result.metrics, result.transport);
+  result.metrics.add("runtime.liveness_epoch_bumps",
+                     static_cast<double>(hub.total_liveness_epoch_bumps()));
+  result.metrics.gauge_max("runtime.ranks", static_cast<double>(nranks));
+  result.metrics.gauge_max("runtime.modeled_seconds", result.modeled_seconds);
+  result.metrics.gauge_max("runtime.wall_seconds", result.wall_seconds);
   return result;
 }
 

@@ -120,6 +120,9 @@ class Hub {
   void mark_dead(int rank);
   std::vector<int> dead_ranks() const;
   std::string deadlock_diagnostic();
+  // Sum of all ranks' liveness epochs: total blocked/unblocked transitions
+  // the wait registry observed (runtime.liveness_epoch_bumps metric).
+  std::uint64_t total_liveness_epoch_bumps() const;
 
  private:
   // One-shot registry scan. Empty string: someone can still progress. For an
@@ -153,6 +156,9 @@ struct RankOutcome {
   CommStats stats;
   util::MemoryMeter meter;
   double vtime_seconds = 0.0;
+  // This rank's slice of the unified registry; the thread-local sink
+  // (mp::metrics_sink) points here while the rank body runs.
+  MetricsSnapshot metrics;
 };
 
 // Classification of a failed run, derived from the primary error's type:
@@ -184,6 +190,10 @@ struct RunResult {
   // Aggregated ack/retransmit counters over all channels: how much in-band
   // healing the transport performed during the run.
   ChannelStats transport;
+  // Unified registry: every rank's snapshot merged (counters summed, gauges
+  // maxed, histograms folded) plus the run-scoped transport/runtime
+  // families. See mp/metrics.hpp and docs/observability.md.
+  MetricsSnapshot metrics;
 
   bool failed() const { return failed_rank >= 0; }
 

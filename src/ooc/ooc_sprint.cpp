@@ -14,6 +14,7 @@
 #include "core/split_finder.hpp"
 #include "core/splitter.hpp"
 #include "data/attribute_list.hpp"
+#include "mp/metrics.hpp"
 #include "ooc/external_sort.hpp"
 
 namespace scalparc::ooc {
@@ -524,6 +525,10 @@ OocReport fit_ooc_sprint(const data::Dataset& training,
     active = std::move(next_active);
   }
 
+  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+    mp::absorb_io_stats(*sink, io.bytes_written, io.bytes_read,
+                        io.files_created, io.extra_passes);
+  }
   return report;
 }
 

@@ -18,6 +18,8 @@
 #include "mp/fault.hpp"
 #include "sprint/parallel_sprint.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/trace.hpp"
 
 namespace scalparc::tools {
 
@@ -70,6 +72,14 @@ commands:
                                     (default 8)
                --backoff-ms MS      first retransmit-request delay; doubles
                                     per attempt, capped (default 25)
+               --trace-out FILE     write a Chrome trace_event JSON of the
+                                    run's per-rank phase spans (load it in
+                                    Perfetto, or summarize it with
+                                    scalparc-trace-report)
+               --trace-sample N     record every Nth span per rank
+                                    (default 1 = all)
+               --metrics-out FILE   write the run's merged metrics registry
+                                    as JSON (scalparc-metrics-v1)
   predict    evaluate a saved model on a CSV
                --model FILE         saved tree (required)
                --data FILE          CSV with labels (required)
@@ -196,6 +206,22 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
     run_options.fault_plan = &plan;
   }
 
+  const std::string trace_path = args.get_string("trace-out", "");
+  const std::string metrics_path = args.get_string("metrics-out", "");
+  const std::int64_t trace_sample = args.get_int("trace-sample", 1);
+  if (trace_sample < 1) {
+    err << "train: --trace-sample must be >= 1\n";
+    return 2;
+  }
+  if (!trace_path.empty()) {
+    util::TraceConfig trace_config;
+    trace_config.sample_every = static_cast<int>(trace_sample);
+    if (!util::TraceCollector::instance().start(trace_config)) {
+      err << "train: --trace-out needs a build with -DSCALPARC_TRACE=ON\n";
+      return 2;
+    }
+  }
+
   const data::Dataset training = data::read_csv_file(data_path);
   core::FitReport report;
   if (controls.checkpoint.resume) {
@@ -224,6 +250,38 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
   } else {
     report = core::ScalParC::fit(training, ranks, controls,
                                  mp::CostModel::zero(), run_options);
+  }
+  if (!trace_path.empty()) {
+    const util::TraceDump dump = util::TraceCollector::instance().stop();
+    util::Json metadata = util::Json::object();
+    metadata["tool"] = util::Json("scalparc train");
+    metadata["ranks"] = util::Json(static_cast<double>(ranks));
+    metadata["sample_every"] = util::Json(static_cast<double>(dump.sample_every));
+    metadata["dropped"] = util::Json(static_cast<double>(dump.dropped));
+    metadata["complete"] = util::Json(dump.complete());
+    metadata["metrics"] = report.run.metrics.to_json();
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      err << "train: cannot open '" << trace_path << "' for writing\n";
+      return 2;
+    }
+    trace_file << util::chrome_trace_json(dump, metadata).dump(1) << "\n";
+    out << "trace written to " << trace_path << " (" << dump.spans.size()
+        << " span(s))\n";
+  }
+  if (!metrics_path.empty()) {
+    util::Json doc = util::Json::object();
+    doc["format"] = util::Json("scalparc-metrics-v1");
+    doc["ranks"] = util::Json(static_cast<double>(ranks));
+    doc["metrics"] = report.run.metrics.to_json();
+    std::ofstream metrics_file(metrics_path);
+    if (!metrics_file) {
+      err << "train: cannot open '" << metrics_path << "' for writing\n";
+      return 2;
+    }
+    metrics_file << doc.dump(1) << "\n";
+    out << "metrics written to " << metrics_path << " ("
+        << report.run.metrics.size() << " metric(s))\n";
   }
   out << "trained on " << training.num_records() << " records with " << ranks
       << " simulated ranks\n";

@@ -1,0 +1,382 @@
+// scalparc-trace-report: summarize (and validate) a Chrome trace_event JSON
+// written by `scalparc train --trace-out`.
+//
+// The report mirrors the paper's presentation: a per-phase total table and a
+// per-level breakdown of the five §4 phases in modeled seconds (max over
+// ranks, the quantity the scalability argument is about), followed by the
+// top-k slowest spans by wall time — where the simulation itself spent real
+// time. --validate turns the tool into a schema checker for CI: it verifies
+// the trace parses, every rank emitted a process, phase coverage is
+// SPMD-symmetric, and (for complete traces) that the per-rank span vtimes
+// tile InductionStats::total_seconds within 1%.
+//
+// usage: scalparc-trace-report TRACE.json [flags]
+//   --top K          slowest spans to list (default 5)
+//   --metrics FILE   also check/print a --metrics-out file
+//   --validate       run the CI checks; non-zero exit on any failure
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mp/metrics.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+using scalparc::util::Json;
+
+struct SpanRow {
+  std::string name;
+  int rank = 0;
+  int level = -1;
+  std::int64_t nodes = -1;
+  std::int64_t records = -1;
+  std::int64_t bytes = -1;
+  double wall_s = 0.0;
+  double ts_s = 0.0;
+  double vtime_begin = 0.0;
+  double vtime_end = 0.0;
+  int depth = 0;
+};
+
+struct Trace {
+  std::vector<SpanRow> spans;
+  Json metadata;  // otherData object (null when absent)
+};
+
+constexpr const char* kLevelPhases[] = {"findsplit_i", "findsplit_ii",
+                                        "performsplit_i", "performsplit_ii"};
+
+double arg_number(const Json& args, const std::string& key, double fallback) {
+  const Json* v = args.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : fallback;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+
+  Trace trace;
+  if (const Json* other = doc.find("otherData")) trace.metadata = *other;
+  const Json& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& event = events.at(i);
+    if (event.at("ph").as_string() != "X") continue;  // skip metadata events
+    SpanRow row;
+    row.name = event.at("name").as_string();
+    row.rank = static_cast<int>(event.at("pid").as_int());
+    row.ts_s = event.at("ts").as_double() / 1e6;
+    row.wall_s = event.at("dur").as_double() / 1e6;
+    const Json& args = event.at("args");
+    row.level = static_cast<int>(arg_number(args, "level", -1.0));
+    row.nodes = static_cast<std::int64_t>(arg_number(args, "nodes", -1.0));
+    row.records = static_cast<std::int64_t>(arg_number(args, "records", -1.0));
+    row.bytes = static_cast<std::int64_t>(arg_number(args, "bytes", -1.0));
+    row.vtime_begin = arg_number(args, "vtime_begin_s", 0.0);
+    row.vtime_end = arg_number(args, "vtime_end_s", 0.0);
+    row.depth = static_cast<int>(arg_number(args, "depth", 0.0));
+    trace.spans.push_back(std::move(row));
+  }
+  return trace;
+}
+
+double vtime_of(const SpanRow& row) {
+  return std::max(0.0, row.vtime_end - row.vtime_begin);
+}
+
+void print_report(const Trace& trace, int top_k, std::ostream& out) {
+  std::set<int> ranks;
+  for (const SpanRow& row : trace.spans) ranks.insert(row.rank);
+
+  out << "spans: " << trace.spans.size() << "   ranks: " << ranks.size();
+  if (const Json* complete = trace.metadata.find("complete")) {
+    out << "   complete: " << (complete->as_bool() ? "yes" : "no");
+  }
+  out << "\n\n";
+
+  // Per-phase totals. vtime is summed within a rank then maxed over ranks
+  // (the run's critical path); wall time and bytes are summed over all
+  // ranks (the simulation's total work).
+  std::map<std::string, std::map<int, double>> phase_rank_vtime;
+  std::map<std::string, double> phase_wall;
+  std::map<std::string, std::int64_t> phase_bytes;
+  std::map<std::string, std::int64_t> phase_count;
+  for (const SpanRow& row : trace.spans) {
+    phase_rank_vtime[row.name][row.rank] += vtime_of(row);
+    phase_wall[row.name] += row.wall_s;
+    if (row.bytes > 0) phase_bytes[row.name] += row.bytes;
+    ++phase_count[row.name];
+  }
+  out << "per-phase totals:\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-20s %8s %12s %12s %12s\n", "phase",
+                "spans", "vtime-s", "wall-s", "MB");
+  out << line;
+  // Phases in lane order so the table reads in §4 order.
+  std::vector<std::string> ordered;
+  for (int lane = 1; lane < scalparc::util::trace_num_lanes(); ++lane) {
+    const std::string name(scalparc::util::trace_lane_name(lane));
+    if (phase_count.count(name)) ordered.push_back(name);
+  }
+  for (const auto& [name, count] : phase_count) {
+    if (std::find(ordered.begin(), ordered.end(), name) == ordered.end()) {
+      ordered.push_back(name);
+    }
+  }
+  for (const std::string& name : ordered) {
+    double vtime = 0.0;
+    for (const auto& [rank, v] : phase_rank_vtime[name]) {
+      vtime = std::max(vtime, v);
+    }
+    std::snprintf(line, sizeof(line), "  %-20s %8lld %12.6f %12.6f %12.3f\n",
+                  name.c_str(), static_cast<long long>(phase_count[name]),
+                  vtime, phase_wall[name],
+                  static_cast<double>(phase_bytes[name]) / 1e6);
+    out << line;
+  }
+
+  // Per-level table of the four level phases (presort has no level).
+  std::map<int, std::map<std::string, std::map<int, double>>> level_table;
+  std::map<int, std::int64_t> level_nodes;
+  std::map<int, std::int64_t> level_records;
+  for (const SpanRow& row : trace.spans) {
+    if (row.level < 0) continue;
+    level_table[row.level][row.name][row.rank] += vtime_of(row);
+    if (row.nodes >= 0) {
+      level_nodes[row.level] = std::max(level_nodes[row.level], row.nodes);
+    }
+    if (row.records >= 0) {
+      level_records[row.level] =
+          std::max(level_records[row.level], row.records);
+    }
+  }
+  if (!level_table.empty()) {
+    out << "\nper-level modeled seconds (max over ranks):\n";
+    std::snprintf(line, sizeof(line),
+                  "  %5s %8s %10s %12s %12s %14s %15s\n", "level", "nodes",
+                  "records", "findsplit_i", "findsplit_ii", "performsplit_i",
+                  "performsplit_ii");
+    out << line;
+    for (const auto& [level, phases] : level_table) {
+      double cells[4] = {0.0, 0.0, 0.0, 0.0};
+      for (int k = 0; k < 4; ++k) {
+        const auto it = phases.find(kLevelPhases[k]);
+        if (it == phases.end()) continue;
+        for (const auto& [rank, v] : it->second) {
+          cells[k] = std::max(cells[k], v);
+        }
+      }
+      std::snprintf(line, sizeof(line),
+                    "  %5d %8lld %10lld %12.6f %12.6f %14.6f %15.6f\n", level,
+                    static_cast<long long>(level_nodes[level]),
+                    static_cast<long long>(level_records[level]), cells[0],
+                    cells[1], cells[2], cells[3]);
+      out << line;
+    }
+  }
+
+  // Top-k slowest spans by wall time: where the run actually burned CPU.
+  std::vector<const SpanRow*> by_wall;
+  by_wall.reserve(trace.spans.size());
+  for (const SpanRow& row : trace.spans) by_wall.push_back(&row);
+  std::sort(by_wall.begin(), by_wall.end(),
+            [](const SpanRow* a, const SpanRow* b) {
+              return a->wall_s > b->wall_s;
+            });
+  const int n = std::min<int>(top_k, static_cast<int>(by_wall.size()));
+  if (n > 0) {
+    out << "\ntop " << n << " slowest spans (wall time):\n";
+    for (int i = 0; i < n; ++i) {
+      const SpanRow& row = *by_wall[static_cast<std::size_t>(i)];
+      std::snprintf(line, sizeof(line),
+                    "  %9.6fs  rank %d  %-18s level %d\n", row.wall_s,
+                    row.rank, row.name.c_str(), row.level);
+      out << line;
+    }
+  }
+}
+
+// CI checks; prints one line per failure and returns the failure count.
+int validate(const Trace& trace, const std::string& metrics_path,
+             std::ostream& out) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    out << "FAIL: " << what << "\n";
+    ++failures;
+  };
+
+  if (trace.spans.empty()) fail("trace contains no spans");
+
+  // Every rank announced in the metadata must have emitted spans, and no
+  // span may come from an unknown rank.
+  std::set<int> ranks;
+  for (const SpanRow& row : trace.spans) ranks.insert(row.rank);
+  if (const Json* meta_ranks = trace.metadata.find("ranks")) {
+    const int expected = static_cast<int>(meta_ranks->as_int());
+    for (int r = 0; r < expected; ++r) {
+      if (!ranks.count(r)) {
+        fail("rank " + std::to_string(r) + " emitted no spans");
+      }
+    }
+    for (const int r : ranks) {
+      if (r < 0 || r >= expected) {
+        fail("span from out-of-range rank " + std::to_string(r));
+      }
+    }
+  }
+
+  // Phase coverage must be SPMD-symmetric: a phase present on any rank must
+  // be present on every rank (a fresh run shows presort; a resumed run
+  // shows checkpoint_restore instead — symmetry covers both shapes).
+  std::map<std::string, std::set<int>> phase_ranks;
+  for (const SpanRow& row : trace.spans) {
+    phase_ranks[row.name].insert(row.rank);
+  }
+  for (const auto& [name, present] : phase_ranks) {
+    if (present.size() != ranks.size()) {
+      fail("phase '" + name + "' appears on " +
+           std::to_string(present.size()) + " of " +
+           std::to_string(ranks.size()) + " ranks");
+    }
+  }
+  const bool has_levels = !trace.spans.empty() &&
+                          std::any_of(trace.spans.begin(), trace.spans.end(),
+                                      [](const SpanRow& r) {
+                                        return r.level >= 0;
+                                      });
+  if (has_levels) {
+    for (const char* phase : kLevelPhases) {
+      if (!phase_ranks.count(phase)) {
+        fail(std::string("level phase '") + phase + "' has no spans");
+      }
+    }
+  }
+  if (!phase_ranks.count("presort") && !phase_ranks.count("checkpoint_restore")) {
+    fail("neither presort nor checkpoint_restore spans present");
+  }
+
+  // For complete traces the top-level spans tile each rank's virtual clock,
+  // so their vtime deltas must sum to induction.total_seconds within 1%.
+  const Json* complete = trace.metadata.find("complete");
+  const Json* metrics_json = trace.metadata.find("metrics");
+  if (complete != nullptr && complete->as_bool() && metrics_json != nullptr) {
+    const scalparc::mp::MetricsSnapshot snapshot =
+        scalparc::mp::MetricsSnapshot::from_json(*metrics_json);
+    const double total = snapshot.value("induction.total_seconds", -1.0);
+    if (total >= 0.0) {
+      std::map<int, double> rank_vtime;
+      for (const SpanRow& row : trace.spans) {
+        if (row.depth == 0) rank_vtime[row.rank] += vtime_of(row);
+      }
+      const double tolerance = std::max(0.01 * total, 1e-9);
+      for (const auto& [rank, sum] : rank_vtime) {
+        if (std::fabs(sum - total) > tolerance) {
+          char msg[160];
+          std::snprintf(msg, sizeof(msg),
+                        "rank %d span vtimes sum to %.9f, metrics say "
+                        "induction.total_seconds = %.9f",
+                        rank, sum, total);
+          fail(msg);
+        }
+      }
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    std::ifstream file(metrics_path);
+    if (!file) {
+      fail("cannot open metrics file '" + metrics_path + "'");
+    } else {
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      try {
+        const Json doc = Json::parse(buffer.str());
+        if (doc.at("format").as_string() != "scalparc-metrics-v1") {
+          fail("metrics file has unexpected format tag");
+        }
+        const scalparc::mp::MetricsSnapshot snapshot =
+            scalparc::mp::MetricsSnapshot::from_json(doc.at("metrics"));
+        if (snapshot.empty()) fail("metrics file holds no metrics");
+      } catch (const std::exception& e) {
+        fail(std::string("metrics file: ") + e.what());
+      }
+    }
+  }
+
+  return failures;
+}
+
+void print_metrics(const std::string& path, std::ostream& out) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  const scalparc::mp::MetricsSnapshot snapshot =
+      scalparc::mp::MetricsSnapshot::from_json(doc.at("metrics"));
+  out << "\nmetrics (" << snapshot.size() << "):\n";
+  char line[256];
+  for (const auto& [name, metric] : snapshot.metrics()) {
+    if (metric.kind == scalparc::mp::MetricKind::kHistogram) {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s histogram  count=%llu sum=%llu max=%llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(metric.histogram.count),
+                    static_cast<unsigned long long>(metric.histogram.sum),
+                    static_cast<unsigned long long>(metric.histogram.max));
+    } else {
+      std::snprintf(
+          line, sizeof(line), "  %-40s %-9s %.6g\n", name.c_str(),
+          std::string(scalparc::mp::metric_kind_name(metric.kind)).c_str(),
+          metric.value);
+    }
+    out << line;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const scalparc::util::CliArgs args(argc, const_cast<const char* const*>(argv));
+  if (args.positional().empty()) {
+    std::cerr << "usage: scalparc-trace-report TRACE.json [--top K] "
+                 "[--metrics FILE] [--validate]\n";
+    return 2;
+  }
+  const std::string trace_path = args.positional().front();
+  const std::string metrics_path = args.get_string("metrics", "");
+  const int top_k = static_cast<int>(args.get_int("top", 5));
+
+  try {
+    const Trace trace = load_trace(trace_path);
+    std::cout << "trace: " << trace_path << "\n";
+    print_report(trace, top_k, std::cout);
+    if (!metrics_path.empty()) print_metrics(metrics_path, std::cout);
+    if (args.get_bool("validate", false)) {
+      const int failures = validate(trace, metrics_path, std::cout);
+      if (failures > 0) {
+        std::cout << "validation: " << failures << " failure(s)\n";
+        return 1;
+      }
+      std::cout << "validation: OK\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -49,7 +49,8 @@ void append_escaped(std::string& out, const std::string& s) {
       default:
         if (static_cast<unsigned char>(ch) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
           out += buf;
         } else {
           out += ch;
@@ -60,8 +61,12 @@ void append_escaped(std::string& out, const std::string& s) {
 }
 
 void append_number(std::string& out, double d) {
+  // JSON has no NaN/Infinity literal. Throwing here would let one skewed
+  // measurement (e.g. a 0/0 rate in a metrics export) destroy the whole
+  // document, so non-finite degrades to null — the reader sees "absent".
   if (!std::isfinite(d)) {
-    throw std::invalid_argument("Json: cannot serialize a non-finite number");
+    out += "null";
+    return;
   }
   // Integers in the exact range print without a decimal point.
   if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {

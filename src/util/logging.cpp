@@ -1,15 +1,24 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace scalparc::util {
 
 namespace {
 
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+// -1 = "take the initial level from the SCALPARC_LOG env var on first read".
+constexpr int kLevelUnset = -1;
+std::atomic<int> g_level{kLevelUnset};
 std::mutex g_sink_mutex;
+
+thread_local int t_rank = -1;
+
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -29,9 +38,28 @@ const char* level_tag(LogLevel level) {
   return "?";
 }
 
+int initial_level() {
+  const char* env = std::getenv("SCALPARC_LOG");
+  const LogLevel level =
+      env != nullptr ? parse_log_level(env) : LogLevel::kWarn;
+  return static_cast<int>(level);
+}
+
 }  // namespace
 
-LogLevel log_level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+LogLevel log_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kLevelUnset) {
+    // Benign race: every thread computes the same env-derived value, and an
+    // explicit set_log_level that slips in between wins via the strong CAS.
+    int expected = kLevelUnset;
+    const int from_env = initial_level();
+    g_level.compare_exchange_strong(expected, from_env,
+                                    std::memory_order_relaxed);
+    level = g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
 
 void set_log_level(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -47,10 +75,26 @@ LogLevel parse_log_level(std::string_view name) {
   return LogLevel::kWarn;
 }
 
+void set_thread_rank(int rank) { t_rank = rank; }
+
+int thread_rank() { return t_rank; }
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
 void log_line(LogLevel level, std::string_view message) {
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[scalparc %s] %.*s\n", level_tag(level),
-               static_cast<int>(message.size()), message.data());
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[scalparc r%d +%.6fs %s] %.*s\n", t_rank,
+                 monotonic_seconds(), level_tag(level),
+                 static_cast<int>(message.size()), message.data());
+  } else {
+    std::fprintf(stderr, "[scalparc %s] %.*s\n", level_tag(level),
+                 static_cast<int>(message.size()), message.data());
+  }
 }
 
 }  // namespace scalparc::util

@@ -1,8 +1,11 @@
 // Minimal leveled logger for the ScalParC library.
 //
 // The library itself is quiet by default (kWarn); examples and benches raise
-// the level. Logging is routed through a single sink so that multi-threaded
-// rank output is not interleaved mid-line.
+// the level, and the SCALPARC_LOG environment variable ("trace".."off") sets
+// the initial level so tests can raise verbosity without code changes.
+// Logging is routed through a single sink so that multi-threaded rank output
+// is not interleaved mid-line. Inside run_ranks every line is prefixed with
+// the emitting rank and a monotonic timestamp (see set_thread_rank).
 #pragma once
 
 #include <sstream>
@@ -20,7 +23,9 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
-// Global log level. Thread-safe to read/write (atomic underneath).
+// Global log level. Thread-safe to read/write (atomic underneath). The first
+// read initializes the level from the SCALPARC_LOG environment variable; an
+// explicit set_log_level overrides it for the rest of the process.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
@@ -29,6 +34,30 @@ LogLevel parse_log_level(std::string_view name);
 
 // Emits one complete line to stderr under a global mutex.
 void log_line(LogLevel level, std::string_view message);
+
+// --- per-thread rank context ----------------------------------------------
+// run_ranks binds each rank thread to its rank id; log lines emitted while
+// bound carry a "r<rank> +<seconds>s" prefix, and the tracer uses the same
+// binding to route spans into per-rank lanes. -1 means "not a rank thread".
+void set_thread_rank(int rank);
+int thread_rank();
+
+// Seconds since process start on the steady clock (the timestamp source for
+// the log prefix and for trace spans).
+double monotonic_seconds();
+
+class ThreadRankGuard {
+ public:
+  explicit ThreadRankGuard(int rank) : saved_(thread_rank()) {
+    set_thread_rank(rank);
+  }
+  ~ThreadRankGuard() { set_thread_rank(saved_); }
+  ThreadRankGuard(const ThreadRankGuard&) = delete;
+  ThreadRankGuard& operator=(const ThreadRankGuard&) = delete;
+
+ private:
+  int saved_;
+};
 
 namespace detail {
 

@@ -1,0 +1,259 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace scalparc::util {
+
+namespace {
+
+#if SCALPARC_TRACE_ENABLED
+
+// One rank's retained spans. Each lane is written by exactly one thread at a
+// time (run_ranks spawns one thread per rank), but start/stop and defensive
+// callers go through the global mutex anyway — span volume is a handful per
+// level, so contention is irrelevant.
+struct Lane {
+  std::vector<TraceSpan> ring;
+  std::uint64_t written = 0;      // spans kept (ring writes)
+  std::uint64_t sampled_out = 0;  // spans discarded by sampling
+  std::uint64_t counter = 0;      // sampling position
+  std::uint64_t next_seq = 0;
+};
+
+std::mutex g_mutex;
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_generation{0};
+TraceConfig g_config;
+std::map<int, Lane> g_lanes;
+
+thread_local int t_depth = 0;
+
+void append_oldest_first(const Lane& lane, std::vector<TraceSpan>& out) {
+  const std::size_t kept = lane.ring.size();
+  const std::size_t start =
+      kept < g_config.ring_capacity
+          ? 0
+          : static_cast<std::size_t>(lane.written % g_config.ring_capacity);
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(lane.ring[(start + i) % kept]);
+  }
+}
+
+#endif  // SCALPARC_TRACE_ENABLED
+
+}  // namespace
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+#if SCALPARC_TRACE_ENABLED
+
+bool TraceCollector::start(const TraceConfig& config) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_config = config;
+  if (g_config.ring_capacity == 0) g_config.ring_capacity = 1;
+  if (g_config.sample_every < 1) g_config.sample_every = 1;
+  g_lanes.clear();
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_release);
+  return true;
+}
+
+bool TraceCollector::active() const {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+TraceDump TraceCollector::stop() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_active.store(false, std::memory_order_release);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  TraceDump dump;
+  dump.sample_every = g_config.sample_every;
+  for (const auto& [rank, lane] : g_lanes) {
+    append_oldest_first(lane, dump.spans);
+    dump.dropped += lane.written - lane.ring.size();
+    dump.sampled_out += lane.sampled_out;
+  }
+  g_lanes.clear();
+  return dump;
+}
+
+TraceScope::TraceScope(const char* name, int level, std::int64_t nodes,
+                       std::int64_t records) {
+  if (!g_active.load(std::memory_order_relaxed)) return;
+  armed_ = true;
+  generation_ = g_generation.load(std::memory_order_relaxed);
+  span_.name = name;
+  span_.rank = thread_rank();
+  span_.level = level;
+  span_.nodes = nodes;
+  span_.records = records;
+  span_.depth = t_depth++;
+  span_.ts_s = monotonic_seconds();
+}
+
+TraceScope::~TraceScope() {
+  if (!armed_) return;
+  --t_depth;
+  span_.dur_s = monotonic_seconds() - span_.ts_s;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  // A stop() (or stop+start) between this scope's begin and end invalidates
+  // the span: it would mix runs, so it is discarded.
+  if (!g_active.load(std::memory_order_relaxed) ||
+      generation_ != g_generation.load(std::memory_order_relaxed)) {
+    return;
+  }
+  Lane& lane = g_lanes[span_.rank];
+  if (static_cast<std::uint64_t>(lane.counter++) %
+          static_cast<std::uint64_t>(g_config.sample_every) !=
+      0) {
+    ++lane.sampled_out;
+    return;
+  }
+  span_.seq = lane.next_seq++;
+  if (lane.ring.size() < g_config.ring_capacity) {
+    lane.ring.push_back(span_);
+  } else {
+    lane.ring[static_cast<std::size_t>(lane.written % g_config.ring_capacity)] =
+        span_;
+  }
+  ++lane.written;
+}
+
+void TraceScope::set_bytes(std::int64_t bytes) {
+  if (armed_) span_.bytes = bytes;
+}
+
+void TraceScope::set_begin_vtime(double vtime) {
+  if (armed_) {
+    span_.vtime_begin = vtime;
+    span_.vtime_end = vtime;
+  }
+}
+
+void TraceScope::set_end_vtime(double vtime) {
+  if (armed_) span_.vtime_end = vtime;
+}
+
+#else  // !SCALPARC_TRACE_ENABLED
+
+bool TraceCollector::start(const TraceConfig&) { return false; }
+bool TraceCollector::active() const { return false; }
+TraceDump TraceCollector::stop() { return {}; }
+TraceScope::TraceScope(const char*, int, std::int64_t, std::int64_t) {}
+TraceScope::~TraceScope() = default;
+void TraceScope::set_bytes(std::int64_t) {}
+void TraceScope::set_begin_vtime(double) {}
+void TraceScope::set_end_vtime(double) {}
+
+#endif  // SCALPARC_TRACE_ENABLED
+
+namespace {
+
+// Lane order: the five phases of §4 first, auxiliary spans after.
+constexpr std::string_view kLaneNames[] = {
+    "",               // lane 0 unused (keeps pid row label clean)
+    "presort",        // 1
+    "findsplit_i",    // 2
+    "findsplit_ii",   // 3
+    "performsplit_i", // 4
+    "performsplit_ii",// 5
+    "checkpoint_write",   // 6
+    "checkpoint_restore", // 7
+    "elastic_restore",    // 8
+    "level_stats",        // 9
+    "other",              // 10
+};
+constexpr int kNumLanes = static_cast<int>(std::size(kLaneNames));
+
+}  // namespace
+
+int trace_lane_of(std::string_view name) {
+  for (int lane = 1; lane < kNumLanes - 1; ++lane) {
+    if (kLaneNames[lane] == name) return lane;
+  }
+  return kNumLanes - 1;  // "other"
+}
+
+std::string_view trace_lane_name(int lane) {
+  if (lane < 0 || lane >= kNumLanes) return "other";
+  return kLaneNames[lane];
+}
+
+int trace_num_lanes() { return kNumLanes; }
+
+Json chrome_trace_json(const TraceDump& dump, const Json& metadata) {
+  Json events = Json::array();
+  // Process/thread naming metadata so Perfetto shows "rank N" rows with one
+  // named lane per phase.
+  std::map<int, std::vector<bool>> lanes_used;
+  for (const TraceSpan& span : dump.spans) {
+    const int pid = span.rank < 0 ? 0 : span.rank;
+    auto& used = lanes_used[pid];
+    if (used.empty()) used.resize(static_cast<std::size_t>(kNumLanes), false);
+    used[static_cast<std::size_t>(trace_lane_of(span.name))] = true;
+  }
+  for (const auto& [pid, used] : lanes_used) {
+    Json name_event = Json::object();
+    name_event["ph"] = "M";
+    name_event["pid"] = pid;
+    name_event["name"] = "process_name";
+    name_event["args"] = Json::object();
+    name_event["args"]["name"] = "rank " + std::to_string(pid);
+    events.push_back(std::move(name_event));
+    Json sort_event = Json::object();
+    sort_event["ph"] = "M";
+    sort_event["pid"] = pid;
+    sort_event["name"] = "process_sort_index";
+    sort_event["args"] = Json::object();
+    sort_event["args"]["sort_index"] = pid;
+    events.push_back(std::move(sort_event));
+    for (int lane = 0; lane < kNumLanes; ++lane) {
+      if (!used[static_cast<std::size_t>(lane)]) continue;
+      Json thread_event = Json::object();
+      thread_event["ph"] = "M";
+      thread_event["pid"] = pid;
+      thread_event["tid"] = lane;
+      thread_event["name"] = "thread_name";
+      thread_event["args"] = Json::object();
+      thread_event["args"]["name"] = std::string(trace_lane_name(lane));
+      events.push_back(std::move(thread_event));
+    }
+  }
+  for (const TraceSpan& span : dump.spans) {
+    Json event = Json::object();
+    event["ph"] = "X";
+    event["name"] = std::string(span.name);
+    event["pid"] = span.rank < 0 ? 0 : span.rank;
+    event["tid"] = trace_lane_of(span.name);
+    event["ts"] = span.ts_s * 1e6;   // trace_event timestamps are µs
+    event["dur"] = span.dur_s * 1e6;
+    Json args = Json::object();
+    if (span.level >= 0) args["level"] = span.level;
+    if (span.nodes >= 0) args["nodes"] = span.nodes;
+    if (span.records >= 0) args["records"] = span.records;
+    if (span.bytes >= 0) args["bytes"] = span.bytes;
+    args["vtime_begin_s"] = span.vtime_begin;
+    args["vtime_end_s"] = span.vtime_end;
+    args["depth"] = span.depth;
+    args["seq"] = span.seq;
+    event["args"] = std::move(args);
+    events.push_back(std::move(event));
+  }
+  Json doc = Json::object();
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = "ms";
+  doc["otherData"] = metadata;
+  return doc;
+}
+
+}  // namespace scalparc::util

@@ -1,0 +1,120 @@
+// Low-overhead per-rank span tracer with Chrome trace_event JSON export.
+//
+// A TraceScope is an RAII span: construction stamps the wall clock, the
+// destructor records one TraceSpan into the ring buffer of the emitting
+// rank's lane (the rank comes from util::thread_rank(), bound per thread by
+// mp::run_ranks). Spans carry the induction level, the active node/record
+// counts, the bytes packed into fused collective rounds, and — because the
+// runtime's notion of time is the modeled virtual clock, not the wall clock
+// — both a wall [ts, dur] pair and a [vtime_begin, vtime_end] pair. Phase
+// spans tile the induction loop, so summing vtime deltas per rank reproduces
+// InductionStats::total_seconds (scalparc-trace-report checks this).
+//
+// Cost discipline: when the collector is idle a scope is one relaxed atomic
+// load; when active it is two steady_clock reads plus one short mutex-held
+// ring write (a handful of spans per level — far below the <5% overhead
+// budget). Compiling with -DSCALPARC_TRACE=OFF turns TraceScope into an
+// empty shell and removes the recording path entirely; the collector API
+// stays callable so callers need no #ifdefs, but start() reports failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef SCALPARC_TRACE_ENABLED
+#define SCALPARC_TRACE_ENABLED 1
+#endif
+
+namespace scalparc::util {
+
+class Json;
+
+constexpr bool trace_compiled_in() { return SCALPARC_TRACE_ENABLED != 0; }
+
+struct TraceSpan {
+  const char* name = "";  // static string (phase name)
+  int rank = -1;
+  int level = -1;              // induction level; -1 when not applicable
+  std::int64_t nodes = -1;     // active nodes at the level, -1 when n/a
+  std::int64_t records = -1;   // active records at the level, -1 when n/a
+  std::int64_t bytes = -1;     // bytes packed into fused rounds, -1 when n/a
+  double ts_s = 0.0;           // wall-clock begin, seconds since process start
+  double dur_s = 0.0;          // wall-clock duration
+  double vtime_begin = 0.0;    // modeled virtual clock at begin/end; both 0
+  double vtime_end = 0.0;      //   when the span carries no vtime
+  int depth = 0;               // nesting depth within the rank at begin
+  std::uint64_t seq = 0;       // per-rank completion order
+};
+
+struct TraceConfig {
+  // Spans retained per rank; the ring overwrites the oldest on overflow.
+  std::size_t ring_capacity = 1 << 16;
+  // Record every n-th completed span per rank (1 = all). Sampled-out spans
+  // count into TraceDump::sampled_out, not dropped.
+  int sample_every = 1;
+};
+
+struct TraceDump {
+  std::vector<TraceSpan> spans;  // sorted by (rank, seq)
+  std::uint64_t dropped = 0;     // spans lost to ring overflow
+  std::uint64_t sampled_out = 0;
+  int sample_every = 1;
+  // True when every recorded span is retained: sampling off and no
+  // overflow. Only then do per-rank vtime sums tile the full run.
+  bool complete() const { return sample_every == 1 && dropped == 0; }
+};
+
+// Process-global span sink. start() arms recording (clearing previous
+// spans); stop() disarms and returns everything retained. Recording from
+// concurrent rank threads is safe; start/stop are meant for the coordinating
+// thread (CLI, test body) between runs.
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  // Returns false when tracing was compiled out (SCALPARC_TRACE=OFF).
+  bool start(const TraceConfig& config = {});
+  bool active() const;
+  TraceDump stop();
+
+ private:
+  TraceCollector() = default;
+};
+
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, int level = -1,
+                      std::int64_t nodes = -1, std::int64_t records = -1);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  void set_bytes(std::int64_t bytes);
+  void set_begin_vtime(double vtime);
+  void set_end_vtime(double vtime);
+
+ private:
+#if SCALPARC_TRACE_ENABLED
+  bool armed_ = false;
+  std::uint64_t generation_ = 0;
+  TraceSpan span_;
+#endif
+};
+
+// Stable Chrome/Perfetto thread-lane id for a span name: the five paper
+// phases get lanes 1..5 in §4 order, auxiliary spans (checkpointing, level
+// bookkeeping) follow, unknown names share the last lane.
+int trace_lane_of(std::string_view name);
+std::string_view trace_lane_name(int lane);
+int trace_num_lanes();
+
+// Chrome trace_event document: one "X" (complete) event per span with
+// pid = rank and tid = phase lane, plus process/thread-name metadata events.
+// `metadata` (an object: ranks, sample_every, dropped, metrics, ...) is
+// embedded under "otherData", where scalparc-trace-report reads it back.
+Json chrome_trace_json(const TraceDump& dump, const Json& metadata);
+
+}  // namespace scalparc::util

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "util/cli.hpp"
@@ -272,6 +275,67 @@ TEST(Json, ParsesEscapesAndNested) {
   EXPECT_DOUBLE_EQ(v.at("xs").at(2).as_double(), 300.0);
   EXPECT_TRUE(v.at("xs").at(3).is_null());
   EXPECT_TRUE(v.at("xs").at(4).at(0).as_bool());
+}
+
+TEST(Json, ControlCharactersRoundTrip) {
+  // Every C0 control character must survive dump -> parse, escaped as the
+  // short form where JSON has one and \u00xx otherwise.
+  for (int c = 0x01; c < 0x20; ++c) {
+    std::string s = "a";
+    s += static_cast<char>(c);
+    s += "b";
+    util::Json doc = util::Json::object();
+    doc["s"] = s;
+    const std::string text = doc.dump(0);
+    for (const char ch : text) {
+      EXPECT_GE(static_cast<unsigned char>(ch), 0x20u)
+          << "raw control char 0x" << c << " leaked into the output";
+    }
+    EXPECT_EQ(util::Json::parse(text).at("s").as_string(), s)
+        << "control char 0x" << c;
+  }
+  // High (0x80+) bytes pass through as-is (UTF-8 payloads).
+  util::Json doc = util::Json::object();
+  doc["s"] = std::string("caf\xc3\xa9");
+  EXPECT_EQ(util::Json::parse(doc.dump(0)).at("s").as_string(),
+            "caf\xc3\xa9");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  util::Json doc = util::Json::object();
+  doc["nan"] = std::nan("");
+  doc["inf"] = std::numeric_limits<double>::infinity();
+  doc["ninf"] = -std::numeric_limits<double>::infinity();
+  doc["ok"] = 1.5;
+  const util::Json parsed = util::Json::parse(doc.dump(2));
+  EXPECT_TRUE(parsed.at("nan").is_null());
+  EXPECT_TRUE(parsed.at("inf").is_null());
+  EXPECT_TRUE(parsed.at("ninf").is_null());
+  EXPECT_DOUBLE_EQ(parsed.at("ok").as_double(), 1.5);
+}
+
+TEST(Json, RandomStringsRoundTrip) {
+  // Deterministic fuzz over the full byte range (sans NUL, which std::string
+  // carries but C-string-based call sites never produce).
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string s;
+    const std::size_t length = next() % 40;
+    for (std::size_t i = 0; i < length; ++i) {
+      const char ch = static_cast<char>(1 + next() % 127);  // 0x01..0x7f
+      s += ch;
+    }
+    util::Json doc = util::Json::object();
+    doc[s] = s;  // exercise both key and value escaping
+    const util::Json parsed = util::Json::parse(doc.dump(0));
+    EXPECT_EQ(parsed.at(s).as_string(), s) << "round " << round;
+  }
 }
 
 TEST(Json, RejectsMalformedDocuments) {
