@@ -1,0 +1,187 @@
+// Chaos soak harness: randomized compound-fault schedules against
+// fit_with_recovery until a seed/time budget runs out.
+//
+//   ./chaos_soak [--seeds N] [--seed0 S] [--procs 2,4,8] [--records N]
+//                [--depth D] [--time-budget-s T] [--csv DIR]
+//
+// Every (seed, p) cell generates a deterministic compound schedule
+// (mp/chaos.hpp), picks a recovery policy from the seed, and runs the fit
+// under it. Pass criteria, checked for every cell:
+//
+//   * no hang — the run always terminates (recv timeouts + deadlock
+//     detection bound every blocking receive)
+//   * no silent divergence — a completed run's tree is byte-identical to
+//     the fault-free oracle
+//   * no unclassified abort — a run that does not complete carries a
+//     RecoveryOutcome other than kCompleted and a captured last_error
+//
+// The per-cell outcome plus the recovery.* counters land in the CSV so a
+// failing seed is a one-line repro:
+//   ./chaos_soak --seeds 1 --seed0 <failing-seed> --procs <p>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/checkpoint.hpp"
+#include "core/tree_io.hpp"
+#include "mp/chaos.hpp"
+#include "mp/fault.hpp"
+
+namespace {
+
+std::string tree_bytes(const scalparc::core::DecisionTree& tree) {
+  std::ostringstream out;
+  scalparc::core::save_tree(tree, out);
+  return out.str();
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> d =
+      std::chrono::steady_clock::now() - start;
+  return d.count();
+}
+
+const char* policy_name(scalparc::core::RecoveryPolicy policy) {
+  switch (policy) {
+    case scalparc::core::RecoveryPolicy::kRestart: return "restart";
+    case scalparc::core::RecoveryPolicy::kShrink: return "shrink";
+    case scalparc::core::RecoveryPolicy::kGrow: return "grow";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+  const int seeds = static_cast<int>(args.get_int("seeds", 100));
+  const auto seed0 = static_cast<std::uint64_t>(args.get_int("seed0", 1));
+  const auto records =
+      static_cast<std::uint64_t>(args.get_int("records", 4000));
+  const int depth = static_cast<int>(args.get_int("depth", 6));
+  const double time_budget_s = args.get_double("time-budget-s", 0.0);
+  std::vector<std::int64_t> procs = args.get_int_list("procs", {2, 4, 8});
+
+  const data::Dataset training = bench::paper_generator().generate(0, records);
+  core::InductionControls controls;
+  controls.options.max_depth = depth;
+  const std::string oracle =
+      tree_bytes(core::ScalParC::fit(training, 2, controls).tree);
+
+  const std::string ckpt_root =
+      (std::filesystem::temp_directory_path() /
+       ("scalparc_chaos_soak_" +
+        std::to_string(static_cast<long long>(::getpid()))))
+          .string();
+  core::InductionControls ckpt_controls = controls;
+  ckpt_controls.checkpoint.directory = ckpt_root;
+
+  bench::CsvWriter csv(
+      args, "chaos_soak.csv",
+      "seed,procs,archetype,policy,outcome,attempts,recoveries,wall_s");
+
+  std::printf("chaos soak: %d seeds x p in {", seeds);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    std::printf("%s%lld", i ? "," : "", static_cast<long long>(procs[i]));
+  }
+  std::printf("}, %llu records, depth %d\n\n",
+              static_cast<unsigned long long>(records), depth);
+
+  const auto soak_start = std::chrono::steady_clock::now();
+  int cells = 0, completed = 0, classified = 0, divergences = 0,
+      unclassified = 0;
+  bool budget_hit = false;
+  for (int s = 0; s < seeds && !budget_hit; ++s) {
+    const std::uint64_t seed = seed0 + static_cast<std::uint64_t>(s);
+    for (const std::int64_t procs_value : procs) {
+      if (time_budget_s > 0.0 && seconds_since(soak_start) > time_budget_s) {
+        budget_hit = true;
+        break;
+      }
+      const int p = static_cast<int>(procs_value);
+      std::filesystem::remove_all(ckpt_root);
+
+      mp::ChaosSpec spec;
+      spec.world = p;
+      spec.levels = depth;
+      const mp::GeneratedChaos chaos = mp::generate_chaos(seed, spec);
+
+      core::RecoveryControls recovery;
+      recovery.policy = static_cast<core::RecoveryPolicy>(
+          static_cast<int>(seed % 3));  // rotate restart/shrink/grow
+      recovery.join_ranks = 1 + static_cast<int>(seed % 2);
+      recovery.max_retries = 4;
+      recovery.fault_schedule = &chaos.schedule;
+      if (chaos.checkpoint_write_faults > 0) {
+        core::detail::arm_checkpoint_write_fault(chaos.checkpoint_write_faults);
+      }
+
+      core::RecoveryReport report;
+      const auto cell_start = std::chrono::steady_clock::now();
+      bool threw = false;
+      std::string threw_what;
+      try {
+        report = core::ScalParC::fit_with_recovery(training, p, ckpt_controls,
+                                                   recovery);
+      } catch (const std::exception& e) {
+        threw = true;
+        threw_what = e.what();
+      }
+      core::detail::clear_checkpoint_write_fault();
+      const double wall_s = seconds_since(cell_start);
+      ++cells;
+
+      const char* verdict = "ok";
+      if (threw) {
+        // The struct-based overload classifies instead of throwing; an
+        // escape here is exactly the "unclassified abort" the soak hunts.
+        ++unclassified;
+        verdict = "UNCLASSIFIED";
+        std::printf("seed %llu p=%d %s: UNCLASSIFIED ABORT: %s\n",
+                    static_cast<unsigned long long>(seed), p,
+                    chaos.description.c_str(), threw_what.c_str());
+      } else if (report.outcome == core::RecoveryOutcome::kCompleted) {
+        ++completed;
+        if (tree_bytes(report.fit.tree) != oracle) {
+          ++divergences;
+          verdict = "DIVERGED";
+          std::printf("seed %llu p=%d %s: SILENT DIVERGENCE\n",
+                      static_cast<unsigned long long>(seed), p,
+                      chaos.description.c_str());
+        }
+      } else {
+        ++classified;
+        if (!report.last_error) {
+          ++unclassified;
+          verdict = "NO-ERROR-CAPTURED";
+          std::printf("seed %llu p=%d %s: outcome %s without last_error\n",
+                      static_cast<unsigned long long>(seed), p,
+                      chaos.description.c_str(),
+                      core::to_string(report.outcome));
+        }
+      }
+      csv.row("%llu,%d,%s,%s,%s,%d,%d,%.4f",
+              static_cast<unsigned long long>(seed), p,
+              mp::to_string(chaos.archetype), policy_name(recovery.policy),
+              threw ? "unclassified-throw" : core::to_string(report.outcome),
+              report.attempts, static_cast<int>(report.events.size()), wall_s);
+      (void)verdict;
+    }
+  }
+  std::filesystem::remove_all(ckpt_root);
+
+  std::printf("\n%d cells: %d completed, %d classified non-recoverable, "
+              "%d divergences, %d unclassified%s\n",
+              cells, completed, classified, divergences, unclassified,
+              budget_hit ? " (time budget hit)" : "");
+  std::printf("csv: %s\n", csv.path().c_str());
+  if (divergences > 0 || unclassified > 0) return 1;
+  return 0;
+}

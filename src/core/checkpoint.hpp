@@ -21,11 +21,24 @@
 // A checkpoint is valid only if the committed directory exists and every
 // file matches the byte counts and CRC32 checksums recorded in the
 // manifests. Truncated or corrupted files are rejected with
-// CheckpointError — never silently mis-parsed.
+// CheckpointCorruptError — never silently mis-parsed.
+//
+// Durability and error classification: every write retries transient I/O
+// failures with a capped backoff and fsyncs the file; commit fsyncs the
+// staging directory before the atomic rename and the root directory after
+// it, so a committed level_<L> name implies its contents are on disk.
+// Failures split into two classes the recovery layer treats differently:
+// CheckpointIoError (write side: disk full, permission, a transient error
+// that outlived the retry budget — the checkpoint data is *not* at fault,
+// retrying the job cannot help, abort) and CheckpointCorruptError (read
+// side: bytes provably disagree with the recorded integrity metadata — the
+// checkpoint is unusable, fall back to an earlier level or restart from
+// scratch).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -41,6 +54,24 @@ namespace scalparc::core {
 struct CheckpointError : std::runtime_error {
   explicit CheckpointError(const std::string& what)
       : std::runtime_error("checkpoint: " + what) {}
+};
+
+// Write-side failure the checkpoint data is not responsible for: disk full,
+// permission denied, or a transient error that survived the retry budget.
+// The on-disk state may be incomplete but nothing valid was destroyed;
+// retrying the run cannot help, so recovery treats this as unrecoverable.
+struct CheckpointIoError : CheckpointError {
+  explicit CheckpointIoError(const std::string& what)
+      : CheckpointError("io: " + what) {}
+};
+
+// Read-side failure: bytes on disk provably disagree with the recorded
+// integrity metadata (missing, truncated, CRC mismatch, unparseable). The
+// checkpoint is unusable; recovery restarts from an earlier level or from
+// scratch instead of aborting the job.
+struct CheckpointCorruptError : CheckpointError {
+  explicit CheckpointCorruptError(const std::string& what)
+      : CheckpointError("corrupt: " + what) {}
 };
 
 // Global (rank-independent) header of one level checkpoint.
@@ -98,6 +129,26 @@ void write_rank_manifest(const std::string& dir, int rank,
                          const std::vector<SectionInfo>& sections);
 std::vector<SectionInfo> read_rank_manifest(const std::string& dir, int rank);
 std::uint64_t file_size_or_throw(const std::string& path);
+
+// Runs `attempt`, retrying transient failures with a capped backoff
+// (checkpoint.write_retries counts the retries). Once the budget is spent
+// the last error is rethrown as CheckpointIoError. All hardened write
+// paths funnel through here, which is also where the test-only write-fault
+// hook below injects its failures.
+void retry_transient_io(const std::string& what,
+                        const std::function<void()>& attempt);
+
+// fsyncs a file or directory (checkpoint.fsyncs counts the calls); throws
+// CheckpointIoError on failure.
+void fsync_path(const std::string& path);
+
+// Test-only write-fault injection: the next `failures` hardened write
+// attempts (process-wide) fail as if the filesystem returned a transient
+// error. `failures` within the retry budget heals silently; beyond it the
+// write classifies as CheckpointIoError. Cleared automatically as attempts
+// consume the count, or explicitly.
+void arm_checkpoint_write_fault(int failures);
+void clear_checkpoint_write_fault();
 }  // namespace detail
 
 // Writes one rank's binary sections into a staging directory and records
@@ -109,11 +160,17 @@ class CheckpointRankWriter {
 
   template <typename T>
   void write_section(const std::string& name, std::span<const T> records) {
-    ooc::TypedWriter<T> writer(detail::section_path(dir_, rank_, name));
-    writer.append(records);
-    writer.flush();
-    sections_.push_back(detail::SectionInfo{
-        name, writer.count(), writer.count() * sizeof(T), writer.crc()});
+    const std::string path = detail::section_path(dir_, rank_, name);
+    detail::SectionInfo info;
+    detail::retry_transient_io("section '" + name + "'", [&] {
+      ooc::TypedWriter<T> writer(path);
+      writer.append(records);
+      writer.flush();
+      info = detail::SectionInfo{name, writer.count(),
+                                 writer.count() * sizeof(T), writer.crc()};
+      detail::fsync_path(path);
+    });
+    sections_.push_back(info);
     if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
       sink->add("checkpoint.sections_written", 1);
       sink->add("checkpoint.bytes_written",
@@ -144,26 +201,27 @@ class CheckpointRankReader {
       if (s.name == name) info = &s;
     }
     if (info == nullptr) {
-      throw CheckpointError("rank " + std::to_string(rank_) +
-                            " has no section '" + name + "'");
+      throw CheckpointCorruptError("rank " + std::to_string(rank_) +
+                                   " has no section '" + name + "'");
     }
     if (info->bytes != info->count * sizeof(T)) {
-      throw CheckpointError("section '" + name + "' has inconsistent size");
+      throw CheckpointCorruptError("section '" + name +
+                                   "' has inconsistent size");
     }
     const std::string path = detail::section_path(dir_, rank_, name);
     if (detail::file_size_or_throw(path) != info->bytes) {
-      throw CheckpointError("section file '" + path +
-                            "' does not match its manifest size");
+      throw CheckpointCorruptError("section file '" + path +
+                                   "' does not match its manifest size");
     }
     ooc::TypedReader<T> reader(path, nullptr, 4096, 0, info->count);
     std::vector<T> out(static_cast<std::size_t>(info->count));
     const std::size_t got = reader.read_chunk(std::span<T>(out));
     if (got != out.size()) {
-      throw CheckpointError("section file '" + path + "' is truncated");
+      throw CheckpointCorruptError("section file '" + path + "' is truncated");
     }
     if (reader.crc() != info->crc) {
-      throw CheckpointError("section file '" + path +
-                            "' failed its CRC32 check");
+      throw CheckpointCorruptError("section file '" + path +
+                                   "' failed its CRC32 check");
     }
     if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
       sink->add("checkpoint.sections_read", 1);

@@ -174,6 +174,12 @@ RestoredList<Entry> elastic_restore_list(mp::Comm& comm,
   }
   span.set_bytes(static_cast<std::int64_t>(out.entries.size() * sizeof(Entry)));
   span.set_end_vtime(comm.vtime());
+  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+    std::size_t moved = 0;
+    for (const std::vector<Entry>& buf : sendbufs) moved += buf.size();
+    sink->add("recovery.retile_bytes",
+              static_cast<double>(moved * sizeof(Entry)));
+  }
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "mp/collective_batch.hpp"
 #include "mp/collectives.hpp"
 #include "mp/metrics.hpp"
+#include "mp/runtime.hpp"
 #include "sort/rebalance.hpp"
 #include "sort/sample_sort.hpp"
 #include "util/arena.hpp"
@@ -342,6 +343,22 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
           "checkpoint parameters do not match this run "
           "(schema/options/total changed since the checkpoint was written)");
     }
+
+    // On a grow resume the fresh joiners first pass the capability
+    // handshake: each must present the same checkpoint fingerprint and
+    // dataset geometry rank 0 is restoring against, or the run aborts
+    // before any partition is handed to a bad joiner. This runs whether or
+    // not the world size changed — survivors + joiners can land back on the
+    // checkpoint's world, which resumes without repartitioning but still
+    // admits fresh ranks.
+    mp::JoinCapability capability;
+    capability.fingerprint = fp;
+    capability.total_records = static_cast<std::int64_t>(total_records);
+    capability.num_attributes =
+        static_cast<std::int32_t>(cont_lists.size() + cat_lists.size());
+    capability.layout = soa ? 1 : 0;
+    (void)mp::join_handshake(comm, capability);
+
     result.tree = checkpoint_read_tree(level_dir, manifest);
 
     const std::vector<std::int64_t> flat =

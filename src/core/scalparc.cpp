@@ -2,12 +2,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "core/checkpoint.hpp"
+#include "mp/fault.hpp"
 #include "sort/partition_util.hpp"
 
 namespace scalparc::core {
@@ -115,6 +117,54 @@ FitReport ScalParC::resume_from_checkpoint(const data::Dataset& training,
   return fit(training, nranks, resumed, model, run_options);
 }
 
+const char* to_string(RecoveryOutcome outcome) {
+  switch (outcome) {
+    case RecoveryOutcome::kCompleted:
+      return "completed";
+    case RecoveryOutcome::kRetriesExhausted:
+      return "retries-exhausted";
+    case RecoveryOutcome::kRecoveryBudgetExhausted:
+      return "recovery-budget-exhausted";
+    case RecoveryOutcome::kUnrecoverable:
+      return "unrecoverable";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Folds the recovery bookkeeping into the final attempt's metrics so one
+// registry carries the whole story (docs/observability.md, recovery.*).
+void absorb_recovery_metrics(mp::MetricsSnapshot& metrics,
+                             const RecoveryReport& report,
+                             const RecoveryBudget& budget) {
+  metrics.add("recovery.attempts", static_cast<double>(report.attempts));
+  metrics.gauge_max("recovery.outcome",
+                    static_cast<double>(static_cast<int>(report.outcome)));
+  if (report.events.empty()) return;
+  metrics.add("recovery.recoveries", static_cast<double>(report.events.size()));
+  int shrinks = 0, grows = 0, restarts = 0;
+  for (const RecoveryEvent& e : report.events) {
+    switch (e.policy) {
+      case RecoveryPolicy::kShrink: ++shrinks; break;
+      case RecoveryPolicy::kGrow: ++grows; break;
+      case RecoveryPolicy::kRestart: ++restarts; break;
+    }
+  }
+  if (shrinks > 0) metrics.add("recovery.shrinks", shrinks);
+  if (grows > 0) metrics.add("recovery.grows", grows);
+  if (restarts > 0) metrics.add("recovery.restarts", restarts);
+  metrics.add("recovery.heal_seconds", report.heal_seconds);
+  if (budget.max_recoveries > 0) {
+    metrics.gauge_max(
+        "recovery.budget_remaining",
+        static_cast<double>(budget.max_recoveries -
+                            static_cast<int>(report.events.size())));
+  }
+}
+
+}  // namespace
+
 RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
                                            int nranks,
                                            const InductionControls& controls,
@@ -122,6 +172,25 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
                                            const mp::RunOptions& run_options,
                                            int max_retries,
                                            RecoveryPolicy policy) {
+  RecoveryControls recovery;
+  recovery.policy = policy;
+  recovery.max_retries = max_retries;
+  RecoveryReport report =
+      fit_with_recovery(training, nranks, controls, recovery, model,
+                        run_options);
+  // Legacy contract: a run that did not complete rethrows its last failure.
+  if (report.outcome != RecoveryOutcome::kCompleted) {
+    std::rethrow_exception(report.last_error);
+  }
+  return report;
+}
+
+RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
+                                           int nranks,
+                                           const InductionControls& controls,
+                                           const RecoveryControls& recovery,
+                                           const mp::CostModel& model,
+                                           const mp::RunOptions& run_options) {
   if (nranks <= 0) {
     throw std::invalid_argument(
         "ScalParC::fit_with_recovery: nranks must be positive");
@@ -131,39 +200,108 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
         "ScalParC::fit_with_recovery: controls.checkpoint.directory is "
         "required (recovery restarts from level checkpoints)");
   }
+  if (recovery.join_ranks <= 0) {
+    throw std::invalid_argument(
+        "ScalParC::fit_with_recovery: recovery.join_ranks must be positive");
+  }
 
   RecoveryReport report;
   InductionControls attempt_controls = controls;
   mp::RunOptions attempt_options = run_options;
   int world = nranks;
   for (int retry = 0;; ++retry) {
+    if (recovery.fault_schedule != nullptr) {
+      attempt_options.fault_plan = recovery.fault_schedule->plan(retry);
+    }
     Attempt attempt =
         run_fit(training, world, attempt_controls, model, attempt_options);
     report.attempts = retry + 1;
     if (!attempt.run.failed()) {
       report.fit = report_from(std::move(attempt));
+      absorb_recovery_metrics(report.fit.run.metrics, report, recovery.budget);
       return report;
     }
-    if (retry >= max_retries) std::rethrow_exception(attempt.run.error);
+    report.last_error = attempt.run.error;
+    report.heal_seconds += attempt.run.wall_seconds;
+
+    // Classify the failure before deciding whether recovery is even worth
+    // attempting (the decision table in docs/runtime.md).
+    bool io_error = false;
+    bool corrupt = false;
+    try {
+      std::rethrow_exception(attempt.run.error);
+    } catch (const CheckpointIoError&) {
+      io_error = true;  // disk full / permission: a retry hits the same wall
+    } catch (const CheckpointCorruptError&) {
+      corrupt = true;  // damaged checkpoint: drop it, resume from earlier
+    } catch (...) {
+    }
+
+    const auto fail_fast = [&](RecoveryOutcome outcome) {
+      report.outcome = outcome;
+      report.fit.run = std::move(attempt.run);  // metrics + failure report
+      absorb_recovery_metrics(report.fit.run.metrics, report, recovery.budget);
+      return report;
+    };
+    if (io_error) return fail_fast(RecoveryOutcome::kUnrecoverable);
+    if (retry >= recovery.max_retries) {
+      return fail_fast(RecoveryOutcome::kRetriesExhausted);
+    }
+    const RecoveryBudget& budget = recovery.budget;
+    if ((budget.max_recoveries > 0 &&
+         static_cast<int>(report.events.size()) >= budget.max_recoveries) ||
+        (budget.max_heal_seconds > 0.0 &&
+         report.heal_seconds > budget.max_heal_seconds)) {
+      return fail_fast(RecoveryOutcome::kRecoveryBudgetExhausted);
+    }
 
     RecoveryEvent event;
     event.failed_rank = attempt.run.failed_rank;
     event.message = attempt.run.failure_message;
-    // Faults are transient: the injected plan does not re-fire on the
-    // retry, matching a crashed-and-restarted process. Without this a
-    // level-triggered kill would fire again on every resume, forever.
+    // Faults are transient unless a schedule says otherwise: a plain plan
+    // does not re-fire on the retry, matching a crashed-and-restarted
+    // process. Without this a level-triggered kill would fire again on
+    // every resume, forever. (With a schedule, plan(retry + 1) takes over
+    // at the top of the next iteration.)
     attempt_options.fault_plan = nullptr;
-    // Shrink only on a classified rank death (the liveness registry names
-    // the casualties); a deadlock/timeout has no dead rank to remove, so a
-    // shrink request degrades to a restart of the same world.
+    attempt_options.prior_world = 0;
+    // A checkpoint that failed its read-side integrity checks can never be
+    // resumed; discard the damaged level so the retry falls back to an
+    // earlier one (or to scratch).
+    if (corrupt) {
+      const std::optional<int> damaged =
+          checkpoint_latest_level(controls.checkpoint.directory);
+      if (damaged) {
+        std::error_code ec;
+        std::filesystem::remove_all(
+            checkpoint_level_dir(controls.checkpoint.directory, *damaged), ec);
+      }
+    }
+    // Shrink/grow only on a classified rank death (the liveness registry
+    // names the casualties); a deadlock/timeout has no dead rank to remove,
+    // so the request degrades to a restart of the same world.
     const auto casualties = static_cast<int>(attempt.run.dead_ranks.size());
     const bool rank_died =
         attempt.run.failure_kind == mp::FailureKind::kRankDeath &&
         casualties > 0;
-    if (policy == RecoveryPolicy::kShrink && rank_died && world > casualties) {
+    const RecoveryPolicy want =
+        report.events.size() < recovery.policy_sequence.size()
+            ? recovery.policy_sequence[report.events.size()]
+            : recovery.policy;
+    if (want == RecoveryPolicy::kShrink && rank_died && world > casualties) {
       world -= casualties;
       event.policy = RecoveryPolicy::kShrink;
       // The survivors reload a checkpoint written by the larger world.
+      attempt_controls.checkpoint.allow_repartition = true;
+    } else if (want == RecoveryPolicy::kGrow && rank_died &&
+               world > casualties) {
+      const int survivors = world - casualties;
+      world = survivors + recovery.join_ranks;
+      event.policy = RecoveryPolicy::kGrow;
+      event.joiners = recovery.join_ranks;
+      // Ranks >= survivors are joiners: they must pass the capability
+      // handshake before the re-tiling restore hands them partitions.
+      attempt_options.prior_world = survivors;
       attempt_controls.checkpoint.allow_repartition = true;
     } else {
       event.policy = RecoveryPolicy::kRestart;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@
 #include "data/synthetic.hpp"
 #include "mp/costmodel.hpp"
 #include "mp/runtime.hpp"
+
+namespace scalparc::mp {
+class FaultSchedule;  // mp/fault.hpp
+}  // namespace scalparc::mp
 
 namespace scalparc::core {
 
@@ -31,10 +36,13 @@ struct FitReport {
 // What fit_with_recovery does after a failed attempt. kRestart re-runs the
 // full original world from the last checkpoint; kShrink drops the dead
 // rank(s) and continues with the survivors, repartitioning the checkpointed
-// attribute lists across the smaller world (elastic restore). Shrinking is
-// only sound when a specific rank provably died — deadlock and timeout
-// failures fall back to a restart even under kShrink.
-enum class RecoveryPolicy : int { kRestart = 0, kShrink = 1 };
+// attribute lists across the smaller world (elastic restore); kGrow keeps
+// the survivors AND admits `join_ranks` fresh joiners through the
+// mp::join_handshake capability exchange, re-tiling the checkpoint across
+// the larger world. Shrinking and growing are only sound when a specific
+// rank provably died — deadlock and timeout failures fall back to a restart
+// even under kShrink / kGrow.
+enum class RecoveryPolicy : int { kRestart = 0, kShrink = 1, kGrow = 2 };
 
 // One failure observed (and survived) by fit_with_recovery.
 struct RecoveryEvent {
@@ -43,18 +51,71 @@ struct RecoveryEvent {
   // checkpoint existed yet and the retry restarted from scratch.
   int resumed_level = -1;
   std::string message;  // what the failed rank threw
-  // Policy actually applied to this failure (a shrink request degrades to
-  // kRestart when no rank provably died).
+  // Policy actually applied to this failure (a shrink/grow request degrades
+  // to kRestart when no rank provably died).
   RecoveryPolicy policy = RecoveryPolicy::kRestart;
   // World size the retry ran with (smaller than the previous attempt's
-  // after a shrink).
+  // after a shrink, larger after a grow).
   int ranks_after = -1;
+  // kGrow only: joiners admitted into the retry's world.
+  int joiners = 0;
+};
+
+// Degraded-mode guardrails: hard ceilings after which a thrashing run fails
+// fast with a classified outcome instead of recovering forever. A field
+// <= 0 disables that ceiling.
+struct RecoveryBudget {
+  // Total failures the run may survive (distinct from max_retries, which
+  // caps *consecutive* attempts).
+  int max_recoveries = 0;
+  // Cumulative wall-clock seconds spent on failed attempts.
+  double max_heal_seconds = 0.0;
+};
+
+// Terminal classification of a fit_with_recovery run. Everything except
+// kCompleted means the fit did not finish; RecoveryReport::last_error holds
+// the final failure.
+enum class RecoveryOutcome : int {
+  kCompleted = 0,
+  kRetriesExhausted = 1,          // max_retries consecutive attempts failed
+  kRecoveryBudgetExhausted = 2,   // a RecoveryBudget ceiling tripped
+  kUnrecoverable = 3,             // write-side checkpoint I/O error (disk
+                                  // full / permission): retrying cannot help
+};
+const char* to_string(RecoveryOutcome outcome);
+
+// Full recovery configuration for the struct-based fit_with_recovery
+// overload (the legacy positional overload covers restart/shrink only).
+struct RecoveryControls {
+  RecoveryPolicy policy = RecoveryPolicy::kRestart;
+  // Per-event overrides: failure i applies policy_sequence[i] when present,
+  // `policy` past the end. This is how a grow -> shrink -> grow round trip
+  // is expressed.
+  std::vector<RecoveryPolicy> policy_sequence;
+  // kGrow: joiners admitted per grow recovery (new world = survivors + k).
+  int join_ranks = 1;
+  // Consecutive failed attempts tolerated before kRetriesExhausted.
+  int max_retries = 3;
+  RecoveryBudget budget;
+  // Per-attempt fault plans (plan(0) = initial run, plan(i) = i-th retry);
+  // overrides run_options.fault_plan. Must outlive the call. This is the
+  // compound-fault hook: a single plan is dropped after the first failure,
+  // a schedule keeps injecting into recovery attempts.
+  const mp::FaultSchedule* fault_schedule = nullptr;
 };
 
 struct RecoveryReport {
   FitReport fit;
   std::vector<RecoveryEvent> events;  // one per survived failure
   int attempts = 1;                   // total runs including the final one
+  RecoveryOutcome outcome = RecoveryOutcome::kCompleted;
+  // Set when outcome != kCompleted: the final attempt's primary error. The
+  // struct-based overload classifies instead of throwing; fit.run still
+  // carries the failed attempt's metrics and failure report.
+  std::exception_ptr last_error;
+  // Cumulative wall-clock seconds of failed attempts (the heal budget's
+  // meter).
+  double heal_seconds = 0.0;
 };
 
 class ScalParC {
@@ -110,6 +171,19 @@ class ScalParC {
       const mp::CostModel& model = mp::CostModel::zero(),
       const mp::RunOptions& run_options = {}, int max_retries = 3,
       RecoveryPolicy policy = RecoveryPolicy::kRestart);
+
+  // Struct-based overload with the full recovery surface: per-event policy
+  // sequences (grow included), recovery budget, compound fault schedules.
+  // Unlike the positional overload it never rethrows a rank failure —
+  // the report's `outcome` classifies how the run ended and `last_error`
+  // carries the final failure. The final attempt's metrics gain the
+  // recovery.* family (attempts, recoveries, shrinks/grows/restarts,
+  // heal_seconds, outcome, budget_remaining).
+  static RecoveryReport fit_with_recovery(
+      const data::Dataset& training, int nranks,
+      const InductionControls& controls, const RecoveryControls& recovery,
+      const mp::CostModel& model = mp::CostModel::zero(),
+      const mp::RunOptions& run_options = {});
 };
 
 }  // namespace scalparc::core

@@ -1,0 +1,133 @@
+#include "mp/chaos.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace scalparc::mp {
+
+namespace {
+
+// splitmix64, same mixer the fault plans use for corruption positions.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Tiny deterministic stream over the seed; every draw advances the state.
+class Draw {
+ public:
+  explicit Draw(std::uint64_t seed) : state_(mix64(seed ^ 0xC0FFEE)) {}
+  // Uniform in [0, n); n must be positive.
+  int below(int n) {
+    state_ = mix64(state_);
+    return static_cast<int>(state_ % static_cast<std::uint64_t>(n));
+  }
+  int between(int lo, int hi) { return lo + below(hi - lo + 1); }
+
+ private:
+  std::uint64_t state_;
+};
+
+FaultAction kill_at_level(int rank, int level) {
+  FaultAction a;
+  a.kind = FaultKind::kKill;
+  a.rank = rank;
+  a.level = level;
+  return a;
+}
+
+}  // namespace
+
+const char* to_string(ChaosArchetype archetype) {
+  switch (archetype) {
+    case ChaosArchetype::kKillDuringRecovery:
+      return "kill-during-recovery";
+    case ChaosArchetype::kJoinKillInterleave:
+      return "join-kill-interleave";
+    case ChaosArchetype::kCorruptDelayStorm:
+      return "corrupt-delay-storm";
+    case ChaosArchetype::kCheckpointWriteFault:
+      return "checkpoint-write-fault";
+  }
+  return "unknown";
+}
+
+GeneratedChaos generate_chaos(std::uint64_t seed, const ChaosSpec& spec) {
+  const int world = spec.world > 0 ? spec.world : 1;
+  const int levels = spec.levels > 1 ? spec.levels : 2;
+  Draw draw(seed);
+
+  GeneratedChaos out;
+  out.archetype = static_cast<ChaosArchetype>(draw.below(4));
+  out.schedule.set_seed(seed == 0 ? 1 : seed);
+  std::ostringstream desc;
+  desc << "seed=" << seed << " " << to_string(out.archetype) << ":";
+
+  switch (out.archetype) {
+    case ChaosArchetype::kKillDuringRecovery: {
+      // First kill mid-tree, second kill on another rank at a *later* level
+      // while the first recovery is replaying from the checkpoint.
+      const int first_level = draw.between(1, levels - 1);
+      const int second_level =
+          first_level < levels ? draw.between(first_level, levels) : levels;
+      const int first_victim = draw.below(world);
+      const int second_victim = (first_victim + 1 + draw.below(world)) % world;
+      out.schedule.add_plan().add(kill_at_level(first_victim, first_level));
+      out.schedule.add_plan().add(kill_at_level(second_victim, second_level));
+      desc << " kill r" << first_victim << "@L" << first_level << " then r"
+           << second_victim << "@L" << second_level << " during recovery";
+      break;
+    }
+    case ChaosArchetype::kJoinKillInterleave: {
+      // Kill, then kill again at the very level the recovery resumes from —
+      // under a grow policy that is immediately after the joiner admit.
+      const int level = draw.between(1, levels - 1);
+      const int victim = draw.below(world);
+      const int next_victim = (victim + 1) % world;
+      out.schedule.add_plan().add(kill_at_level(victim, level));
+      out.schedule.add_plan().add(kill_at_level(next_victim, level));
+      desc << " kill r" << victim << "@L" << level << " then r" << next_victim
+           << "@L" << level << " right after the resume admit";
+      break;
+    }
+    case ChaosArchetype::kCorruptDelayStorm: {
+      // A burst of wire faults the transport heals in-band, then a kill so
+      // the recovery machinery still gets exercised.
+      FaultPlan& storm = out.schedule.add_plan();
+      const int bursts = draw.between(2, 4);
+      for (int i = 0; i < bursts; ++i) {
+        FaultAction a;
+        a.rank = draw.below(world);
+        a.op = draw.between(3, 40) + i * 7;
+        switch (draw.below(4)) {
+          case 0: a.kind = FaultKind::kCorrupt; break;
+          case 1: a.kind = FaultKind::kDrop; break;
+          case 2: a.kind = FaultKind::kDuplicate; break;
+          default:
+            a.kind = FaultKind::kDelay;
+            a.delay_ms = static_cast<double>(draw.between(1, 10));
+            break;
+        }
+        storm.add(a);
+      }
+      storm.add(kill_at_level(draw.below(world), draw.between(1, levels - 1)));
+      desc << " " << bursts << " wire faults + kill";
+      break;
+    }
+    case ChaosArchetype::kCheckpointWriteFault: {
+      // Transient checkpoint write failures; a count within the retry
+      // budget heals silently, beyond it the run must classify as
+      // unrecoverable (never as corruption).
+      out.checkpoint_write_faults = draw.between(1, 6);
+      desc << " " << out.checkpoint_write_faults
+           << " transient checkpoint write fault(s)";
+      break;
+    }
+  }
+  out.description = desc.str();
+  return out;
+}
+
+}  // namespace scalparc::mp

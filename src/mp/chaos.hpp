@@ -1,0 +1,65 @@
+// Seeded compound-fault schedule generator for chaos soak runs.
+//
+// A single FaultPlan expresses one failure; real long-running jobs see
+// *compound* sequences — a second kill while the first recovery is still
+// re-tiling, a corruption storm followed by a kill, a checkpoint write that
+// fails under the job's feet. generate_chaos derives such a sequence
+// deterministically from a seed: the same (seed, spec) always yields the
+// same FaultSchedule, so a failing soak seed is a one-line repro.
+//
+// Archetypes (rotated by seed):
+//   kKillDuringRecovery   kill at level L on the first run, another kill on
+//                         a different rank at level L' > L during recovery
+//   kJoinKillInterleave   kill, then kill again right after the recovery
+//                         attempt resumes (exercises a kill immediately
+//                         after a grow admit when the driver picks kGrow)
+//   kCorruptDelayStorm    several corrupt/delay/drop/duplicate wire faults
+//                         in one run (the transport heals them in-band),
+//                         capped with a kill so recovery still triggers
+//   kCheckpointWriteFault no wire faults; instead `checkpoint_write_faults`
+//                         transient write failures for the caller to arm
+//                         via core checkpoint's test hook
+//
+// This header lives in mp/ and only depends on mp/fault.hpp; the checkpoint
+// fault count is a plain int the driver forwards to the core-layer hook.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mp/fault.hpp"
+
+namespace scalparc::mp {
+
+enum class ChaosArchetype : int {
+  kKillDuringRecovery = 0,
+  kJoinKillInterleave = 1,
+  kCorruptDelayStorm = 2,
+  kCheckpointWriteFault = 3,
+};
+
+const char* to_string(ChaosArchetype archetype);
+
+// Geometry of the run the schedule will be injected into.
+struct ChaosSpec {
+  int world = 4;    // rank count of the initial attempt
+  int levels = 6;   // approximate level count (bounds level triggers)
+};
+
+// A generated compound schedule plus its out-of-band companions.
+struct GeneratedChaos {
+  ChaosArchetype archetype = ChaosArchetype::kKillDuringRecovery;
+  FaultSchedule schedule;
+  // Transient checkpoint write failures to arm before the run (0 = none);
+  // forwarded to core::detail::arm_checkpoint_write_fault by the driver.
+  int checkpoint_write_faults = 0;
+  // Human-readable one-line summary for soak logs / repro bundles.
+  std::string description;
+};
+
+// Deterministic: identical (seed, spec) -> identical schedule. The spec's
+// world and levels bound every rank / level trigger so the faults can
+// actually fire.
+GeneratedChaos generate_chaos(std::uint64_t seed, const ChaosSpec& spec);
+
+}  // namespace scalparc::mp

@@ -57,6 +57,10 @@ Comm::Comm(Hub& hub, int rank, const CostModel& model,
 
 int Comm::size() const { return hub_.size(); }
 
+int Comm::prior_world() const { return hub_.options().prior_world; }
+
+void Comm::admit_joiner(int rank) { hub_.admit_joiner(rank); }
+
 std::int64_t Comm::begin_op(const char* what) {
   const std::int64_t op = ++comm_ops_;
   const FaultPlan* plan = hub_.options().fault_plan;

@@ -66,6 +66,12 @@ class Comm {
   // far; the unit in which op-triggered faults are addressed (1-based).
   std::int64_t comm_ops() const { return comm_ops_; }
 
+  // Elastic grow (see join_handshake in mp/runtime.hpp): the previous
+  // attempt's world size from RunOptions (0 on a normal run), and the
+  // hub-level record that a joiner passed the capability exchange.
+  int prior_world() const;
+  void admit_joiner(int rank);
+
   template <WireType T>
   void send(int dst, std::int64_t tag, std::span<const T> values) {
     send_bytes(dst, tag, std::as_bytes(values));

@@ -26,24 +26,39 @@ std::string trim(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
-[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
-  throw std::invalid_argument("FaultPlan: bad spec '" + spec + "': " + why);
+// Where a parse failure happened: the 1-based entry index within the
+// ';'-separated spec and the 1-based column of the entry (or offending
+// field) within the full spec string. A field name pins the complaint to
+// the exact token, not just the entry.
+struct SpecCursor {
+  int entry = 0;
+  std::size_t column = 0;
+  std::string entry_text;
+  std::string field;
+};
+
+[[noreturn]] void bad_spec(const SpecCursor& at, const std::string& why) {
+  std::ostringstream msg;
+  msg << "FaultPlan: entry " << at.entry << " (col " << at.column << ")";
+  if (!at.field.empty()) msg << ", field '" << at.field << "'";
+  msg << ": " << why << " in '" << at.entry_text << "'";
+  throw std::invalid_argument(msg.str());
 }
 
-std::int64_t parse_int(const std::string& spec, const std::string& text) {
+std::int64_t parse_int(const SpecCursor& at, const std::string& text) {
   char* end = nullptr;
   const long long v = std::strtoll(text.c_str(), &end, 10);
   if (end == text.c_str() || *end != '\0') {
-    bad_spec(spec, "bad number '" + text + "'");
+    bad_spec(at, "bad number '" + text + "'");
   }
   return static_cast<std::int64_t>(v);
 }
 
-double parse_num(const std::string& spec, const std::string& text) {
+double parse_num(const SpecCursor& at, const std::string& text) {
   char* end = nullptr;
   const double v = std::strtod(text.c_str(), &end);
   if (end == text.c_str() || *end != '\0') {
-    bad_spec(spec, "bad number '" + text + "'");
+    bad_spec(at, "bad number '" + text + "'");
   }
   return v;
 }
@@ -51,14 +66,26 @@ double parse_num(const std::string& spec, const std::string& text) {
 }  // namespace
 
 void FaultPlan::parse(const std::string& spec) {
-  std::stringstream actions_in(spec);
-  std::string item;
-  while (std::getline(actions_in, item, ';')) {
-    item = trim(item);
-    if (item.empty()) continue;
+  std::size_t pos = 0;
+  int entry_index = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = std::min(spec.find(';', pos), spec.size());
+    const std::string raw = spec.substr(pos, semi - pos);
+    const std::size_t entry_begin = pos + raw.find_first_not_of(" \t");
+    const std::string item = trim(raw);
+    pos = semi + 1;
+    if (item.empty()) {
+      if (semi == spec.size()) break;
+      continue;
+    }
+    ++entry_index;
+    SpecCursor at;
+    at.entry = entry_index;
+    at.column = entry_begin + 1;  // 1-based within the full spec
+    at.entry_text = item;
 
     const auto colon = item.find(':');
-    if (colon == std::string::npos) bad_spec(item, "missing ':' after kind");
+    if (colon == std::string::npos) bad_spec(at, "missing ':' after kind");
     const std::string kind_text = trim(item.substr(0, colon));
 
     FaultAction action;
@@ -73,53 +100,103 @@ void FaultPlan::parse(const std::string& spec) {
     } else if (kind_text == "duplicate") {
       action.kind = FaultKind::kDuplicate;
     } else {
-      bad_spec(item, "unknown kind '" + kind_text +
-                         "' (kill | corrupt | delay | drop | duplicate)");
+      bad_spec(at, "unknown kind '" + kind_text +
+                       "' (kill | corrupt | delay | drop | duplicate)");
     }
 
     bool have_rank = false;
-    std::stringstream fields_in(item.substr(colon + 1));
-    std::string field;
-    while (std::getline(fields_in, field, ',')) {
-      field = trim(field);
-      if (field.empty()) continue;
+    std::size_t field_pos = colon + 1;
+    while (field_pos <= item.size()) {
+      const std::size_t comma = std::min(item.find(',', field_pos), item.size());
+      const std::string field_raw = item.substr(field_pos, comma - field_pos);
+      const std::size_t field_begin =
+          field_pos + std::min(field_raw.find_first_not_of(" \t"),
+                               field_raw.size());
+      const std::string field = trim(field_raw);
+      field_pos = comma + 1;
+      if (field.empty()) {
+        if (comma == item.size()) break;
+        continue;
+      }
+      SpecCursor field_at = at;
+      field_at.column = entry_begin + field_begin + 1;
+      field_at.field = field;
       const auto eq = field.find('=');
-      if (eq == std::string::npos) bad_spec(item, "field '" + field + "' needs '='");
+      if (eq == std::string::npos) bad_spec(field_at, "needs '='");
       const std::string key = trim(field.substr(0, eq));
       const std::string value = trim(field.substr(eq + 1));
       if (key == "r" || key == "rank") {
-        action.rank = static_cast<int>(parse_int(item, value));
+        action.rank = static_cast<int>(parse_int(field_at, value));
         have_rank = true;
       } else if (key == "op") {
-        action.op = parse_int(item, value);
+        action.op = parse_int(field_at, value);
       } else if (key == "level") {
-        action.level = static_cast<int>(parse_int(item, value));
+        action.level = static_cast<int>(parse_int(field_at, value));
       } else if (key == "ms") {
-        action.delay_ms = parse_num(item, value);
+        action.delay_ms = parse_num(field_at, value);
       } else {
-        bad_spec(item, "unknown field '" + key + "'");
+        bad_spec(field_at, "unknown field '" + key + "'");
       }
     }
 
-    if (!have_rank) bad_spec(item, "missing r=<rank>");
+    if (!have_rank) bad_spec(at, "missing r=<rank>");
     if ((action.op >= 0) == (action.level >= 0)) {
-      bad_spec(item, "need exactly one of op=<n> or level=<l>");
+      bad_spec(at, "need exactly one of op=<n> or level=<l>");
     }
     if (action.level >= 0 && action.kind != FaultKind::kKill) {
-      bad_spec(item, "only kill supports level triggers");
+      bad_spec(at, "only kill supports level triggers");
     }
     if (action.kind == FaultKind::kDelay && action.delay_ms <= 0.0) {
-      bad_spec(item, "delay needs ms=<positive>");
+      bad_spec(at, "delay needs ms=<positive>");
     }
     for (const FaultAction& earlier : actions_) {
       if (earlier.kind == action.kind && earlier.rank == action.rank &&
           earlier.op == action.op && earlier.level == action.level) {
-        bad_spec(item, "duplicates an earlier action with the same "
-                       "(kind, rank, trigger); it would fire twice");
+        bad_spec(at, "duplicates an earlier action with the same "
+                     "(kind, rank, trigger); it would fire twice");
       }
     }
     actions_.push_back(action);
   }
+}
+
+FaultPlan& FaultSchedule::add_plan() {
+  plans_.push_back(std::make_unique<FaultPlan>());
+  plans_.back()->set_seed(seed_);
+  return *plans_.back();
+}
+
+void FaultSchedule::parse(const std::string& spec) {
+  std::size_t pos = 0;
+  int attempt = 0;
+  while (pos <= spec.size()) {
+    const std::size_t bar = std::min(spec.find('|', pos), spec.size());
+    const std::string segment = spec.substr(pos, bar - pos);
+    const bool last = bar == spec.size();
+    pos = bar + 1;
+    FaultPlan& plan = add_plan();
+    try {
+      plan.parse(segment);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("FaultSchedule: attempt " +
+                                  std::to_string(attempt) + ": " + e.what());
+    }
+    ++attempt;
+    if (last) break;
+  }
+  // A trailing all-empty schedule (e.g. an empty spec) carries no plans.
+  while (!plans_.empty() && plans_.back()->empty()) plans_.pop_back();
+}
+
+void FaultSchedule::set_seed(std::uint64_t seed) {
+  seed_ = seed;
+  for (const std::unique_ptr<FaultPlan>& plan : plans_) plan->set_seed(seed);
+}
+
+const FaultPlan* FaultSchedule::plan(int attempt) const {
+  if (attempt < 0 || attempt >= static_cast<int>(plans_.size())) return nullptr;
+  const FaultPlan* p = plans_[static_cast<std::size_t>(attempt)].get();
+  return (p != nullptr && !p->empty()) ? p : nullptr;
 }
 
 bool FaultPlan::kills_at_op(int rank, std::int64_t op) const {

@@ -20,11 +20,17 @@
 // Everything is deterministic: triggers are exact (rank, op) / (rank, level)
 // matches and corruption bit positions derive from a seed hashed with the
 // trigger, so a fixed plan replays identically on every run.
+//
+// A FaultSchedule chains plans across recovery attempts: plan(0) faults the
+// initial run, plan(1) the first recovery attempt, and so on — the substrate
+// for compound faults (a second kill *during* recovery, a kill right after a
+// grow admit) that a single transient plan cannot express.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -67,7 +73,9 @@ class FaultPlan {
   //   duplicate:r=1,op=4
   // Throws std::invalid_argument on malformed input, including an action
   // that repeats an earlier (kind, rank, trigger) — a duplicated entry would
-  // otherwise silently double-count.
+  // otherwise silently double-count. Diagnostics pinpoint the failure: the
+  // 1-based entry index, the 1-based column within the spec, and (for field
+  // errors) the offending field text.
   void parse(const std::string& spec);
 
   void set_seed(std::uint64_t seed) { seed_ = seed; }
@@ -111,6 +119,45 @@ class FaultPlan {
   mutable std::atomic<std::uint64_t> delays_{0};
   mutable std::atomic<std::uint64_t> drops_{0};
   mutable std::atomic<std::uint64_t> duplicates_{0};
+};
+
+// An ordered sequence of FaultPlans, one per recovery attempt: attempt 0 is
+// the initial run, attempt i the i-th retry. Plans past the end are clean
+// (nullptr), so every schedule eventually lets the run finish. Plans share
+// the schedule's seed. Immutable after setup, like FaultPlan.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  FaultSchedule(const FaultSchedule&) = delete;
+  FaultSchedule& operator=(const FaultSchedule&) = delete;
+  // Movable (unlike FaultPlan): generators build a schedule and hand it to
+  // the soak driver; the stored plans stay put on the heap, so FaultPlan
+  // pointers handed out by plan() survive the move.
+  FaultSchedule(FaultSchedule&&) = default;
+  FaultSchedule& operator=(FaultSchedule&&) = default;
+
+  // Appends an empty plan for the next attempt and returns it for setup.
+  FaultPlan& add_plan();
+
+  // Parses a '|'-separated sequence of per-attempt plan specs, e.g.
+  //   kill:r=2,level=2 | kill:r=1,level=3
+  // (kill rank 2 in the initial run, then kill rank 1 during the recovery
+  // attempt). An empty segment is a deliberately clean attempt. Diagnostics
+  // name the attempt index on top of FaultPlan::parse's entry/column.
+  void parse(const std::string& spec);
+
+  void set_seed(std::uint64_t seed);
+  std::uint64_t seed() const { return seed_; }
+
+  bool empty() const { return plans_.empty(); }
+  int size() const { return static_cast<int>(plans_.size()); }
+  // Plan for the given attempt; nullptr when the attempt is past the end or
+  // the stored plan is empty (both mean "run clean").
+  const FaultPlan* plan(int attempt) const;
+
+ private:
+  std::vector<std::unique_ptr<FaultPlan>> plans_;
+  std::uint64_t seed_ = 1;
 };
 
 }  // namespace scalparc::mp

@@ -87,6 +87,17 @@ void Hub::mark_dead(int rank) {
   waits_[static_cast<std::size_t>(rank)].dead = true;
 }
 
+void Hub::admit_joiner(int rank) {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  ++waits_[static_cast<std::size_t>(rank)].epoch;
+  ++joiners_admitted_;
+}
+
+std::uint64_t Hub::joiners_admitted() const {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  return joiners_admitted_;
+}
+
 std::vector<int> Hub::dead_ranks() const {
   std::lock_guard<std::mutex> lock(wait_mutex_);
   std::vector<int> dead;
@@ -181,6 +192,50 @@ std::string Hub::deadlock_probe(std::vector<std::uint64_t>* epochs) {
          << ", tag=" << w.tag << ", liveness epoch " << w.epoch << ");";
   }
   return diag.str();
+}
+
+int join_handshake(Comm& comm, const JoinCapability& capability) {
+  const int prior = comm.prior_world();
+  const int p = comm.size();
+  if (prior <= 0 || prior >= p) return 0;  // not a grow resume
+  // Two collective-style tags, advanced identically on every rank: one for
+  // the joiner -> root capability upload, one for the admitted-count fanout.
+  const std::int64_t cap_tag = comm.next_collective_tag();
+  const std::int64_t admit_tag = comm.next_collective_tag();
+  int admitted = 0;
+  if (comm.rank() == 0) {
+    for (int joiner = prior; joiner < p; ++joiner) {
+      const auto offered = comm.recv_value<JoinCapability>(joiner, cap_tag);
+      if (offered.fingerprint != capability.fingerprint ||
+          offered.total_records != capability.total_records ||
+          offered.num_attributes != capability.num_attributes ||
+          offered.layout != capability.layout) {
+        std::ostringstream what;
+        what << "join_handshake: joiner rank " << joiner
+             << " capability mismatch (fingerprint " << offered.fingerprint
+             << " vs " << capability.fingerprint << ", records "
+             << offered.total_records << " vs " << capability.total_records
+             << ", attrs " << offered.num_attributes << " vs "
+             << capability.num_attributes << ", layout " << offered.layout
+             << " vs " << capability.layout << "); refusing to admit";
+        throw std::runtime_error(what.str());
+      }
+      comm.admit_joiner(joiner);
+      ++admitted;
+    }
+    for (int r = 1; r < p; ++r) comm.send_value<int>(r, admit_tag, admitted);
+  } else {
+    if (comm.rank() >= prior) {
+      comm.send_value<JoinCapability>(0, cap_tag, capability);
+    }
+    admitted = comm.recv_value<int>(0, admit_tag);
+  }
+  if (MetricsSnapshot* sink = metrics_sink()) {
+    if (comm.rank() == 0) {
+      sink->add("recovery.joiners_admitted", static_cast<double>(admitted));
+    }
+  }
+  return admitted;
 }
 
 CommStats RunResult::total_stats() const {

@@ -20,6 +20,7 @@
 #include <functional>
 #include <mutex>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "mp/comm.hpp"
@@ -67,6 +68,11 @@ struct RunOptions {
   bool detect_deadlock = true;
   // Self-healing transport (ack/retransmit/dedupe).
   ReliabilityOptions reliability;
+  // Elastic grow: world size of the previous (failed) attempt. 0 on a normal
+  // run. When positive and smaller than this run's nranks, ranks in
+  // [prior_world, nranks) are *joiners* that must pass the join_handshake
+  // capability exchange before they can carry restored partitions.
+  int prior_world = 0;
 };
 
 // Shared state between the ranks of one run: the p x p channel matrix plus
@@ -118,6 +124,11 @@ class Hub {
   void mark_heal_exhausted(int rank);
   void mark_finished(int rank);
   void mark_dead(int rank);
+  // Elastic grow: records that `rank` (a joiner, >= options().prior_world)
+  // passed the capability handshake, bumping its liveness epoch so the
+  // deadlock detector treats the admit as observed progress.
+  void admit_joiner(int rank);
+  std::uint64_t joiners_admitted() const;
   std::vector<int> dead_ranks() const;
   std::string deadlock_diagnostic();
   // Sum of all ranks' liveness epochs: total blocked/unblocked transitions
@@ -150,7 +161,31 @@ class Hub {
   mutable std::mutex wait_mutex_;
   std::vector<WaitState> waits_;
   int unfinished_ = 0;
+  std::uint64_t joiners_admitted_ = 0;  // guarded by wait_mutex_
 };
+
+// What a joiner brings to the table, exchanged during the grow handshake.
+// Every field must match rank 0's view of the checkpointed job exactly: a
+// joiner restoring against a different checkpoint fingerprint or dataset
+// geometry would silently produce a divergent tree.
+struct JoinCapability {
+  std::uint64_t fingerprint = 0;   // checkpoint schema/options fingerprint
+  std::int64_t total_records = 0;  // global record count of the training set
+  std::int32_t num_attributes = 0;
+  std::int32_t layout = 0;         // attribute-list layout discriminant
+};
+static_assert(std::is_trivially_copyable_v<JoinCapability>);
+
+// Admission protocol for elastic grow, called by every rank (SPMD) before
+// the re-tiling restore. No-op (returns 0) unless the run was configured
+// with 0 < RunOptions::prior_world < world size. Otherwise each joiner
+// (rank >= prior_world) sends its JoinCapability to rank 0; rank 0 checks
+// every field against its own view, admits the joiner at the current
+// liveness epoch (Hub::admit_joiner), and distributes the admitted count to
+// all ranks. A capability mismatch throws on rank 0 — a primary, classified
+// failure — so a bad joiner can never receive partitions. Returns the number
+// of joiners admitted and records it as recovery.joiners_admitted.
+int join_handshake(Comm& comm, const JoinCapability& capability);
 
 struct RankOutcome {
   CommStats stats;

@@ -59,14 +59,28 @@ commands:
                                     corrupt:r=0,op=10 | delay:r=1,op=5,ms=20 |
                                     drop:r=0,op=3 | duplicate:r=1,op=4
                                     (';'-separated list)
+               --fault-schedule S   '|'-separated per-attempt fault plans:
+                                    segment 0 faults the initial run, segment
+                                    i the i-th recovery attempt (compound
+                                    faults; empty segment = clean attempt);
+                                    needs --checkpoint-dir, excludes
+                                    --fault-plan
                --fault-seed S       seed for corruption bit choice (default 1)
                --recv-timeout SECS  per-receive timeout, <=0 disables
                                     (default 120, or
                                     SCALPARC_TEST_RECV_TIMEOUT_S)
-               --recovery-policy P  restart | shrink: what a failed run does
-                                    after a rank death — restart the full
-                                    world or continue with the survivors
-                                    (default restart; needs --checkpoint-dir)
+               --recovery-policy P  restart | shrink | grow: what a failed
+                                    run does after a rank death — restart the
+                                    full world, continue with the survivors,
+                                    or admit fresh joiner ranks (default
+                                    restart; needs --checkpoint-dir)
+               --join-ranks K       grow only: joiners admitted per recovery,
+                                    new world = survivors + K (default 1)
+               --max-recoveries N   recovery budget: total failures the run
+                                    may survive before failing fast as
+                                    budget-exhausted; 0 = unlimited
+               --max-heal-seconds S recovery budget: cumulative wall-clock
+                                    seconds of failed attempts; 0 = unlimited
                --max-retransmits N  per-receive heal budget of the ack/
                                     retransmit transport; 0 disables healing
                                     (default 8)
@@ -171,14 +185,36 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
   const std::string policy_name = args.get_string("recovery-policy", "restart");
   if (policy_name == "shrink") {
     policy = core::RecoveryPolicy::kShrink;
+  } else if (policy_name == "grow") {
+    policy = core::RecoveryPolicy::kGrow;
   } else if (policy_name != "restart") {
     err << "unknown --recovery-policy '" << policy_name
-        << "' (restart | shrink)\n";
+        << "' (restart | shrink | grow)\n";
     return 2;
   }
-  if (policy == core::RecoveryPolicy::kShrink &&
+  if (policy != core::RecoveryPolicy::kRestart &&
       controls.checkpoint.directory.empty()) {
-    err << "train: --recovery-policy shrink requires --checkpoint-dir\n";
+    err << "train: --recovery-policy " << policy_name
+        << " requires --checkpoint-dir\n";
+    return 2;
+  }
+  const std::int64_t join_ranks = args.get_int("join-ranks", 1);
+  if (args.has("join-ranks") && policy != core::RecoveryPolicy::kGrow) {
+    err << "train: --join-ranks only applies with --recovery-policy grow\n";
+    return 2;
+  }
+  if (join_ranks < 1) {
+    err << "train: --join-ranks must be >= 1\n";
+    return 2;
+  }
+  const std::int64_t max_recoveries = args.get_int("max-recoveries", 0);
+  if (max_recoveries < 0) {
+    err << "train: --max-recoveries must be >= 0 (0 = unlimited)\n";
+    return 2;
+  }
+  const double max_heal_seconds = args.get_double("max-heal-seconds", 0.0);
+  if (max_heal_seconds < 0.0) {
+    err << "train: --max-heal-seconds must be >= 0 (0 = unlimited)\n";
     return 2;
   }
   mp::RunOptions run_options;
@@ -200,10 +236,26 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
   run_options.reliability.backoff_ms = backoff_ms;
   mp::FaultPlan plan;
   const std::string fault_spec = args.get_string("fault-plan", "");
+  const std::string schedule_spec = args.get_string("fault-schedule", "");
+  if (!fault_spec.empty() && !schedule_spec.empty()) {
+    err << "train: --fault-plan and --fault-schedule are mutually exclusive "
+           "(a schedule's first segment is the initial run's plan)\n";
+    return 2;
+  }
   if (!fault_spec.empty()) {
     plan.parse(fault_spec);
     plan.set_seed(static_cast<std::uint64_t>(args.get_int("fault-seed", 1)));
     run_options.fault_plan = &plan;
+  }
+  mp::FaultSchedule schedule;
+  if (!schedule_spec.empty()) {
+    if (controls.checkpoint.directory.empty()) {
+      err << "train: --fault-schedule targets recovery attempts and needs "
+             "--checkpoint-dir\n";
+      return 2;
+    }
+    schedule.parse(schedule_spec);
+    schedule.set_seed(static_cast<std::uint64_t>(args.get_int("fault-seed", 1)));
   }
 
   const std::string trace_path = args.get_string("trace-out", "");
@@ -230,21 +282,51 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
     out << "resumed from checkpoint in " << controls.checkpoint.directory
         << "\n";
   } else if (!controls.checkpoint.directory.empty()) {
+    core::RecoveryControls recovery;
+    recovery.policy = policy;
+    recovery.join_ranks = static_cast<int>(join_ranks);
+    recovery.budget.max_recoveries = static_cast<int>(max_recoveries);
+    recovery.budget.max_heal_seconds = max_heal_seconds;
+    if (!schedule.empty()) recovery.fault_schedule = &schedule;
     core::RecoveryReport recovered = core::ScalParC::fit_with_recovery(
-        training, ranks, controls, mp::CostModel::zero(), run_options, 3,
-        policy);
+        training, ranks, controls, recovery, mp::CostModel::zero(),
+        run_options);
     for (const core::RecoveryEvent& event : recovered.events) {
+      std::string world_change;
+      switch (event.policy) {
+        case core::RecoveryPolicy::kShrink:
+          world_change = "shrunk to " + std::to_string(event.ranks_after) +
+                         " survivor rank(s)";
+          break;
+        case core::RecoveryPolicy::kGrow:
+          world_change = "grew to " + std::to_string(event.ranks_after) +
+                         " rank(s), " + std::to_string(event.joiners) +
+                         " joiner(s) admitted";
+          break;
+        case core::RecoveryPolicy::kRestart:
+          world_change =
+              "restarted " + std::to_string(event.ranks_after) + " rank(s)";
+          break;
+      }
       out << "recovered from rank " << event.failed_rank << " failure ("
           << (event.resumed_level >= 0
                   ? "resumed at level " + std::to_string(event.resumed_level)
                   : std::string("restarted from scratch"))
-          << ", "
-          << (event.policy == core::RecoveryPolicy::kShrink
-                  ? "shrunk to " + std::to_string(event.ranks_after) +
-                        " survivor rank(s)"
-                  : "restarted " + std::to_string(event.ranks_after) +
-                        " rank(s)")
-          << "): " << event.message << "\n";
+          << ", " << world_change << "): " << event.message << "\n";
+    }
+    if (recovered.outcome != core::RecoveryOutcome::kCompleted) {
+      err << "train: fit did not complete: classified as "
+          << core::to_string(recovered.outcome) << " after "
+          << recovered.attempts << " attempt(s)";
+      if (recovered.last_error) {
+        try {
+          std::rethrow_exception(recovered.last_error);
+        } catch (const std::exception& e) {
+          err << ": " << e.what();
+        }
+      }
+      err << "\n";
+      return 1;
     }
     report = std::move(recovered.fit);
   } else {

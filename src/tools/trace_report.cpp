@@ -8,7 +8,11 @@
 // time. --validate turns the tool into a schema checker for CI: it verifies
 // the trace parses, every rank emitted a process, phase coverage is
 // SPMD-symmetric, and (for complete traces) that the per-rank span vtimes
-// tile InductionStats::total_seconds within 1%.
+// tile InductionStats::total_seconds within 1%. Traces from recovered runs
+// get cross-checked too: elastic_restore spans must pair with the
+// checkpoint.elastic_restores / recovery.retile_bytes counters, and any
+// recovery.* family must carry the recovery.outcome gauge (a recovery that
+// escaped classification is exactly what the chaos soak hunts).
 //
 // usage: scalparc-trace-report TRACE.json [flags]
 //   --top K          slowest spans to list (default 5)
@@ -221,8 +225,22 @@ int validate(const Trace& trace, const std::string& metrics_path,
 
   if (trace.spans.empty()) fail("trace contains no spans");
 
+  // Metrics embedded in the trace metadata drive the recovery-aware
+  // relaxations below: a recovered run's trace legitimately mixes spans
+  // from attempts with different world sizes (a grow retry adds joiner
+  // ranks beyond the launch world; the failed attempt's ranks show presort
+  // while the resumed attempt's show checkpoint_restore).
+  scalparc::mp::MetricsSnapshot meta_metrics;
+  const Json* metrics_meta = trace.metadata.find("metrics");
+  if (metrics_meta != nullptr) {
+    meta_metrics = scalparc::mp::MetricsSnapshot::from_json(*metrics_meta);
+  }
+  const bool recovered = meta_metrics.value("recovery.recoveries", 0.0) > 0.0;
+  const bool grew = meta_metrics.value("recovery.grows", 0.0) > 0.0;
+
   // Every rank announced in the metadata must have emitted spans, and no
-  // span may come from an unknown rank.
+  // span may come from an unknown rank (joiners from a grow recovery are
+  // allowed past the launch world).
   std::set<int> ranks;
   for (const SpanRow& row : trace.spans) ranks.insert(row.rank);
   if (const Json* meta_ranks = trace.metadata.find("ranks")) {
@@ -233,7 +251,7 @@ int validate(const Trace& trace, const std::string& metrics_path,
       }
     }
     for (const int r : ranks) {
-      if (r < 0 || r >= expected) {
+      if (r < 0 || (r >= expected && !grew)) {
         fail("span from out-of-range rank " + std::to_string(r));
       }
     }
@@ -241,16 +259,19 @@ int validate(const Trace& trace, const std::string& metrics_path,
 
   // Phase coverage must be SPMD-symmetric: a phase present on any rank must
   // be present on every rank (a fresh run shows presort; a resumed run
-  // shows checkpoint_restore instead — symmetry covers both shapes).
+  // shows checkpoint_restore instead — symmetry covers both shapes). Mixed
+  // multi-attempt traces from recovered runs are exempt.
   std::map<std::string, std::set<int>> phase_ranks;
   for (const SpanRow& row : trace.spans) {
     phase_ranks[row.name].insert(row.rank);
   }
-  for (const auto& [name, present] : phase_ranks) {
-    if (present.size() != ranks.size()) {
-      fail("phase '" + name + "' appears on " +
-           std::to_string(present.size()) + " of " +
-           std::to_string(ranks.size()) + " ranks");
+  if (!recovered) {
+    for (const auto& [name, present] : phase_ranks) {
+      if (present.size() != ranks.size()) {
+        fail("phase '" + name + "' appears on " +
+             std::to_string(present.size()) + " of " +
+             std::to_string(ranks.size()) + " ranks");
+      }
     }
   }
   const bool has_levels = !trace.spans.empty() &&
@@ -269,13 +290,56 @@ int validate(const Trace& trace, const std::string& metrics_path,
     fail("neither presort nor checkpoint_restore spans present");
   }
 
+  // Recovery cross-checks: a trace that shows recovery activity (an
+  // elastic_restore re-tile span) must carry the matching recovery metrics,
+  // and vice versa — a recovery.* family without an outcome gauge means the
+  // run escaped classification.
+  if (metrics_meta != nullptr) {
+    const scalparc::mp::MetricsSnapshot& metrics = meta_metrics;
+    const bool has_elastic_spans = phase_ranks.count("elastic_restore") > 0;
+    const double elastic_restores =
+        metrics.value("checkpoint.elastic_restores", 0.0);
+    if (has_elastic_spans && elastic_restores < 1.0) {
+      fail("elastic_restore spans present but checkpoint.elastic_restores "
+           "counter is missing or zero");
+    }
+    if (has_elastic_spans && metrics.find("recovery.retile_bytes") == nullptr) {
+      fail("elastic_restore spans present but recovery.retile_bytes counter "
+           "is missing");
+    }
+    bool has_recovery_metrics = false;
+    for (const auto& [name, metric] : metrics.metrics()) {
+      (void)metric;
+      if (name.rfind("recovery.", 0) == 0) {
+        has_recovery_metrics = true;
+        break;
+      }
+    }
+    if (has_recovery_metrics &&
+        metrics.find("recovery.outcome") == nullptr) {
+      fail("recovery.* metrics present but the recovery.outcome gauge is "
+           "missing (run escaped classification)");
+    }
+    if (metrics.value("recovery.recoveries", 0.0) >
+        metrics.value("recovery.attempts", 0.0)) {
+      fail("recovery.recoveries exceeds recovery.attempts");
+    }
+    if (metrics.value("recovery.grows", 0.0) > 0.0 &&
+        metrics.find("recovery.joiners_admitted") == nullptr &&
+        has_elastic_spans) {
+      fail("grow recoveries recorded but recovery.joiners_admitted is "
+           "missing");
+    }
+  }
+
   // For complete traces the top-level spans tile each rank's virtual clock,
   // so their vtime deltas must sum to induction.total_seconds within 1%.
+  // Recovered traces carry the failed attempts' spans too, so the tiling
+  // argument only holds for single-attempt runs.
   const Json* complete = trace.metadata.find("complete");
-  const Json* metrics_json = trace.metadata.find("metrics");
-  if (complete != nullptr && complete->as_bool() && metrics_json != nullptr) {
-    const scalparc::mp::MetricsSnapshot snapshot =
-        scalparc::mp::MetricsSnapshot::from_json(*metrics_json);
+  if (complete != nullptr && complete->as_bool() && metrics_meta != nullptr &&
+      !recovered) {
+    const scalparc::mp::MetricsSnapshot& snapshot = meta_metrics;
     const double total = snapshot.value("induction.total_seconds", -1.0);
     if (total >= 0.0) {
       std::map<int, double> rank_vtime;
