@@ -1,42 +1,64 @@
-// Per-level communication structure, fused vs unfused collectives.
+// Per-level communication structure across split modes.
 //
-// ScalParC's split determination issues one collective per attribute list
-// per level; the fused CollectiveBatch path packs them into O(1) rounds per
-// level (see DESIGN.md, "Collective fusion"). This bench fits the same
-// workload both ways under the Cray T3D cost model and reports, per level:
-// collective rounds entered, max bytes sent per rank, and modeled virtual
-// time — then the fused/unfused end-to-end comparison per processor count.
+// Two axes in one document. First, fused vs unfused collectives under the
+// exact engine: ScalParC's split determination issues one collective per
+// attribute list per level; the fused CollectiveBatch path packs them into
+// O(1) rounds per level (see DESIGN.md, "Collective fusion"). Second, the
+// split-mode sweep (exact | histogram | voting): the histogram engine merges
+// fixed-width class histograms instead of moving node-table traffic, so its
+// per-level bytes are O(attributes x bins x classes) — independent of the
+// training-set size — where the exact engine's are O(N/p). Every mode is
+// fitted at two record scales (N and 2N) so the flatness claim is checkable
+// from the document itself, and the quantized modes record their
+// winner-attribute agreement and holdout-accuracy delta against the exact
+// engine's tree on the same training set.
 //
 //   ./level_comm [--records N] [--procs 2,4,8,16] [--depth D] [--seed S]
+//                [--bins B] [--top-k K]
 //                [--out BENCH_comm.json] [--validate BENCH_comm.json]
 //                [--csv DIR]
 //
 // --out writes the machine-readable JSON document; --validate re-parses a
 // document (the one just written, or any existing one) and checks its
-// schema plus the headline claim (fused modeled vtime <= unfused at every
-// measured processor count), exiting non-zero on violation. The `perf`
-// ctest label runs this at tiny scale as a smoke test.
+// schema plus the headline claims — fused modeled vtime <= unfused at every
+// measured processor count, and histogram-mode first-level bytes flat in
+// the record count while the exact engine's grow with it — exiting non-zero
+// on violation. The `perf` ctest label runs this at tiny scale as a smoke
+// test.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/tree.hpp"
 #include "mp/metrics.hpp"
 #include "util/json.hpp"
 
 namespace {
 
+using scalparc::core::DecisionTree;
 using scalparc::core::LevelStats;
+using scalparc::core::SplitMode;
 using scalparc::util::Json;
 
 struct RunRow {
   int procs = 0;
+  std::string mode;  // "exact" | "histogram" | "voting"
   bool fused = false;
+  std::uint64_t records = 0;
   double total_vtime_s = 0.0;
   double findsplit_vtime_s = 0.0;
   std::uint64_t max_bytes_sent_per_rank = 0;
+  double holdout_accuracy = 0.0;
+  // vs the exact engine's tree on the same training set; 1.0 / 0.0 for the
+  // exact runs themselves.
+  double winner_agreement = 1.0;
+  double accuracy_delta = 0.0;
   std::vector<LevelStats> levels;
   double presort_vtime_s = 0.0;
   // Merged metrics registry of the run (comm.*, induction.*, ...), embedded
@@ -45,13 +67,47 @@ struct RunRow {
   Json details;
 };
 
+// Fraction of positionally paired internal nodes (lockstep walk from the
+// roots, descending only where both trees split the same attribute into the
+// same number of children) that choose the same split attribute — the
+// PV-Tree-style quality metric: how often quantized split finding elects the
+// exact engine's winner.
+double winner_agreement(const DecisionTree& exact, const DecisionTree& other) {
+  std::vector<std::pair<int, int>> frontier = {{exact.root(), other.root()}};
+  std::int64_t paired = 0;
+  std::int64_t agreed = 0;
+  while (!frontier.empty()) {
+    const auto [a_id, b_id] = frontier.back();
+    frontier.pop_back();
+    const auto& a = exact.node(a_id);
+    const auto& b = other.node(b_id);
+    if (a.is_leaf || b.is_leaf) continue;
+    ++paired;
+    if (a.split.attribute != b.split.attribute) continue;
+    ++agreed;
+    if (a.split.num_children != b.split.num_children) continue;
+    for (int k = 0; k < a.split.num_children; ++k) {
+      frontier.emplace_back(a.children[static_cast<std::size_t>(k)],
+                            b.children[static_cast<std::size_t>(k)]);
+    }
+  }
+  return paired == 0
+             ? 1.0
+             : static_cast<double>(agreed) / static_cast<double>(paired);
+}
+
 Json to_json(const RunRow& row) {
   Json run = Json::object();
   run["procs"] = row.procs;
+  run["split_mode"] = row.mode;
   run["fused"] = row.fused;
+  run["records"] = row.records;
   run["total_vtime_s"] = row.total_vtime_s;
   run["findsplit_vtime_s"] = row.findsplit_vtime_s;
   run["max_bytes_sent_per_rank"] = row.max_bytes_sent_per_rank;
+  run["holdout_accuracy"] = row.holdout_accuracy;
+  run["winner_agreement_vs_exact"] = row.winner_agreement;
+  run["accuracy_delta_vs_exact"] = row.accuracy_delta;
   Json levels = Json::array();
   double prev_vtime = row.presort_vtime_s;
   for (const LevelStats& level : row.levels) {
@@ -77,6 +133,13 @@ bool validate(const Json& doc) {
                  why.c_str());
     return false;
   };
+  struct Key {
+    int procs;
+    std::int64_t records;
+    bool operator<(const Key& o) const {
+      return procs != o.procs ? procs < o.procs : records < o.records;
+    }
+  };
   try {
     if (doc.at("bench").as_string() != "level_comm") {
       return complain("bench name is not 'level_comm'");
@@ -84,10 +147,20 @@ bool validate(const Json& doc) {
     if (doc.at("records").as_int() <= 0) return complain("records <= 0");
     const auto& runs = doc.at("runs").as_array();
     if (runs.empty()) return complain("runs is empty");
-    std::vector<std::pair<int, double>> fused_vtime, unfused_vtime;
+    std::map<Key, double> fused_vtime, unfused_vtime;
+    // First-level max bytes per (procs, mode, records) — the raw material of
+    // the flatness claim.
+    std::map<int, std::map<std::string, std::map<std::int64_t, std::int64_t>>>
+        level1_bytes;
     for (const Json& run : runs) {
       const int procs = static_cast<int>(run.at("procs").as_int());
       if (procs <= 0) return complain("run has procs <= 0");
+      const std::string mode = run.at("split_mode").as_string();
+      if (mode != "exact" && mode != "histogram" && mode != "voting") {
+        return complain("run has unknown split_mode '" + mode + "'");
+      }
+      const std::int64_t records = run.at("records").as_int();
+      if (records <= 0) return complain("run has records <= 0");
       const bool fused = run.at("fused").as_bool();
       const double total = run.at("total_vtime_s").as_double();
       if (!(total > 0.0)) return complain("run has total_vtime_s <= 0");
@@ -96,6 +169,18 @@ bool validate(const Json& doc) {
       }
       if (run.at("max_bytes_sent_per_rank").as_int() < 0) {
         return complain("run has negative byte count");
+      }
+      const double agreement = run.at("winner_agreement_vs_exact").as_double();
+      if (agreement < 0.0 || agreement > 1.0) {
+        return complain("winner_agreement_vs_exact outside [0, 1]");
+      }
+      const double delta = run.at("accuracy_delta_vs_exact").as_double();
+      if (delta < -1.0 || delta > 1.0) {
+        return complain("accuracy_delta_vs_exact outside [-1, 1]");
+      }
+      const double holdout = run.at("holdout_accuracy").as_double();
+      if (holdout < 0.0 || holdout > 1.0) {
+        return complain("holdout_accuracy outside [0, 1]");
       }
       const auto& levels = run.at("levels").as_array();
       if (levels.empty()) return complain("run has no levels");
@@ -108,8 +193,13 @@ bool validate(const Json& doc) {
           return complain("level entry out of range");
         }
       }
+      if (fused) {
+        level1_bytes[procs][mode][records] =
+            levels.front().at("max_bytes_sent_per_rank").as_int();
+      }
       // details.metrics must decode as a metrics registry snapshot with the
-      // comm.* family present (the vocabulary shared with --metrics-out).
+      // comm.* family present (the vocabulary shared with --metrics-out);
+      // quantized runs must additionally account their histogram traffic.
       const Json* details = run.find("details");
       if (details != nullptr) {
         const scalparc::mp::MetricsSnapshot snapshot =
@@ -117,27 +207,60 @@ bool validate(const Json& doc) {
         if (snapshot.value("comm.bytes_sent") <= 0.0) {
           return complain("details.metrics lacks comm.bytes_sent");
         }
-      }
-      (fused ? fused_vtime : unfused_vtime).emplace_back(procs, total);
-    }
-    // The headline claim: for every measured p, the fused path's modeled
-    // end-to-end time is no worse than the unfused path's.
-    for (const auto& [procs, fused_total] : fused_vtime) {
-      bool matched = false;
-      for (const auto& [up, unfused_total] : unfused_vtime) {
-        if (up != procs) continue;
-        matched = true;
-        if (fused_total > unfused_total) {
-          return complain("fused vtime exceeds unfused at p=" +
-                          std::to_string(procs));
+        if (mode != "exact" && snapshot.value("comm.histogram_bytes") <= 0.0) {
+          return complain("quantized run lacks comm.histogram_bytes");
         }
       }
-      if (!matched) {
-        return complain("no unfused run to pair with p=" +
-                        std::to_string(procs));
+      if (mode == "exact") {
+        (fused ? fused_vtime : unfused_vtime)[Key{procs, records}] = total;
       }
     }
-    if (fused_vtime.empty()) return complain("no fused runs present");
+    // Claim 1: wherever a (p, N) was measured both fused and unfused, the
+    // fused path's modeled end-to-end time is no worse.
+    bool compared = false;
+    for (const auto& [key, fused_total] : fused_vtime) {
+      const auto it = unfused_vtime.find(key);
+      if (it == unfused_vtime.end()) continue;
+      compared = true;
+      if (fused_total > it->second) {
+        return complain("fused vtime exceeds unfused at p=" +
+                        std::to_string(key.procs));
+      }
+    }
+    if (!compared) return complain("no fused/unfused pair present");
+    // Claim 2: histogram-mode first-level bytes are flat in the record count
+    // while the exact engine's grow with it. Checked wherever a (p, mode)
+    // was measured at two scales. The thresholds leave headroom for the
+    // small N-independent terms both engines carry (tree growth metadata,
+    // categorical count matrices).
+    bool flat_checked = false;
+    for (const auto& [procs, by_mode] : level1_bytes) {
+      const auto hist = by_mode.find("histogram");
+      const auto exact = by_mode.find("exact");
+      if (hist == by_mode.end() || exact == by_mode.end()) continue;
+      if (hist->second.size() < 2 || exact->second.size() < 2) continue;
+      const auto ratio = [](const std::map<std::int64_t, std::int64_t>& m) {
+        const double lo = static_cast<double>(m.begin()->second);
+        const double hi = static_cast<double>(m.rbegin()->second);
+        return lo > 0.0 ? hi / lo : 0.0;
+      };
+      flat_checked = true;
+      const double hist_ratio = ratio(hist->second);
+      const double exact_ratio = ratio(exact->second);
+      if (hist_ratio > 1.2) {
+        return complain("histogram level-1 bytes not flat at p=" +
+                        std::to_string(procs) + " (ratio " +
+                        std::to_string(hist_ratio) + ")");
+      }
+      if (exact_ratio < 1.3) {
+        return complain("exact level-1 bytes unexpectedly flat at p=" +
+                        std::to_string(procs) + " (ratio " +
+                        std::to_string(exact_ratio) + ")");
+      }
+    }
+    if (!flat_checked) {
+      return complain("no two-scale histogram/exact pair to check flatness");
+    }
   } catch (const std::exception& e) {
     return complain(e.what());
   }
@@ -173,26 +296,61 @@ int main(int argc, char** argv) {
       args.get_int_list("procs", {2, 4, 8, 16});
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int depth = static_cast<int>(args.get_int("depth", 12));
+  const int bins = static_cast<int>(args.get_int("bins", 64));
+  const int top_k = static_cast<int>(args.get_int("top-k", 2));
   const auto model = mp::CostModel::cray_t3d();
   const data::QuestGenerator generator = bench::paper_generator(seed);
+  // Holdout rid range disjoint from every training scale (rids [0, 2N)).
+  const data::Dataset holdout = generator.generate(
+      4 * records, std::max<std::size_t>(records / 4, 256));
 
   bench::CsvWriter csv(
       args, "level_comm.csv",
-      "procs,fused,level,active_nodes,active_records,collective_calls,"
-      "max_bytes_sent_per_rank,vtime_s");
+      "procs,mode,fused,records,level,active_nodes,active_records,"
+      "collective_calls,max_bytes_sent_per_rank,vtime_s");
+
+  struct Variant {
+    const char* mode;
+    bool fused;
+    std::uint64_t scale;  // multiple of --records
+  };
+  // Unfused only makes sense for the exact engine (the quantized engines
+  // always pack their histogram segments), and is measured at base scale
+  // only; the fused variants run at N and 2N for the flatness comparison.
+  const Variant variants[] = {
+      {"exact", true, 1},     {"exact", false, 1},   {"exact", true, 2},
+      {"histogram", true, 1}, {"histogram", true, 2},
+      {"voting", true, 1},    {"voting", true, 2},
+  };
 
   std::vector<RunRow> rows;
+  // Exact-engine reference tree per record scale. Exact trees are
+  // processor-count invariant, so the first one measured at a scale serves
+  // as the oracle for every p.
+  std::map<std::uint64_t, DecisionTree> exact_tree;
+  std::map<std::uint64_t, double> exact_accuracy;
   for (const std::int64_t p : procs) {
-    for (const bool fused : {true, false}) {
+    for (const Variant& variant : variants) {
+      const std::uint64_t n = records * variant.scale;
       core::InductionControls controls = bench::paper_controls();
       controls.options.max_depth = depth;
-      controls.options.fuse_collectives = fused;
+      controls.options.fuse_collectives = variant.fused;
       controls.collect_level_stats = true;
+      const std::string mode = variant.mode;
+      if (mode == "histogram") {
+        controls.options.split_mode = SplitMode::kHistogram;
+      } else if (mode == "voting") {
+        controls.options.split_mode = SplitMode::kVoting;
+      }
+      controls.options.hist_bins = bins;
+      controls.options.top_k = top_k;
       const core::FitReport report = core::ScalParC::fit_generated(
-          generator, records, static_cast<int>(p), controls, model);
+          generator, n, static_cast<int>(p), controls, model);
       RunRow row;
       row.procs = static_cast<int>(p);
-      row.fused = fused;
+      row.mode = mode;
+      row.fused = variant.fused;
+      row.records = n;
       row.total_vtime_s = report.run.modeled_seconds;
       row.findsplit_vtime_s = report.stats.findsplit_seconds;
       row.presort_vtime_s = report.stats.presort_seconds;
@@ -201,6 +359,16 @@ int main(int argc, char** argv) {
             std::max(row.max_bytes_sent_per_rank, rank.stats.bytes_sent);
       }
       row.levels = report.stats.per_level;
+      row.holdout_accuracy = report.tree.accuracy(holdout);
+      if (mode == "exact") {
+        if (exact_tree.find(n) == exact_tree.end()) {
+          exact_tree.emplace(n, report.tree);
+          exact_accuracy[n] = row.holdout_accuracy;
+        }
+      } else {
+        row.winner_agreement = winner_agreement(exact_tree.at(n), report.tree);
+        row.accuracy_delta = exact_accuracy.at(n) - row.holdout_accuracy;
+      }
       mp::MetricsSnapshot merged = report.run.metrics;
       core::absorb_induction_stats(merged, report.stats);
       row.details = Json::object();
@@ -212,23 +380,26 @@ int main(int argc, char** argv) {
   // ---------------- stdout tables ------------------------------------------
   std::printf("per-level communication (records=%llu, depth cap %d):\n",
               static_cast<unsigned long long>(records), depth);
-  std::printf("%6s %7s %6s %7s %9s %11s %13s %11s\n", "procs", "fused",
-              "level", "nodes", "records", "coll calls", "max bytes/rk",
-              "vtime(ms)");
+  std::printf("%6s %10s %6s %8s %6s %7s %9s %11s %13s %11s\n", "procs",
+              "mode", "fused", "records", "level", "nodes", "records",
+              "coll calls", "max bytes/rk", "vtime(ms)");
   for (const RunRow& row : rows) {
     double prev_vtime = row.presort_vtime_s;
     for (const LevelStats& level : row.levels) {
       const double vtime_s = level.vtime_end - prev_vtime;
       prev_vtime = level.vtime_end;
-      std::printf("%6d %7s %6d %7lld %9lld %11lld %13llu %11.3f\n", row.procs,
-                  row.fused ? "yes" : "no", level.level,
-                  static_cast<long long>(level.active_nodes),
-                  static_cast<long long>(level.active_records),
-                  static_cast<long long>(level.collective_calls),
-                  static_cast<unsigned long long>(level.max_bytes_sent_per_rank),
-                  vtime_s * 1e3);
-      csv.row("%d,%d,%d,%lld,%lld,%lld,%llu,%.6f", row.procs,
-              row.fused ? 1 : 0, level.level,
+      std::printf(
+          "%6d %10s %6s %8llu %6d %7lld %9lld %11lld %13llu %11.3f\n",
+          row.procs, row.mode.c_str(), row.fused ? "yes" : "no",
+          static_cast<unsigned long long>(row.records), level.level,
+          static_cast<long long>(level.active_nodes),
+          static_cast<long long>(level.active_records),
+          static_cast<long long>(level.collective_calls),
+          static_cast<unsigned long long>(level.max_bytes_sent_per_rank),
+          vtime_s * 1e3);
+      csv.row("%d,%s,%d,%llu,%d,%lld,%lld,%lld,%llu,%.6f", row.procs,
+              row.mode.c_str(), row.fused ? 1 : 0,
+              static_cast<unsigned long long>(row.records), level.level,
               static_cast<long long>(level.active_nodes),
               static_cast<long long>(level.active_records),
               static_cast<long long>(level.collective_calls),
@@ -237,19 +408,53 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\nfused vs unfused, modeled end-to-end:\n");
+  std::printf("\nfused vs unfused (exact engine), modeled end-to-end:\n");
   std::printf("%6s %14s %14s %9s\n", "procs", "fused(ms)", "unfused(ms)",
               "speedup");
   for (const std::int64_t p : procs) {
     double fused_total = 0.0, unfused_total = 0.0;
     for (const RunRow& row : rows) {
-      if (row.procs != p) continue;
+      if (row.procs != p || row.mode != "exact" || row.records != records) {
+        continue;
+      }
       (row.fused ? fused_total : unfused_total) = row.total_vtime_s;
     }
-    std::printf("%6lld %14.3f %14.3f %8.2fx", static_cast<long long>(p),
+    std::printf("%6lld %14.3f %14.3f %8.2fx\n", static_cast<long long>(p),
                 fused_total * 1e3, unfused_total * 1e3,
                 unfused_total / fused_total);
-    std::printf("\n");
+  }
+
+  std::printf(
+      "\nsplit modes at N vs 2N (level-1 max bytes/rank; histogram stays "
+      "flat):\n");
+  std::printf("%6s %10s %14s %14s %8s %10s %9s\n", "procs", "mode", "bytes@N",
+              "bytes@2N", "ratio", "agreement", "acc delta");
+  for (const std::int64_t p : procs) {
+    for (const char* mode : {"exact", "histogram", "voting"}) {
+      std::uint64_t at_n = 0, at_2n = 0;
+      double agreement = 1.0, delta = 0.0;
+      for (const RunRow& row : rows) {
+        if (row.procs != p || row.mode != mode || !row.fused) continue;
+        const std::uint64_t bytes =
+            row.levels.empty() ? 0
+                               : row.levels.front().max_bytes_sent_per_rank;
+        if (row.records == records) {
+          at_n = bytes;
+          agreement = row.winner_agreement;
+          delta = row.accuracy_delta;
+        } else if (row.records == 2 * records) {
+          at_2n = bytes;
+        }
+      }
+      std::printf(
+          "%6lld %10s %14llu %14llu %8.2f %10.3f %9.4f\n",
+          static_cast<long long>(p), mode,
+          static_cast<unsigned long long>(at_n),
+          static_cast<unsigned long long>(at_2n),
+          at_n > 0 ? static_cast<double>(at_2n) / static_cast<double>(at_n)
+                   : 0.0,
+          agreement, delta);
+    }
   }
 
   // ---------------- JSON document ------------------------------------------
@@ -258,6 +463,8 @@ int main(int argc, char** argv) {
   doc["records"] = records;
   doc["seed"] = seed;
   doc["depth"] = depth;
+  doc["bins"] = bins;
+  doc["top_k"] = top_k;
   doc["cost_model"] = "cray_t3d";
   Json procs_json = Json::array();
   for (const std::int64_t p : procs) procs_json.push_back(p);

@@ -1,0 +1,33 @@
+// Histogram-quantized induction engine (SplitMode::kHistogram / kVoting).
+//
+// The exact ScalParC engine keeps every attribute list globally sorted and
+// pays O(N/p) communication per level for the node-table scatter/enquiry
+// traffic of the splitting phase. This engine instead follows PV-Tree
+// (arXiv 1611.01276): each rank keeps its *horizontal* block of records
+// (all attributes of its rows), so applying a split is purely local, and
+// split determination moves only fixed-width histograms — O(attributes *
+// bins) bytes per level, independent of N. Voting mode shrinks that
+// further: ranks vote their local top-k attributes and only the globally
+// elected attributes' histograms are merged.
+//
+// The engine produces the same artifacts as the exact one — identical tree
+// representation, identical checkpoint format (sorted AoS attribute-list
+// sections) — so checkpoints interoperate across split modes and the
+// elastic shrink/grow recovery paths work unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "core/induction.hpp"
+
+namespace scalparc::core {
+
+// Dispatched to by induce_tree_distributed when
+// controls.options.split_mode != SplitMode::kExact. Same contract.
+InductionResult induce_tree_quantized(mp::Comm& comm,
+                                      const data::Dataset& local_block,
+                                      std::int64_t first_rid,
+                                      std::uint64_t total_records,
+                                      const InductionControls& controls);
+
+}  // namespace scalparc::core

@@ -15,6 +15,8 @@
 #include "core/count_matrix.hpp"
 #include "core/elastic_restore.hpp"
 #include "core/gini.hpp"
+#include "core/histogram_induction.hpp"
+#include "core/induction_internal.hpp"
 #include "core/node_table.hpp"
 #include "core/split_finder.hpp"
 #include "core/splitter.hpp"
@@ -37,6 +39,10 @@ using data::CategoricalColumns;
 using data::CategoricalEntry;
 using data::ContinuousColumns;
 using data::ContinuousEntry;
+using internal::ActiveNode;
+using internal::PhaseSpan;
+using internal::is_pure;
+using internal::majority_class;
 
 // Element for the boundary exscan in FindSplitII: the last attribute value
 // of a node's segment on each rank; combine keeps the rightmost non-empty.
@@ -87,27 +93,6 @@ struct CatList {
   }
 };
 
-struct ActiveNode {
-  int tree_id = -1;
-  int depth = 0;
-  std::int64_t total = 0;
-  std::vector<std::int64_t> class_totals;
-};
-
-std::int32_t majority_class(std::span<const std::int64_t> counts) {
-  std::size_t best = 0;
-  for (std::size_t j = 1; j < counts.size(); ++j) {
-    if (counts[j] > counts[best]) best = j;
-  }
-  return static_cast<std::int32_t>(best);
-}
-
-bool is_pure(std::span<const std::int64_t> counts) {
-  int non_zero = 0;
-  for (const std::int64_t c : counts) non_zero += c > 0;
-  return non_zero <= 1;
-}
-
 template <typename Entry>
 std::span<const Entry> segment_of(const std::vector<Entry>& entries,
                                   const std::vector<std::size_t>& offsets,
@@ -115,28 +100,6 @@ std::span<const Entry> segment_of(const std::vector<Entry>& entries,
   return std::span<const Entry>(entries.data() + offsets[node],
                                 offsets[node + 1] - offsets[node]);
 }
-
-// Phase span carrying both clocks: wall time from the TraceScope itself and
-// the modeled virtual clock sampled at construction/destruction. The phase
-// spans tile every vtime-advancing statement of the induction, so a trace's
-// per-rank vtime deltas sum to InductionStats::total_seconds.
-class PhaseSpan {
- public:
-  PhaseSpan(mp::Comm& comm, const char* name, int level = -1,
-            std::int64_t nodes = -1, std::int64_t records = -1)
-      : comm_(comm), scope_(name, level, nodes, records) {
-    scope_.set_begin_vtime(comm.vtime());
-  }
-  ~PhaseSpan() { scope_.set_end_vtime(comm_.vtime()); }
-  PhaseSpan(const PhaseSpan&) = delete;
-  PhaseSpan& operator=(const PhaseSpan&) = delete;
-
-  void set_bytes(std::int64_t bytes) { scope_.set_bytes(bytes); }
-
- private:
-  mp::Comm& comm_;
-  util::TraceScope scope_;
-};
 
 }  // namespace
 
@@ -152,6 +115,13 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
 
   if (total_records == 0) {
     throw std::invalid_argument("induce_tree_distributed: empty training set");
+  }
+  // Histogram/voting modes run on a horizontal record partition with their
+  // own level loop (same tree/checkpoint artifacts, O(bins) instead of
+  // O(N/p) per-level communication).
+  if (options.split_mode != SplitMode::kExact) {
+    return induce_tree_quantized(comm, local_block, first_rid, total_records,
+                                 controls);
   }
   if (options.max_depth < 0 || options.min_split_records < 2 ||
       options.node_table_update_block < 0) {
@@ -176,32 +146,9 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
   // checkpoint restore on a resume. Ends where the level loop begins.
   std::optional<PhaseSpan> setup_span(
       std::in_place, comm, resuming ? "checkpoint_restore" : "presort");
-  std::uint64_t fp = 0xcbf29ce484222325ULL;  // FNV-1a
-  {
-    const auto mix = [&fp](std::uint64_t v) {
-      fp = (fp ^ v) * 0x100000001b3ULL;
-    };
-    mix(total_records);
-    mix(static_cast<std::uint64_t>(schema.num_classes()));
-    for (int a = 0; a < schema.num_attributes(); ++a) {
-      const data::AttributeInfo& info = schema.attribute(a);
-      mix(static_cast<std::uint64_t>(info.kind));
-      mix(static_cast<std::uint64_t>(info.cardinality));
-      for (const char ch : info.name) mix(static_cast<std::uint64_t>(ch));
-    }
-    mix(static_cast<std::uint64_t>(options.max_depth));
-    mix(static_cast<std::uint64_t>(options.min_split_records));
-    mix(static_cast<std::uint64_t>(options.criterion));
-    mix(static_cast<std::uint64_t>(options.categorical_split));
-    mix(static_cast<std::uint64_t>(options.categorical_reduction));
-    mix(static_cast<std::uint64_t>(controls.strategy));
-    const std::uint64_t lo = mp::allreduce_value(comm, fp, mp::MinOp{});
-    const std::uint64_t hi = mp::allreduce_value(comm, fp, mp::MaxOp{});
-    if (lo != hi) {
-      throw std::invalid_argument(
-          "induce_tree_distributed: ranks disagree on schema/options/total");
-    }
-  }
+  const std::uint64_t fp = internal::induction_fingerprint(
+      schema, total_records, options, controls.strategy);
+  internal::verify_spmd_fingerprint(comm, fp);
 
   InductionResult result;
   result.tree = DecisionTree(schema);
@@ -1100,56 +1047,13 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     }
 
     // Create the children in the tree (identically on every rank) and build
-    // the next level's active set.
-    std::vector<ActiveNode> next_active;
-    // child_slot_target[i][slot]: index into next_active, or -1 if the child
-    // became a leaf.
-    std::vector<std::vector<int>> child_slot_target(m);
-    for (std::size_t i = 0; i < m; ++i) {
-      TreeNode& node = result.tree.node(active[i].tree_id);
-      if (!will_split[i]) continue;  // node stays a leaf
-      node.is_leaf = false;
-      node.split.attribute = best[i].attribute;
-      node.split.num_children = num_children[i];
-      if (best[i].kind == SplitKind::kContinuous) {
-        node.split.kind = AttributeKind::kContinuous;
-        node.split.threshold = best[i].threshold;
-      } else {
-        node.split.kind = AttributeKind::kCategorical;
-        node.split.value_to_child = value_to_child[i];
-      }
-      child_slot_target[i].assign(static_cast<std::size_t>(num_children[i]), -1);
-      for (int slot = 0; slot < num_children[i]; ++slot) {
-        const std::span<const std::int64_t> counts =
-            std::span<const std::int64_t>(global_kid_counts)
-                .subspan(kid_offset[i] + static_cast<std::size_t>(slot) *
-                                             static_cast<std::size_t>(c),
-                         static_cast<std::size_t>(c));
-        TreeNode child;
-        child.is_leaf = true;
-        child.class_counts.assign(counts.begin(), counts.end());
-        child.num_records =
-            std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
-        child.majority_class = majority_class(counts);
-        child.depth = active[i].depth + 1;
-        const int child_id = result.tree.add_node(std::move(child));
-        result.tree.node(active[i].tree_id).children.push_back(child_id);
-        const TreeNode& stored = result.tree.node(child_id);
-        const bool splittable = !is_pure(stored.class_counts) &&
-                                stored.num_records >= options.min_split_records &&
-                                stored.depth < options.max_depth;
-        if (splittable) {
-          ActiveNode next;
-          next.tree_id = child_id;
-          next.depth = stored.depth;
-          next.total = stored.num_records;
-          next.class_totals = stored.class_counts;
-          child_slot_target[i][static_cast<std::size_t>(slot)] =
-              static_cast<int>(next_active.size());
-          next_active.push_back(std::move(next));
-        }
-      }
-    }
+    // the next level's active set (shared with the quantized engine).
+    internal::LevelGrowth growth = internal::grow_tree_level(
+        result.tree, active, best, will_split, num_children, value_to_child,
+        kid_offset, global_kid_counts, c, options);
+    std::vector<ActiveNode>& next_active = growth.next_active;
+    std::vector<std::vector<int>>& child_slot_target =
+        growth.child_slot_target;
 
     // Scatter this level's rid -> child assignments.
     split_span->set_bytes(static_cast<std::int64_t>(
@@ -1365,6 +1269,8 @@ void absorb_induction_stats(mp::MetricsSnapshot& snapshot,
                      stats.performsplit_seconds);
   snapshot.gauge_max("induction.total_seconds", stats.total_seconds);
   snapshot.gauge_max("induction.levels", static_cast<double>(stats.levels));
+  snapshot.gauge_max("induction.split_mode",
+                     static_cast<double>(stats.split_mode));
   std::int64_t collective_calls = 0;
   std::uint64_t max_bytes = 0;
   std::int64_t max_nodes = 0;

@@ -50,6 +50,9 @@ struct InductionStats {
   double findsplit_seconds = 0.0;
   double performsplit_seconds = 0.0;
   int levels = 0;
+  // Which split-determination engine produced this tree (surfaced as the
+  // induction.split_mode gauge).
+  SplitMode split_mode = SplitMode::kExact;
   std::vector<LevelStats> per_level;
 };
 

@@ -34,6 +34,30 @@ enum class CategoricalReduction : int {
   kAllRanks = 1,
 };
 
+// How split points are determined each level (docs/architecture.md "split
+// modes"; DESIGN.md §10). kExact is the paper's algorithm over globally
+// sorted attribute lists; the other two quantize continuous attributes into
+// fixed-width histograms (PV-Tree, arXiv 1611.01276) and run the level on a
+// horizontally partitioned record block, dropping the per-level
+// communication from O(N/p) to O(attributes * bins) independent of N.
+enum class SplitMode : int {
+  // ScalParC: candidates at every distinct attribute value, distributed
+  // node-table splitting. The accuracy oracle; byte-identical trees at any
+  // processor count.
+  kExact = 0,
+  // Fixed-width per-attribute, per-node class histograms merged in one
+  // packed allreduce; candidates at bin boundaries. Trees are still
+  // processor-count invariant (bin edges come from a global min/max
+  // allreduce; thresholds are real data values — the per-bin minimum), but
+  // may differ from exact where a bin straddles the exact cut.
+  kHistogram = 1,
+  // PV-Tree voting: ranks score attributes on their local histograms, vote
+  // their top-k; a packed allreduce elects the global top-2k, and only
+  // elected attributes' histograms are merged. Smallest per-level traffic;
+  // trees depend on the data partition (deterministic at fixed p).
+  kVoting = 2,
+};
+
 // In-memory layout of the continuous attribute lists during induction
 // (DESIGN.md; docs/architecture.md "memory layout & scan kernels").
 enum class DataLayout : int {
@@ -79,6 +103,19 @@ struct InductionOptions {
   // deliberately NOT part of the SPMD/checkpoint fingerprint: a checkpoint
   // written under one layout resumes under the other.
   DataLayout layout = DataLayout::kSoA;
+  // Split determination mode. Like fuse_collectives and layout, deliberately
+  // NOT part of the SPMD/checkpoint fingerprint: every mode consumes and
+  // produces the same on-disk checkpoint format (sorted AoS attribute-list
+  // sections), so an exact-mode checkpoint resumes under histogram mode and
+  // vice versa — the tree below the resume level then follows the resumed
+  // mode's split rule.
+  SplitMode split_mode = SplitMode::kExact;
+  // Histogram/voting: fixed-width bins per continuous attribute (>= 2).
+  // More bins = closer to exact splits, linearly more bytes per level.
+  int hist_bins = 64;
+  // Voting: attributes each rank votes for per node (>= 1); the global
+  // election keeps the top 2k vote-getters.
+  int top_k = 2;
 };
 
 }  // namespace scalparc::core

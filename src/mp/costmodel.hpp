@@ -21,7 +21,9 @@
 // Only the *shape* of the curves depends on these, not correctness.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
 
 namespace scalparc::mp {
 
@@ -55,6 +57,92 @@ struct CostModel {
     m.seconds_per_work_unit = 0.0;
     m.barrier_round_s = 0.0;
     return m;
+  }
+};
+
+// Analytic per-level, per-rank byte predictors for the three split-finding
+// modes (see DESIGN.md, "Split modes"). These are the closed-form comm-cost
+// expressions the design argues from:
+//
+//   exact      ~ O(active_records / p)          — node-table traffic
+//   histogram  ~ O(attrs x bins x classes)      — independent of N
+//   voting     ~ O(2k x bins x classes)         — independent of N and attrs
+//
+// The quantized predictors enumerate the actual packed allreduce segments of
+// the histogram engine (range merge, counts, bin minima, categorical count
+// matrices, vote tallies, split candidates, child class counts) times the
+// ceil(log2 p) recursive-doubling rounds, so they land within a few percent
+// of measurement. The exact-engine predictor is a calibrated shape, not an
+// enumeration: its traffic is the all-to-all hash-table probe/update stream,
+// of which a (1 - 1/p) fraction leaves the rank. bench/comm_model prints
+// all three against measured values.
+struct SplitCommModel {
+  int procs = 1;
+  int classes = 2;
+  int hist_bins = 64;
+  int top_k = 2;
+  int cont_attrs = 0;
+  // Sum of categorical cardinalities across categorical attributes.
+  int cat_cardinality_sum = 0;
+  int cat_attrs = 0;
+
+  // Calibrated against bench/level_comm at p in [2, 16]: per active record,
+  // the exact engine's probe/update stream plus split-determination counts
+  // average ~64 bytes on the wire.
+  static constexpr double kExactBytesPerRecord = 64.0;
+  // sizeof the SplitCandidate min-allreduce payload per node.
+  static constexpr double kCandidateBytes = 48.0;
+
+  static int allreduce_rounds(int p) {
+    int rounds = 0;
+    for (int span = 1; span < p; span *= 2) ++rounds;
+    return rounds;
+  }
+
+  int num_attrs() const { return cont_attrs + cat_attrs; }
+
+  // Exact engine: O(N/p) — grows with the training set.
+  double exact_level_bytes(std::int64_t active_records) const {
+    const double per_rank =
+        static_cast<double>(active_records) / static_cast<double>(procs);
+    return per_rank * (1.0 - 1.0 / static_cast<double>(procs)) *
+           kExactBytesPerRecord;
+  }
+
+  // One active node's worth of merged histogram state: per continuous
+  // attribute a (bins x classes) int64 count grid, a bins-wide double
+  // bin-minimum vector and a 16-byte value range; per categorical attribute
+  // its (cardinality x classes) count matrix; plus the split candidate and
+  // the child class counts that grow the tree.
+  double histogram_node_bytes() const {
+    const double cont = static_cast<double>(cont_attrs) *
+                        (static_cast<double>(hist_bins) * classes * 8.0 +
+                         static_cast<double>(hist_bins) * 8.0 + 16.0);
+    const double cat = static_cast<double>(cat_cardinality_sum) * classes * 8.0;
+    const double growth = kCandidateBytes + 2.0 * classes * 8.0;
+    return cont + cat + growth;
+  }
+
+  // Histogram mode: O(attrs x bins) per node per round — flat in N.
+  double histogram_level_bytes(std::int64_t active_nodes) const {
+    return static_cast<double>(allreduce_rounds(procs)) *
+           static_cast<double>(active_nodes) * histogram_node_bytes();
+  }
+
+  // Voting mode: only min(2k, attrs) elected attributes are merged per node
+  // (modeled as a proportional shrink of the per-node payload — elections
+  // mix continuous and categorical attributes per node), plus the one-int32
+  // per (attr, node) vote tally round.
+  double voting_level_bytes(std::int64_t active_nodes) const {
+    const int attrs = num_attrs();
+    if (attrs == 0) return 0.0;
+    const double elected_fraction =
+        static_cast<double>(std::min(2 * top_k, attrs)) /
+        static_cast<double>(attrs);
+    const double votes = static_cast<double>(attrs) * 4.0;
+    return static_cast<double>(allreduce_rounds(procs)) *
+           static_cast<double>(active_nodes) *
+           (histogram_node_bytes() * elected_fraction + votes);
   }
 };
 

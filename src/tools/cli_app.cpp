@@ -49,6 +49,17 @@ commands:
                --no-fuse            per-attribute collectives instead of the
                                     fused per-level rounds (same tree; the
                                     differential-testing oracle)
+               --split-mode M       exact | histogram | voting: split
+                                    determination engine (default exact).
+                                    histogram merges fixed-width class
+                                    histograms instead of exact lists —
+                                    per-level bytes independent of N;
+                                    voting additionally elects only the
+                                    top-voted attributes for merging
+               --hist-bins N        histogram/voting: bins per attribute,
+                                    >= 2 (default 64)
+               --top-k K            voting only: attributes each rank votes
+                                    per node; top 2K are elected (default 2)
                --prune              apply MDL pruning after training
                --checkpoint-dir D   write a level checkpoint into D each level;
                                     failed runs auto-resume from the last one
@@ -141,6 +152,40 @@ core::InductionControls controls_from(const util::CliArgs& args,
     err << "unknown --strategy '" << strategy << "' (scalparc | sprint)\n";
     ok = false;
   }
+  const std::string split_mode = args.get_string("split-mode", "exact");
+  if (split_mode == "exact") {
+    controls.options.split_mode = core::SplitMode::kExact;
+  } else if (split_mode == "histogram") {
+    controls.options.split_mode = core::SplitMode::kHistogram;
+  } else if (split_mode == "voting") {
+    controls.options.split_mode = core::SplitMode::kVoting;
+  } else {
+    err << "unknown --split-mode '" << split_mode
+        << "' (exact | histogram | voting)\n";
+    ok = false;
+  }
+  const std::int64_t hist_bins = args.get_int("hist-bins", 64);
+  if (args.has("hist-bins") &&
+      controls.options.split_mode == core::SplitMode::kExact) {
+    err << "--hist-bins only applies with --split-mode histogram or voting\n";
+    ok = false;
+  }
+  if (hist_bins < 2) {
+    err << "--hist-bins must be >= 2\n";
+    ok = false;
+  }
+  controls.options.hist_bins = static_cast<int>(hist_bins);
+  const std::int64_t top_k = args.get_int("top-k", 2);
+  if (args.has("top-k") &&
+      controls.options.split_mode != core::SplitMode::kVoting) {
+    err << "--top-k only applies with --split-mode voting\n";
+    ok = false;
+  }
+  if (top_k < 1) {
+    err << "--top-k must be >= 1\n";
+    ok = false;
+  }
+  controls.options.top_k = static_cast<int>(top_k);
   return controls;
 }
 

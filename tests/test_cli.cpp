@@ -228,5 +228,55 @@ TEST_F(CliWorkflow, PredictRejectsSchemaMismatch) {
   EXPECT_NE(predict.err.find("schema"), std::string::npos);
 }
 
+TEST(Cli, SplitModeFlagValidation) {
+  CliResult bad_mode = run({"train", "--data", "x.csv", "--model", "m",
+                            "--split-mode", "bogus"});
+  EXPECT_EQ(bad_mode.code, 2);
+  EXPECT_NE(bad_mode.err.find("--split-mode"), std::string::npos);
+
+  // --top-k only makes sense with voting; --hist-bins only off exact.
+  CliResult stray_topk = run({"train", "--data", "x.csv", "--model", "m",
+                              "--split-mode", "histogram", "--top-k", "3"});
+  EXPECT_EQ(stray_topk.code, 2);
+  EXPECT_NE(stray_topk.err.find("--top-k"), std::string::npos);
+
+  CliResult stray_bins = run({"train", "--data", "x.csv", "--model", "m",
+                              "--hist-bins", "32"});
+  EXPECT_EQ(stray_bins.code, 2);
+  EXPECT_NE(stray_bins.err.find("--hist-bins"), std::string::npos);
+
+  CliResult few_bins = run({"train", "--data", "x.csv", "--model", "m",
+                            "--split-mode", "histogram", "--hist-bins", "1"});
+  EXPECT_EQ(few_bins.code, 2);
+  EXPECT_NE(few_bins.err.find(">= 2"), std::string::npos);
+
+  CliResult bad_topk = run({"train", "--data", "x.csv", "--model", "m",
+                            "--split-mode", "voting", "--top-k", "0"});
+  EXPECT_EQ(bad_topk.code, 2);
+  EXPECT_NE(bad_topk.err.find("--top-k"), std::string::npos);
+}
+
+TEST_F(CliWorkflow, TrainsUnderHistogramAndVotingModes) {
+  const std::string csv = track(temp_path("cli_hist.csv"));
+  ASSERT_EQ(run({"generate", "--records", "1200", "--out", csv}).code, 0);
+  for (const char* mode : {"histogram", "voting"}) {
+    const std::string model =
+        track(temp_path(std::string("cli_hist_") + mode + ".tree"));
+    std::vector<std::string> argv = {
+        "train",      "--data",      csv,  "--model",    model, "--ranks",
+        "4",          "--max-depth", "6",  "--split-mode", mode,
+        "--hist-bins", "32"};
+    if (std::string(mode) == "voting") {
+      argv.push_back("--top-k");
+      argv.push_back("2");
+    }
+    CliResult train = run(argv);
+    EXPECT_EQ(train.code, 0) << mode << ": " << train.err;
+    EXPECT_NE(train.out.find("model saved"), std::string::npos) << mode;
+    CliResult predict = run({"predict", "--model", model, "--data", csv});
+    EXPECT_EQ(predict.code, 0) << mode << ": " << predict.err;
+  }
+}
+
 }  // namespace
 }  // namespace scalparc
