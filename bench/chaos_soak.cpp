@@ -52,6 +52,7 @@ const char* policy_name(scalparc::core::RecoveryPolicy policy) {
     case scalparc::core::RecoveryPolicy::kRestart: return "restart";
     case scalparc::core::RecoveryPolicy::kShrink: return "shrink";
     case scalparc::core::RecoveryPolicy::kGrow: return "grow";
+    case scalparc::core::RecoveryPolicy::kRebalance: return "rebalance";
   }
   return "unknown";
 }
@@ -123,13 +124,30 @@ int main(int argc, char** argv) {
         core::detail::arm_checkpoint_write_fault(chaos.checkpoint_write_faults);
       }
 
+      mp::CostModel model = mp::CostModel::zero();
+      mp::RunOptions run_options;
+      if (chaos.archetype == mp::ChaosArchetype::kStragglerCompound) {
+        // Gray failure needs the health layer watching and realized work so
+        // the slowed rank is measurably busy; kRebalance is the policy under
+        // test (its kill-during-rebalance leg degrades to a shrink).
+        recovery.policy = core::RecoveryPolicy::kRebalance;
+        recovery.policy_sequence.clear();
+        run_options.health.detect_stragglers = true;
+        run_options.health.adaptive_timeouts = true;
+        run_options.health.sustain_s = 0.5;
+        run_options.health.min_blocked_s = 0.2;
+        model.seconds_per_work_unit = 4e-6;
+        model.realize_work = true;
+      }
+
       core::RecoveryReport report;
       const auto cell_start = std::chrono::steady_clock::now();
       bool threw = false;
       std::string threw_what;
       try {
         report = core::ScalParC::fit_with_recovery(training, p, ckpt_controls,
-                                                   recovery);
+                                                   recovery, model,
+                                                   run_options);
       } catch (const std::exception& e) {
         threw = true;
         threw_what = e.what();

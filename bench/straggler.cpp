@@ -1,0 +1,326 @@
+// Gray-failure bench: what does one slow-but-alive rank cost, and how much
+// of that cost does phi-accrual detection + slow-rank rebalance win back?
+//
+//   ./straggler [--records N] [--ranks P] [--depth D] [--slow-rank R]
+//               [--factor F] [--spwu S] [--sustain-s T] [--min-speedup X]
+//               [--csv DIR] [--out BENCH_straggler.json]
+//               [--validate BENCH_straggler.json]
+//
+// Three phases over the same workload (realized modeled work, so a throttled
+// rank is *busy*, not dead — the gray failure the health layer exists for):
+//
+//   clean        health monitoring + adaptive timeouts on, no fault. Must
+//                complete with zero straggler classifications (the false-
+//                positive sweep) and the oracle tree.
+//   unmitigated  a whole-run `slow:r=R,factor=F` fault, health off. The run
+//                completes, but every level crawls at the straggler's pace.
+//   mitigated    same fault, detection on, RecoveryPolicy::kRebalance. The
+//                health layer classifies the straggler, the retry re-tiles
+//                the checkpointed attribute lists away from it (weight
+//                1/slowdown), and the fit finishes on the *same* world with
+//                the same byte-identical tree.
+//
+// Pass criteria: all three trees byte-identical to the fault-free oracle,
+// zero clean-run classifications, and mitigated at least --min-speedup
+// faster than unmitigated. --out writes the machine-readable JSON document;
+// --validate re-parses one and re-checks the claims (the CI smoke path).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/tree_io.hpp"
+#include "mp/fault.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using scalparc::util::Json;
+
+double wall_seconds(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+std::string tree_bytes(const scalparc::core::DecisionTree& tree) {
+  std::ostringstream out;
+  scalparc::core::save_tree(tree, out);
+  return out.str();
+}
+
+bool validate(const Json& doc) {
+  const auto complain = [](const std::string& what) {
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    return false;
+  };
+  try {
+    if (doc.at("format").as_string() != "scalparc-bench-straggler-v1") {
+      return complain("format tag is not scalparc-bench-straggler-v1");
+    }
+    if (doc.at("ranks").as_int() < 2) return complain("ranks < 2");
+    if (doc.at("slow_factor").as_double() <= 1.0) {
+      return complain("slow_factor must exceed 1");
+    }
+    const Json& clean = doc.at("clean");
+    if (clean.at("stragglers_detected").as_int() != 0) {
+      return complain("clean run classified a straggler (false positive)");
+    }
+    if (!clean.at("tree_matches_oracle").as_bool()) {
+      return complain("clean tree diverged from the oracle");
+    }
+    const Json& unmitigated = doc.at("unmitigated");
+    if (!unmitigated.at("tree_matches_oracle").as_bool()) {
+      return complain("unmitigated tree diverged from the oracle");
+    }
+    const Json& mitigated = doc.at("mitigated");
+    if (!mitigated.at("tree_matches_oracle").as_bool()) {
+      return complain("mitigated tree diverged from the oracle");
+    }
+    if (mitigated.at("straggler_rank").as_int() !=
+        doc.at("slow_rank").as_int()) {
+      return complain("detected straggler is not the throttled rank");
+    }
+    if (mitigated.at("slowdown_estimate").as_double() < 1.5) {
+      return complain("slowdown estimate is implausibly small");
+    }
+    if (mitigated.at("rebalances").as_int() < 1) {
+      return complain("mitigated run never applied a rebalance");
+    }
+    const double speedup = mitigated.at("speedup_vs_unmitigated").as_double();
+    const double min_speedup = doc.at("min_speedup").as_double();
+    if (speedup < min_speedup) {
+      char msg[128];
+      std::snprintf(msg, sizeof(msg),
+                    "mitigated speedup %.2fx is below the %.2fx floor",
+                    speedup, min_speedup);
+      return complain(msg);
+    }
+  } catch (const std::exception& e) {
+    return complain(std::string("schema: ") + e.what());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+  const std::string out_path = args.get_string("out", "");
+  const std::string validate_path = args.get_string("validate", "");
+  if (out_path.empty() && !validate_path.empty()) {
+    // Pure validation mode: re-check an existing document (CI revalidation).
+    std::ifstream in(validate_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!in && buffer.str().empty()) {
+      std::fprintf(stderr, "cannot read %s\n", validate_path.c_str());
+      return 2;
+    }
+    if (!validate(util::Json::parse(buffer.str()))) return 1;
+    std::printf("validation OK: %s\n", validate_path.c_str());
+    return 0;
+  }
+
+  const auto records =
+      static_cast<std::uint64_t>(args.get_int("records", 16000));
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const int depth = static_cast<int>(args.get_int("depth", 10));
+  const int slow_rank =
+      static_cast<int>(args.get_int("slow-rank", ranks - 1));
+  const double factor = args.get_double("factor", 8.0);
+  const double spwu = args.get_double("spwu", 4e-6);
+  // The sustain window is sized so classification lands *after* the first
+  // level checkpoint commits (the root level is the largest: ~3.5-4 s under
+  // an 8x throttle at the default scale): the retry then resumes from the
+  // checkpoint with the non-uniform weights instead of restarting from
+  // scratch and escalating to a demotion.
+  const double sustain_s = args.get_double("sustain-s", 4.0);
+  const double min_speedup = args.get_double("min-speedup", 1.5);
+
+  // Label noise keeps the frontier impure all the way to the depth cap, so
+  // every level carries realized work — a tree that collapses to pure leaves
+  // after two levels has nothing for a straggler to slow down.
+  data::GeneratorConfig gen_config;
+  gen_config.seed = 1;
+  gen_config.function = data::LabelFunction::kF2;
+  gen_config.num_attributes = 7;
+  gen_config.label_noise = 0.2;
+  const data::Dataset training =
+      data::QuestGenerator(gen_config).generate(0, records);
+
+  core::InductionControls controls;
+  controls.options.max_depth = depth;
+  const std::string oracle =
+      tree_bytes(core::ScalParC::fit(training, ranks, controls).tree);
+
+  const std::string ckpt_root =
+      (std::filesystem::temp_directory_path() /
+       ("scalparc_straggler_bench_" + std::to_string(::getpid())))
+          .string();
+  core::InductionControls ckpt_controls = controls;
+  ckpt_controls.checkpoint.directory = ckpt_root;
+
+  // Realized work makes the modeled per-level compute real wall time, which
+  // the slow fault then throttles by `factor` on the victim rank.
+  mp::CostModel model = mp::CostModel::zero();
+  model.seconds_per_work_unit = spwu;
+  model.realize_work = true;
+
+  mp::HealthOptions health;
+  health.detect_stragglers = true;
+  health.adaptive_timeouts = true;
+  health.sustain_s = sustain_s;
+  health.min_blocked_s = 0.25;
+
+  std::printf(
+      "straggler bench: %llu records, p=%d, depth %d, slow r%d x%.0f\n\n",
+      static_cast<unsigned long long>(records), ranks, depth, slow_rank,
+      factor);
+
+  // ---- clean: the false-positive sweep --------------------------------
+  core::FitReport clean;
+  const double clean_s = wall_seconds([&] {
+    mp::RunOptions run_options;
+    run_options.health = health;
+    clean = core::ScalParC::fit(training, ranks, controls, model, run_options);
+  });
+  const int clean_stragglers = static_cast<int>(
+      clean.run.metrics.value("health.stragglers_detected", 0.0));
+  const bool clean_matches = tree_bytes(clean.tree) == oracle;
+  std::printf("clean (health on):   %8.3f s  stragglers=%d\n", clean_s,
+              clean_stragglers);
+  if (clean_stragglers != 0) {
+    std::printf("ERROR: clean run classified a straggler (false positive)\n");
+    return 1;
+  }
+
+  const std::string slow_spec = "slow:r=" + std::to_string(slow_rank) +
+                                ",factor=" + std::to_string(factor);
+
+  // ---- unmitigated: the straggler drags every level -------------------
+  core::FitReport unmitigated;
+  const double unmitigated_s = wall_seconds([&] {
+    mp::FaultPlan plan;
+    plan.parse(slow_spec);
+    mp::RunOptions run_options;
+    run_options.fault_plan = &plan;
+    unmitigated =
+        core::ScalParC::fit(training, ranks, controls, model, run_options);
+  });
+  const bool unmitigated_matches = tree_bytes(unmitigated.tree) == oracle;
+  std::printf("unmitigated:         %8.3f s  (%.2fx the clean run)\n",
+              unmitigated_s, unmitigated_s / clean_s);
+
+  // ---- mitigated: detect, rebalance, finish on the same world ---------
+  // The slow fault persists across attempts (a gray failure does not heal
+  // because the job restarted), so every schedule segment carries it.
+  mp::FaultSchedule schedule;
+  for (int i = 0; i < 4; ++i) schedule.add_plan().parse(slow_spec);
+  core::RecoveryControls recovery;
+  recovery.policy = core::RecoveryPolicy::kRebalance;
+  recovery.max_retries = 3;
+  recovery.fault_schedule = &schedule;
+
+  std::filesystem::remove_all(ckpt_root);
+  core::RecoveryReport mitigated;
+  const double mitigated_s = wall_seconds([&] {
+    mp::RunOptions run_options;
+    run_options.health = health;
+    mitigated = core::ScalParC::fit_with_recovery(training, ranks,
+                                                  ckpt_controls, recovery,
+                                                  model, run_options);
+  });
+  std::filesystem::remove_all(ckpt_root);
+  if (mitigated.outcome != core::RecoveryOutcome::kCompleted) {
+    std::printf("ERROR: mitigated run did not complete (outcome %s)\n",
+                core::to_string(mitigated.outcome));
+    return 1;
+  }
+  const bool mitigated_matches = tree_bytes(mitigated.fit.tree) == oracle;
+  int detected_rank = -1, resumed_level = -1, rebalances = 0, demotions = 0;
+  double slowdown = 0.0;
+  for (const core::RecoveryEvent& event : mitigated.events) {
+    if (event.policy != core::RecoveryPolicy::kRebalance) continue;
+    if (event.demoted) {
+      ++demotions;
+      continue;
+    }
+    ++rebalances;
+    detected_rank = event.straggler_rank;
+    slowdown = event.straggler_slowdown;
+    resumed_level = event.resumed_level;
+  }
+  const double speedup = unmitigated_s / mitigated_s;
+  std::printf("mitigated:           %8.3f s  (%.2fx vs unmitigated; "
+              "classified r%d x%.1f, resumed at level %d)\n\n",
+              mitigated_s, speedup, detected_rank, slowdown, resumed_level);
+
+  bench::CsvWriter csv(args, "straggler.csv",
+                       "phase,wall_s,stragglers,tree_matches");
+  csv.row("clean,%.6f,%d,%d", clean_s, clean_stragglers, clean_matches ? 1 : 0);
+  csv.row("unmitigated,%.6f,0,%d", unmitigated_s, unmitigated_matches ? 1 : 0);
+  csv.row("mitigated,%.6f,%d,%d", mitigated_s, rebalances,
+          mitigated_matches ? 1 : 0);
+
+  Json doc = Json::object();
+  doc["format"] = Json("scalparc-bench-straggler-v1");
+  doc["records"] = Json(static_cast<double>(records));
+  doc["ranks"] = Json(static_cast<double>(ranks));
+  doc["depth"] = Json(static_cast<double>(depth));
+  doc["slow_rank"] = Json(static_cast<double>(slow_rank));
+  doc["slow_factor"] = Json(factor);
+  doc["min_speedup"] = Json(min_speedup);
+  Json clean_json = Json::object();
+  clean_json["wall_s"] = Json(clean_s);
+  clean_json["stragglers_detected"] = Json(static_cast<double>(clean_stragglers));
+  clean_json["tree_matches_oracle"] = Json(clean_matches);
+  doc["clean"] = std::move(clean_json);
+  Json unmitigated_json = Json::object();
+  unmitigated_json["wall_s"] = Json(unmitigated_s);
+  unmitigated_json["tree_matches_oracle"] = Json(unmitigated_matches);
+  doc["unmitigated"] = std::move(unmitigated_json);
+  Json mitigated_json = Json::object();
+  mitigated_json["wall_s"] = Json(mitigated_s);
+  mitigated_json["speedup_vs_unmitigated"] = Json(speedup);
+  mitigated_json["straggler_rank"] = Json(static_cast<double>(detected_rank));
+  mitigated_json["slowdown_estimate"] = Json(slowdown);
+  mitigated_json["rebalances"] = Json(static_cast<double>(rebalances));
+  mitigated_json["demotions"] = Json(static_cast<double>(demotions));
+  mitigated_json["resumed_level"] = Json(static_cast<double>(resumed_level));
+  mitigated_json["tree_matches_oracle"] = Json(mitigated_matches);
+  doc["mitigated"] = std::move(mitigated_json);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc.dump(2) << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    std::printf("JSON written to %s\n", out_path.c_str());
+  }
+  if (!validate(doc)) return 1;
+  if (!validate_path.empty()) {
+    std::ifstream in(validate_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!in && buffer.str().empty()) {
+      std::fprintf(stderr, "cannot read %s\n", validate_path.c_str());
+      return 2;
+    }
+    if (!validate(util::Json::parse(buffer.str()))) return 1;
+    std::printf("validation OK: %s\n", validate_path.c_str());
+  }
+  std::printf("csv: %s\n", csv.path().c_str());
+  return 0;
+}

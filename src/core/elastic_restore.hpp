@@ -47,17 +47,26 @@ struct RestoredList {
 
 // Collective. Restores the checkpoint sections `tag` / `tag`_off written by
 // `writer_ranks` ranks into comm.size() balanced partitions. `num_nodes` is
-// the active-node count of the checkpointed level (from active.bin). Throws
-// CheckpointError on missing, truncated, corrupt or inconsistent sections.
+// the active-node count of the checkpointed level (from active.bin). With a
+// non-empty `weights` (one positive weight per current rank) the new tiling
+// is proportional instead of uniform — the straggler-rebalance policy's
+// lever for steering work away from a slow rank; uniform weights reproduce
+// the canonical layout bit for bit. Throws CheckpointError on missing,
+// truncated, corrupt or inconsistent sections.
 template <typename Entry>
 RestoredList<Entry> elastic_restore_list(mp::Comm& comm,
                                          const std::string& level_dir,
                                          int writer_ranks,
                                          const std::string& tag,
-                                         std::size_t num_nodes) {
+                                         std::size_t num_nodes,
+                                         std::span<const double> weights = {}) {
   const int p = comm.size();
   const auto r = static_cast<std::size_t>(comm.rank());
   const std::size_t m = num_nodes;
+  if (!weights.empty() && weights.size() != static_cast<std::size_t>(p)) {
+    throw CheckpointError(
+        "elastic restore: rank_weights size does not match the world size");
+  }
 
   util::TraceScope span("elastic_restore", /*level=*/-1,
                         /*nodes=*/static_cast<std::int64_t>(m));
@@ -109,9 +118,12 @@ RestoredList<Entry> elastic_restore_list(mp::Comm& comm,
   std::vector<std::vector<std::int64_t>> sendcounts(
       static_cast<std::size_t>(p), std::vector<std::int64_t>(m, 0));
   for (std::size_t i = 0; i < m; ++i) {
-    const std::vector<std::size_t> target_offsets =
-        sort::offsets_from_sizes(sort::equal_partition_sizes(
-            static_cast<std::size_t>(global_sizes[i]), p));
+    const std::vector<std::size_t> target_offsets = sort::offsets_from_sizes(
+        weights.empty()
+            ? sort::equal_partition_sizes(
+                  static_cast<std::size_t>(global_sizes[i]), p)
+            : sort::weighted_partition_sizes(
+                  static_cast<std::size_t>(global_sizes[i]), weights));
     const std::int64_t my_begin = starts[i];
     const std::int64_t my_end = my_begin + local_sizes[i];
     for (int d = 0; d < p; ++d) {

@@ -124,6 +124,16 @@ InductionResult induce_tree_quantized(mp::Comm& comm,
     throw std::invalid_argument(
         "induce_tree_quantized: resume requires a checkpoint directory");
   }
+  if (controls.checkpoint.weighted()) {
+    // The quantized engine's record ownership is structural (owner_of_rid
+    // tiles [0, total) uniformly), so a weighted restore cannot steer work
+    // away from a slow rank here. Reject loudly instead of silently
+    // ignoring the rebalance request.
+    throw std::invalid_argument(
+        "induce_tree_quantized: non-uniform rank_weights are not supported "
+        "by the histogram engine (row ownership is structural); use the "
+        "exact engine for straggler rebalance");
+  }
 
   std::optional<PhaseSpan> setup_span(
       std::in_place, comm, resuming ? "checkpoint_restore" : "presort");

@@ -278,11 +278,24 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
     if (manifest.level != latest) {
       throw CheckpointError("manifest level disagrees with its directory name");
     }
-    const bool repartition = manifest.ranks != p;
+    if (!controls.checkpoint.rank_weights.empty() &&
+        controls.checkpoint.rank_weights.size() !=
+            static_cast<std::size_t>(p)) {
+      throw CheckpointError(
+          "rank_weights has " +
+          std::to_string(controls.checkpoint.rank_weights.size()) +
+          " entries but the world has " + std::to_string(p) + " ranks");
+    }
+    // A weighted re-tile is a repartition even at the checkpoint's own rank
+    // count: the per-rank fast path below would reload the uniform layout.
+    const bool weighted = controls.checkpoint.weighted();
+    const bool repartition = manifest.ranks != p || weighted;
     if (repartition && !controls.checkpoint.allow_repartition) {
-      throw CheckpointError("checkpoint was written by " +
-                            std::to_string(manifest.ranks) +
-                            " ranks; resuming with " + std::to_string(p));
+      throw CheckpointError(
+          weighted ? "rank_weights require allow_repartition"
+                   : "checkpoint was written by " +
+                         std::to_string(manifest.ranks) +
+                         " ranks; resuming with " + std::to_string(p));
     }
     if (manifest.total_records != total_records ||
         manifest.num_classes != c || manifest.fingerprint != fp) {
@@ -387,7 +400,10 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
         RestoredList<ContinuousEntry> restored =
             elastic_restore_list<ContinuousEntry>(
                 comm, level_dir, manifest.ranks,
-                "cont" + std::to_string(li), active.size());
+                "cont" + std::to_string(li), active.size(),
+                weighted ? std::span<const double>(
+                               controls.checkpoint.rank_weights)
+                         : std::span<const double>{});
         list.offsets = std::move(restored.offsets);
         if (soa) {
           list.cols = data::columns_from_entries(
@@ -405,7 +421,10 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
         RestoredList<CategoricalEntry> restored =
             elastic_restore_list<CategoricalEntry>(
                 comm, level_dir, manifest.ranks,
-                "cat" + std::to_string(li), active.size());
+                "cat" + std::to_string(li), active.size(),
+                weighted ? std::span<const double>(
+                               controls.checkpoint.rank_weights)
+                         : std::span<const double>{});
         list.offsets = std::move(restored.offsets);
         if (soa) {
           list.cols = data::columns_from_entries(

@@ -88,6 +88,23 @@ struct CheckpointControls {
   // accidental world-size mismatch stays a loud error; the shrink-to-
   // survivors recovery policy switches it on.
   bool allow_repartition = false;
+  // Non-uniform restore tiling for the straggler-rebalance recovery policy:
+  // rank r's share of every attribute list is proportional to
+  // rank_weights[r] (see sort::weighted_partition_sizes). Empty means the
+  // canonical uniform tiling. When non-empty the size must equal the world
+  // size, every weight must be positive and finite, and allow_repartition
+  // must be set (a weighted re-tile is a repartition even at the same rank
+  // count). Exact engine only: the histogram engine's row ownership is
+  // structural, so it rejects non-uniform weights loudly.
+  std::vector<double> rank_weights;
+
+  // True when rank_weights requests a genuinely non-uniform tiling.
+  bool weighted() const {
+    for (const double w : rank_weights) {
+      if (w != rank_weights.front()) return true;
+    }
+    return false;
+  }
 };
 
 struct InductionControls {

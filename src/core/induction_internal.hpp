@@ -53,6 +53,11 @@ class PhaseSpan {
             std::int64_t nodes = -1, std::int64_t records = -1)
       : comm_(comm), scope_(name, level, nodes, records) {
     scope_.set_begin_vtime(comm.vtime());
+    // Every phase boundary advances this rank's gray-failure progress
+    // watermark (no-op unless health monitoring is on): the spans are SPMD,
+    // so the Hub can compare watermarks across ranks to tell slow from
+    // stuck.
+    comm.publish_watermark(level);
   }
   ~PhaseSpan() { scope_.set_end_vtime(comm_.vtime()); }
   PhaseSpan(const PhaseSpan&) = delete;

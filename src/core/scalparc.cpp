@@ -143,17 +143,26 @@ void absorb_recovery_metrics(mp::MetricsSnapshot& metrics,
                     static_cast<double>(static_cast<int>(report.outcome)));
   if (report.events.empty()) return;
   metrics.add("recovery.recoveries", static_cast<double>(report.events.size()));
-  int shrinks = 0, grows = 0, restarts = 0;
+  int shrinks = 0, grows = 0, restarts = 0, rebalances = 0, demotions = 0;
   for (const RecoveryEvent& e : report.events) {
     switch (e.policy) {
       case RecoveryPolicy::kShrink: ++shrinks; break;
       case RecoveryPolicy::kGrow: ++grows; break;
       case RecoveryPolicy::kRestart: ++restarts; break;
+      case RecoveryPolicy::kRebalance:
+        if (e.demoted) {
+          ++demotions;
+        } else {
+          ++rebalances;
+        }
+        break;
     }
   }
   if (shrinks > 0) metrics.add("recovery.shrinks", shrinks);
   if (grows > 0) metrics.add("recovery.grows", grows);
   if (restarts > 0) metrics.add("recovery.restarts", restarts);
+  if (rebalances > 0) metrics.add("recovery.rebalances", rebalances);
+  if (demotions > 0) metrics.add("recovery.demotions", demotions);
   metrics.add("recovery.heal_seconds", report.heal_seconds);
   if (budget.max_recoveries > 0) {
     metrics.gauge_max(
@@ -209,6 +218,11 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
   InductionControls attempt_controls = controls;
   mp::RunOptions attempt_options = run_options;
   int world = nranks;
+  // Gray-failure mitigation state: non-uniform re-tile weights (empty =
+  // uniform) and the rank they steer away from. A second classification of
+  // the same rank escalates the next rebalance to a demotion.
+  std::vector<double> weights;
+  int rebalanced_rank = -1;
   for (int retry = 0;; ++retry) {
     if (recovery.fault_schedule != nullptr) {
       attempt_options.fault_plan = recovery.fault_schedule->plan(retry);
@@ -284,13 +298,48 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
     const bool rank_died =
         attempt.run.failure_kind == mp::FailureKind::kRankDeath &&
         casualties > 0;
+    const bool straggled =
+        attempt.run.failure_kind == mp::FailureKind::kStraggler &&
+        attempt.run.straggler_rank >= 0 && attempt.run.straggler_rank < world;
     const RecoveryPolicy want =
         report.events.size() < recovery.policy_sequence.size()
             ? recovery.policy_sequence[report.events.size()]
             : recovery.policy;
-    if (want == RecoveryPolicy::kShrink && rank_died && world > casualties) {
+    if (want == RecoveryPolicy::kRebalance && straggled) {
+      const int slow = attempt.run.straggler_rank;
+      event.policy = RecoveryPolicy::kRebalance;
+      event.straggler_rank = slow;
+      event.straggler_slowdown = attempt.run.straggler_slowdown;
+      if (rebalanced_rank == slow && world > 1) {
+        // The same rank was classified again after a weighted re-tile:
+        // steering work away did not clear the gray failure, so demote it —
+        // shrink the world by one and drop the weights (the elastic restore
+        // redistributes its partitions to the survivors).
+        event.demoted = true;
+        world -= 1;
+        weights.clear();
+        rebalanced_rank = -1;
+      } else {
+        // Re-tile the checkpointed attribute lists away from the slow rank
+        // in inverse proportion to its observed slowdown: an 8x-throttled
+        // rank with 1/8 of the records finishes its level in the same wall
+        // time as a healthy rank with a full share.
+        weights.assign(static_cast<std::size_t>(world), 1.0);
+        weights[static_cast<std::size_t>(slow)] =
+            1.0 / event.straggler_slowdown;
+        rebalanced_rank = slow;
+      }
+      attempt_controls.checkpoint.allow_repartition = true;
+    } else if ((want == RecoveryPolicy::kShrink ||
+                want == RecoveryPolicy::kRebalance) &&
+               rank_died && world > casualties) {
+      // A hard rank death under kRebalance degrades to a shrink: weights
+      // cannot help a rank that is gone, and any existing weights are sized
+      // for a world that no longer exists.
       world -= casualties;
       event.policy = RecoveryPolicy::kShrink;
+      weights.clear();
+      rebalanced_rank = -1;
       // The survivors reload a checkpoint written by the larger world.
       attempt_controls.checkpoint.allow_repartition = true;
     } else if (want == RecoveryPolicy::kGrow && rank_died &&
@@ -304,8 +353,16 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
       attempt_options.prior_world = survivors;
       attempt_controls.checkpoint.allow_repartition = true;
     } else {
+      // Includes a straggler classification under a non-rebalance policy:
+      // nothing is known to be dead, so the same world restarts from the
+      // checkpoint.
       event.policy = RecoveryPolicy::kRestart;
+      if (straggled) {
+        event.straggler_rank = attempt.run.straggler_rank;
+        event.straggler_slowdown = attempt.run.straggler_slowdown;
+      }
     }
+    attempt_controls.checkpoint.rank_weights = weights;
     event.ranks_after = world;
     const std::optional<int> latest =
         checkpoint_latest_level(controls.checkpoint.directory);

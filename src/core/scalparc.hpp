@@ -42,7 +42,22 @@ struct FitReport {
 // the larger world. Shrinking and growing are only sound when a specific
 // rank provably died — deadlock and timeout failures fall back to a restart
 // even under kShrink / kGrow.
-enum class RecoveryPolicy : int { kRestart = 0, kShrink = 1, kGrow = 2 };
+//
+// kRebalance is the gray-failure policy: on a kStraggler classification it
+// keeps the same world but re-tiles the checkpointed attribute lists
+// *non-uniformly* away from the slow rank (weight 1/slowdown vs 1 for its
+// peers), producing the byte-identical tree with the straggler carrying
+// proportionally less work. If the same rank is classified again after a
+// rebalance, the policy escalates to a demotion: the world shrinks by one
+// and the weights are dropped. A hard rank death under kRebalance degrades
+// to kShrink; a straggler classification under any other policy degrades to
+// kRestart.
+enum class RecoveryPolicy : int {
+  kRestart = 0,
+  kShrink = 1,
+  kGrow = 2,
+  kRebalance = 3,
+};
 
 // One failure observed (and survived) by fit_with_recovery.
 struct RecoveryEvent {
@@ -59,6 +74,12 @@ struct RecoveryEvent {
   int ranks_after = -1;
   // kGrow only: joiners admitted into the retry's world.
   int joiners = 0;
+  // kRebalance only: the rank classified as a straggler, its estimated
+  // slowdown factor, and whether the event escalated to a demotion (the
+  // same rank re-classified after a rebalance: world shrunk by one).
+  int straggler_rank = -1;
+  double straggler_slowdown = 0.0;
+  bool demoted = false;
 };
 
 // Degraded-mode guardrails: hard ceilings after which a thrashing run fails

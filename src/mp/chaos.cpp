@@ -50,6 +50,8 @@ const char* to_string(ChaosArchetype archetype) {
       return "corrupt-delay-storm";
     case ChaosArchetype::kCheckpointWriteFault:
       return "checkpoint-write-fault";
+    case ChaosArchetype::kStragglerCompound:
+      return "straggler-compound";
   }
   return "unknown";
 }
@@ -60,7 +62,7 @@ GeneratedChaos generate_chaos(std::uint64_t seed, const ChaosSpec& spec) {
   Draw draw(seed);
 
   GeneratedChaos out;
-  out.archetype = static_cast<ChaosArchetype>(draw.below(4));
+  out.archetype = static_cast<ChaosArchetype>(draw.below(5));
   out.schedule.set_seed(seed == 0 ? 1 : seed);
   std::ostringstream desc;
   desc << "seed=" << seed << " " << to_string(out.archetype) << ":";
@@ -123,6 +125,26 @@ GeneratedChaos generate_chaos(std::uint64_t seed, const ChaosSpec& spec) {
       out.checkpoint_write_faults = draw.between(1, 6);
       desc << " " << out.checkpoint_write_faults
            << " transient checkpoint write fault(s)";
+      break;
+    }
+    case ChaosArchetype::kStragglerCompound: {
+      // Gray failure first: one rank runs the whole attempt slowed so the
+      // phi-accrual health layer classifies it (needs health monitoring on
+      // in the driver). The retry — re-tiled away from the straggler under
+      // kRebalance — is then hit by a hard kill mid-replay, and the third
+      // attempt is clean so the run can complete.
+      const int slow_rank = draw.below(world);
+      const int factor = draw.between(4, 8);
+      FaultAction slow;
+      slow.kind = FaultKind::kSlow;
+      slow.rank = slow_rank;
+      slow.factor = static_cast<double>(factor);
+      out.schedule.add_plan().add(slow);
+      const int victim = (slow_rank + 1 + draw.below(world)) % world;
+      const int kill_level = draw.between(1, levels - 1);
+      out.schedule.add_plan().add(kill_at_level(victim, kill_level));
+      desc << " slow r" << slow_rank << " x" << factor << " then kill r"
+           << victim << "@L" << kill_level << " during the rebalance replay";
       break;
     }
   }

@@ -19,6 +19,11 @@
 //   kCheckpointWriteFault no wire faults; instead `checkpoint_write_faults`
 //                         transient write failures for the caller to arm
 //                         via core checkpoint's test hook
+//   kStragglerCompound    gray failure: one rank runs slowed (whole-run slow
+//                         fault) so the health layer classifies a straggler;
+//                         the next attempt is hit by a kill while the
+//                         rebalance is re-tiling, and the attempt after that
+//                         is clean so the run can finish
 //
 // This header lives in mp/ and only depends on mp/fault.hpp; the checkpoint
 // fault count is a plain int the driver forwards to the core-layer hook.
@@ -36,6 +41,7 @@ enum class ChaosArchetype : int {
   kJoinKillInterleave = 1,
   kCorruptDelayStorm = 2,
   kCheckpointWriteFault = 3,
+  kStragglerCompound = 4,
 };
 
 const char* to_string(ChaosArchetype archetype);

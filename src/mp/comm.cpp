@@ -53,6 +53,32 @@ Comm::Comm(Hub& hub, int rank, const CostModel& model,
   if (rank < 0 || rank >= hub.size()) {
     throw std::invalid_argument("Comm: rank out of range");
   }
+  const HealthOptions& health = hub.options().health;
+  health_monitoring_ = health.monitoring();
+  detect_stragglers_ = health.detect_stragglers;
+  adaptive_timeouts_ = health.adaptive_timeouts;
+  if (const FaultPlan* plan = hub.options().fault_plan) {
+    slow_factor_ = plan->slow_factor_for(rank);
+  }
+}
+
+void Comm::heartbeat() {
+  if (!health_monitoring_) return;
+  hub_.health().heartbeat(rank_);
+  ++heartbeats_sent_;
+}
+
+void Comm::settle_realized_work() {
+  // Sleep in bounded chunks, heartbeating between them: a rank throttled 8x
+  // spends most of its wall time here and must stay visibly alive.
+  constexpr double kChunkS = 0.05;
+  while (realize_debt_s_ > 0.0) {
+    const double chunk = std::min(realize_debt_s_, kChunkS);
+    std::this_thread::sleep_for(std::chrono::duration<double>(chunk));
+    realize_debt_s_ -= chunk;
+    heartbeat();
+  }
+  realize_debt_s_ = 0.0;
 }
 
 int Comm::size() const { return hub_.size(); }
@@ -63,6 +89,13 @@ void Comm::admit_joiner(int rank) { hub_.admit_joiner(rank); }
 
 std::int64_t Comm::begin_op(const char* what) {
   const std::int64_t op = ++comm_ops_;
+  heartbeat();
+  if (slow_factor_ > 1.0) {
+    // Per-op wall pause so a slow fault is visible even in virtual-time-only
+    // runs: ~50 us of implied per-op CPU cost, scaled by (factor - 1).
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>((slow_factor_ - 1.0) * 50e-6));
+  }
   const FaultPlan* plan = hub_.options().fault_plan;
   if (plan != nullptr) {
     const double delay = plan->delay_ms_at_op(rank_, op);
@@ -82,6 +115,7 @@ std::int64_t Comm::begin_op(const char* what) {
 }
 
 void Comm::fault_level_boundary(int level) {
+  publish_watermark(level);
   const FaultPlan* plan = hub_.options().fault_plan;
   if (plan != nullptr && plan->kills_at_level(rank_, level)) {
     plan->count_kill();
@@ -90,6 +124,112 @@ void Comm::fault_level_boundary(int level) {
              << level << " boundary";
     throw InjectedFault(what_out.str());
   }
+}
+
+void Comm::publish_watermark(int level) {
+  if (!health_monitoring_) return;
+  hub_.health().advance_watermark(rank_, level);
+}
+
+void Comm::straggler_probe(int src, std::int64_t tag) {
+  const HealthOptions& health = hub_.options().health;
+  const HealthRegistry::Snapshot snap = hub_.health().snapshot();
+  const int p = size();
+  // Suspect: the busiest unfinished peer. In a level-synchronous program the
+  // straggler is the rank still burning CPU while everyone else idles at a
+  // barrier, so while this rank is blocked, the peer with the largest
+  // cumulative busy time is the one pacing the run.
+  int suspect = -1;
+  double suspect_busy = 0.0;
+  for (int r = 0; r < p; ++r) {
+    if (r == rank_ || snap.finished[static_cast<std::size_t>(r)]) continue;
+    const double busy = snap.busy_seconds[static_cast<std::size_t>(r)];
+    if (suspect < 0 || busy > suspect_busy) {
+      suspect = r;
+      suspect_busy = busy;
+    }
+  }
+  if (suspect < 0) {
+    straggler_suspect_ = -1;
+    return;
+  }
+
+  // Watermark check. Barriers keep every rank within about one phase of the
+  // minimum, so equality is expected — the condition is a guard against
+  // suspecting a rank that has *pulled ahead* of the pack (it cannot be the
+  // one pacing the run). A rank whose heartbeats stop entirely is not a
+  // straggler either: that is the stuck/dead territory of the deadlock
+  // detector and the fixed timeout.
+  std::uint64_t min_wm = 0, max_wm = 0;
+  bool first_wm = true;
+  for (int r = 0; r < p; ++r) {
+    if (snap.finished[static_cast<std::size_t>(r)]) continue;
+    const std::uint64_t wm = snap.watermarks[static_cast<std::size_t>(r)];
+    min_wm = first_wm ? wm : std::min(min_wm, wm);
+    max_wm = first_wm ? wm : std::max(max_wm, wm);
+    first_wm = false;
+  }
+  const bool at_the_back =
+      snap.watermarks[static_cast<std::size_t>(suspect)] <= min_wm + 1;
+  double phi = 0.0;
+  const bool alive = hub_.health().alive(suspect, &phi);
+  suspicion_hist_.observe(static_cast<std::uint64_t>(phi * 100.0));
+  watermark_lag_hist_.observe(max_wm - min_wm);
+
+  // Busy-time ratio: suspect vs the median of everyone else (cumulative over
+  // the run — a per-run registry, so a rebalanced retry starts fresh). The
+  // floor keeps an early, nearly-idle median from inflating the ratio.
+  std::vector<double> others;
+  others.reserve(static_cast<std::size_t>(p) - 1);
+  for (int r = 0; r < p; ++r) {
+    if (r == suspect) continue;
+    others.push_back(snap.busy_seconds[static_cast<std::size_t>(r)]);
+  }
+  std::nth_element(others.begin(), others.begin() + others.size() / 2,
+                   others.end());
+  const double median = others[others.size() / 2];
+  const double floor_s = std::max(0.02 * snap.elapsed_s, 1e-3);
+  const double ratio = suspect_busy / std::max(median, floor_s);
+
+  // All evidence conditions must hold continuously for sustain_s:
+  //   - the suspect is alive (heartbeats flowing) and at the back of the pack
+  //   - this rank has been starved (cumulatively blocked) long enough
+  //   - the suspect has done enough absolute work for the ratio to mean
+  //     anything
+  //   - the busy-time ratio clears the configured slowdown threshold
+  const bool starved =
+      snap.elapsed_s - snap.busy_seconds[static_cast<std::size_t>(rank_)] >=
+      health.min_blocked_s;
+  const bool busy_enough = suspect_busy >= health.min_blocked_s;
+  const bool hold = alive && at_the_back && starved && busy_enough &&
+                    ratio >= health.slow_ratio;
+  const auto now = std::chrono::steady_clock::now();
+  if (!hold) {
+    straggler_suspect_ = -1;
+    return;
+  }
+  if (straggler_suspect_ != suspect) {
+    straggler_suspect_ = suspect;
+    straggler_since_ = now;
+    return;
+  }
+  if (std::chrono::duration<double>(now - straggler_since_).count() <
+      health.sustain_s) {
+    return;
+  }
+  const double slowdown = std::clamp(ratio, 2.0, 16.0);
+  hub_.health().note_straggler(suspect, slowdown);
+  std::ostringstream what_out;
+  what_out << "straggler detected: rank " << suspect
+           << " is alive (phi " << phi << ") and progressing (watermark "
+           << snap.watermarks[static_cast<std::size_t>(suspect)] << ", min "
+           << min_wm << ") but pacing the run: busy " << suspect_busy
+           << "s vs median peer " << median << "s (" << ratio
+           << "x) over " << snap.elapsed_s << "s; observed from rank "
+           << rank_ << " blocked in recv(src=" << src << ", tag=" << tag
+           << ")";
+  hub_.poison_all();
+  throw StragglerDetected(what_out.str());
 }
 
 void Comm::send_payload(int dst, std::int64_t tag, Payload payload) {
@@ -161,6 +301,13 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
   bool bounded = false;
   clock::time_point overall_deadline = clock::time_point::max();
   clock::time_point next_retransmit = clock::time_point::max();
+  // Adaptive per-channel deadline, derived from the observed inter-arrival
+  // distribution once the channel's estimator is primed. On expiry it either
+  // escalates (sender heartbeat-silent too: RecvTimeout) or stretches
+  // (sender alive: double, capped at the fixed ceiling) — so with a live
+  // sender this can never fail earlier than the fixed timeout alone.
+  clock::time_point adaptive_deadline = clock::time_point::max();
+  double adaptive_window_s = 0.0;
   double backoff_ms = reliability.backoff_ms;
   // Heal attempts charged against reliability.max_retransmits: nacks raised
   // plus timer-driven retransmit requests that actually re-queued a copy.
@@ -192,6 +339,19 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
               start + duration_from_ms(
                           jittered_ms(backoff_ms, rank_, tag, heal_attempts));
         }
+        if (adaptive_timeouts_ && channel.arrival_primed()) {
+          adaptive_window_s = std::max(
+              channel.adaptive_timeout_s(options.health.phi_threshold),
+              options.health.timeout_floor_s);
+          if (bounded) {
+            adaptive_window_s =
+                std::min(adaptive_window_s, options.recv_timeout_s);
+          }
+          adaptive_deadline =
+              start + duration_from_ms(adaptive_window_s * 1000.0);
+          adaptive_timeout_max_s_ =
+              std::max(adaptive_timeout_max_s_, adaptive_window_s);
+        }
         hub_.mark_blocked(rank_, src, tag);
         unmark.hub = &hub_;
         unmark.rank = rank_;
@@ -203,12 +363,18 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
         clock::time_point slice = clock::now() + kRecvSlice;
         if (slice > overall_deadline) slice = overall_deadline;
         if (slice > next_retransmit) slice = next_retransmit;
+        if (slice > adaptive_deadline) slice = adaptive_deadline;
         if (channel.try_pop_until(tag, message, slice) ==
             Channel::PopStatus::kOk) {
           got = true;
           break;
         }
         const clock::time_point now = clock::now();
+        // Every expired slice stamps this rank's own heartbeat lane (a
+        // blocked waiter is alive) and, when straggler detection is on,
+        // re-evaluates the gray-failure evidence.
+        heartbeat();
+        if (detect_stragglers_) straggler_probe(src, tag);
         if (reliability.enabled && now >= next_retransmit) {
           ++backoff_waits_;
           if (heal_attempts < reliability.max_retransmits) {
@@ -229,6 +395,29 @@ Payload Comm::recv_payload(int src, std::int64_t tag) {
             hub_.mark_heal_exhausted(rank_);
             next_retransmit = clock::time_point::max();
           }
+        }
+        if (adaptive_timeouts_ && now >= adaptive_deadline) {
+          double src_phi = 0.0;
+          if (!hub_.health().alive(src, &src_phi)) {
+            std::ostringstream what_out;
+            what_out << "adaptive recv timeout: rank " << rank_ << " waited "
+                     << adaptive_window_s << "s (phi threshold "
+                     << options.health.phi_threshold << ") for recv(src="
+                     << src << ", tag=" << tag << ") and rank " << src
+                     << "'s heartbeat lane is silent too (phi " << src_phi
+                     << ")";
+            hub_.poison_all();
+            throw RecvTimeout(what_out.str());
+          }
+          // Channel overdue but the sender is demonstrably alive: stretch.
+          adaptive_window_s *= 2.0;
+          if (bounded) {
+            adaptive_window_s =
+                std::min(adaptive_window_s, options.recv_timeout_s);
+          }
+          adaptive_deadline = now + duration_from_ms(adaptive_window_s * 1e3);
+          adaptive_timeout_max_s_ =
+              std::max(adaptive_timeout_max_s_, adaptive_window_s);
         }
         if (options.detect_deadlock) {
           ++deadlock_probes_;

@@ -12,6 +12,7 @@
 // of another (sends are buffered and never block).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -62,6 +63,12 @@ class Comm {
   // throws InjectedFault if the run's FaultPlan kills this rank there.
   void fault_level_boundary(int level);
 
+  // Progress watermark for the gray-failure subsystem: the induction
+  // engines call this at phase/level boundaries so the health registry can
+  // tell slow-but-progressing from stuck. No-op when health monitoring is
+  // off.
+  void publish_watermark(int level);
+
   // Communication operations (sends + receives) performed by this rank so
   // far; the unit in which op-triggered faults are addressed (1-based).
   std::int64_t comm_ops() const { return comm_ops_; }
@@ -97,10 +104,17 @@ class Comm {
 
   // --- modeled time and accounting -----------------------------------------
   // Advances this rank's virtual clock by `units` work units (one unit = one
-  // record-field visit; see CostModel).
+  // record-field visit; see CostModel). With CostModel::realize_work the
+  // modeled duration is also slept for real (accumulated and settled in
+  // bounded chunks so per-record calls stay cheap); an injected `slow` fault
+  // multiplies the realized — never the virtual — duration.
   void add_work(double units) {
     vtime_ += units * model_.seconds_per_work_unit;
     stats_.work_units += units;
+    if (model_.realize_work) {
+      realize_debt_s_ += units * model_.seconds_per_work_unit * slow_factor_;
+      if (realize_debt_s_ >= 1e-3) settle_realized_work();
+    }
   }
   double vtime() const { return vtime_; }
   void set_vtime(double t) { vtime_ = t; }
@@ -120,6 +134,15 @@ class Comm {
   std::uint64_t backoff_waits() const { return backoff_waits_; }
   std::uint64_t heals() const { return heals_; }
   std::uint64_t deadlock_probes() const { return deadlock_probes_; }
+
+  // Gray-failure telemetry (health.* metric family; zero/empty when health
+  // monitoring is off).
+  std::uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  const Histogram& suspicion_histogram() const { return suspicion_hist_; }
+  const Histogram& watermark_lag_histogram() const {
+    return watermark_lag_hist_;
+  }
+  double adaptive_timeout_max_s() const { return adaptive_timeout_max_s_; }
 
   // Tag source for collectives; advanced identically on all ranks.
   std::int64_t next_collective_tag() { return --collective_tag_; }
@@ -142,8 +165,18 @@ class Comm {
 
  private:
   // Advances the op counter and applies any op-triggered faults (kill,
-  // delay) for this rank. Returns the 1-based index of the operation.
+  // delay) for this rank, stamps this rank's heartbeat lane, and pays the
+  // per-op wall pause of an injected slow fault. Returns the 1-based index
+  // of the operation.
   std::int64_t begin_op(const char* what);
+  // Sleeps off the accumulated realized-work debt in bounded chunks,
+  // heartbeating between chunks so a throttled rank stays visibly alive.
+  void settle_realized_work();
+  // Stamp this rank's heartbeat lane (no-op when monitoring is off).
+  void heartbeat();
+  // One straggler-evidence probe, called from an expired receive slice.
+  // Throws StragglerDetected once the evidence has been sustained.
+  void straggler_probe(int src, std::int64_t tag);
 
   Hub& hub_;
   int rank_;
@@ -158,6 +191,21 @@ class Comm {
   std::int64_t collective_tag_ = 0;
   std::int64_t comm_ops_ = 0;
   CommOp current_op_ = CommOp::kPointToPoint;
+
+  // --- gray-failure state (all accessed only by this rank's thread) ----
+  bool health_monitoring_ = false;   // cached RunOptions::health.monitoring()
+  bool detect_stragglers_ = false;
+  bool adaptive_timeouts_ = false;
+  double slow_factor_ = 1.0;         // injected slow fault; 1 = healthy
+  double realize_debt_s_ = 0.0;      // realized work not yet slept off
+  std::uint64_t heartbeats_sent_ = 0;
+  Histogram suspicion_hist_;         // phi x100 per straggler probe
+  Histogram watermark_lag_hist_;     // watermark spread per straggler probe
+  double adaptive_timeout_max_s_ = 0.0;
+  // Straggler evidence, persisted across receives: the suspect under
+  // sustained observation and when the evidence window opened.
+  int straggler_suspect_ = -1;
+  std::chrono::steady_clock::time_point straggler_since_{};
 };
 
 }  // namespace scalparc::mp

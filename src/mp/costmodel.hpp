@@ -38,6 +38,11 @@ struct CostModel {
   double seconds_per_work_unit = 0.25e-6;
   // Barrier/clock-sync cost per ceil(log2 p) round.
   double barrier_round_s = 25e-6;
+  // When set, add_work also sleeps the calling thread for the modeled
+  // duration (in addition to advancing the virtual clock), so wall-clock
+  // measurements — and wall-clock throttles like the `slow` fault — see the
+  // modeled compute. Off by default: virtual time only.
+  bool realize_work = false;
 
   // Modeled in-flight time for a message of `bytes` payload.
   double wire_seconds(std::size_t bytes) const {

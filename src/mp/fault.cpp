@@ -99,9 +99,11 @@ void FaultPlan::parse(const std::string& spec) {
       action.kind = FaultKind::kDrop;
     } else if (kind_text == "duplicate") {
       action.kind = FaultKind::kDuplicate;
+    } else if (kind_text == "slow") {
+      action.kind = FaultKind::kSlow;
     } else {
       bad_spec(at, "unknown kind '" + kind_text +
-                       "' (kill | corrupt | delay | drop | duplicate)");
+                       "' (kill | corrupt | delay | drop | duplicate | slow)");
     }
 
     bool have_rank = false;
@@ -134,13 +136,23 @@ void FaultPlan::parse(const std::string& spec) {
         action.level = static_cast<int>(parse_int(field_at, value));
       } else if (key == "ms") {
         action.delay_ms = parse_num(field_at, value);
+      } else if (key == "factor") {
+        action.factor = parse_num(field_at, value);
       } else {
         bad_spec(field_at, "unknown field '" + key + "'");
       }
     }
 
     if (!have_rank) bad_spec(at, "missing r=<rank>");
-    if ((action.op >= 0) == (action.level >= 0)) {
+    if (action.kind == FaultKind::kSlow) {
+      // A slow fault is a whole-run condition, not a point event.
+      if (action.op >= 0 || action.level >= 0) {
+        bad_spec(at, "slow takes no op/level trigger (whole-run fault)");
+      }
+      if (!(action.factor > 1.0)) {
+        bad_spec(at, "slow needs factor=<greater than 1>");
+      }
+    } else if ((action.op >= 0) == (action.level >= 0)) {
       bad_spec(at, "need exactly one of op=<n> or level=<l>");
     }
     if (action.level >= 0 && action.kind != FaultKind::kKill) {
@@ -238,6 +250,13 @@ bool FaultPlan::duplicates_at_op(int rank, std::int64_t op) const {
     }
   }
   return false;
+}
+
+double FaultPlan::slow_factor_for(int rank) const {
+  for (const FaultAction& a : actions_) {
+    if (a.kind == FaultKind::kSlow && a.rank == rank) return a.factor;
+  }
+  return 1.0;
 }
 
 double FaultPlan::delay_ms_at_op(int rank, std::int64_t op) const {

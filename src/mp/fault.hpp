@@ -16,6 +16,11 @@
 //            detector)
 //   duplicate  push a second copy of an outgoing message with the same
 //            sequence number (retransmit-race fault; the receiver dedupes)
+//   slow     throttle a rank for the whole run (gray failure): realized
+//            work sleeps `factor` times longer and every comm operation
+//            pays a small wall-clock pause. The rank stays correct and
+//            keeps progressing — it is just persistently slower, the
+//            signature the straggler detector exists to classify.
 //
 // Everything is deterministic: triggers are exact (rank, op) / (rank, level)
 // matches and corruption bit positions derive from a seed hashed with the
@@ -44,17 +49,20 @@ struct InjectedFault : std::runtime_error {
   explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
 };
 
-enum class FaultKind : int { kKill, kCorrupt, kDelay, kDrop, kDuplicate };
+enum class FaultKind : int { kKill, kCorrupt, kDelay, kDrop, kDuplicate, kSlow };
 
 struct FaultAction {
   FaultKind kind = FaultKind::kKill;
   int rank = 0;
   // Trigger: exactly one of `op` (Nth comm operation on `rank`, 1-based)
-  // or `level` (induction level boundary) is >= 0.
+  // or `level` (induction level boundary) is >= 0. Exception: kSlow is a
+  // whole-run condition and takes neither trigger.
   std::int64_t op = -1;
   int level = -1;
   // kDelay only: wall-clock sleep in milliseconds.
   double delay_ms = 0.0;
+  // kSlow only: wall-clock throttle multiplier (> 1).
+  double factor = 1.0;
 };
 
 // Immutable after setup; shared (const) by all rank threads of a run. The
@@ -92,6 +100,9 @@ class FaultPlan {
   bool drops_at_op(int rank, std::int64_t op) const;
   bool duplicates_at_op(int rank, std::int64_t op) const;
   double delay_ms_at_op(int rank, std::int64_t op) const;
+  // Throttle multiplier for `rank` (1.0 when the plan carries no slow fault
+  // for it). Whole-run: no op/level trigger.
+  double slow_factor_for(int rank) const;
 
   // Flips 1..3 payload bits at positions derived from (seed, rank, op).
   // No-op on an empty payload.

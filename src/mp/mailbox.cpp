@@ -11,6 +11,13 @@ namespace scalparc::mp {
 void Channel::push(Message message) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (has_arrival_) {
+      arrivals_.record(
+          std::chrono::duration<double>(now - last_arrival_).count());
+    }
+    last_arrival_ = now;
+    has_arrival_ = true;
     queue_.push_back(std::move(message));
   }
   ready_.notify_all();
@@ -210,6 +217,24 @@ bool Channel::can_retransmit(std::int64_t tag) const {
 ChannelStats Channel::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+bool Channel::arrival_primed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return arrivals_.primed();
+}
+
+double Channel::arrival_silence_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!has_arrival_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       last_arrival_)
+      .count();
+}
+
+double Channel::adaptive_timeout_s(double phi_threshold) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return arrivals_.timeout_for_phi(phi_threshold);
 }
 
 }  // namespace scalparc::mp

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "mp/health.hpp"
 #include "mp/message.hpp"
 
 namespace scalparc::mp {
@@ -141,6 +142,18 @@ class Channel {
 
   ChannelStats stats() const;
 
+  // --- adaptive-timeout telemetry (gray-failure subsystem) ------------
+  // Every push feeds a phi-accrual estimator over the channel's message
+  // inter-arrival times, so a blocked receiver can derive its deadline from
+  // the observed latency distribution instead of a one-size-fits-all
+  // constant. Primed means enough samples for an opinion.
+  bool arrival_primed() const;
+  // Seconds since the last push (0 before the first message arrives).
+  double arrival_silence_s() const;
+  // Smallest silence whose suspicion reaches `phi_threshold`; call only
+  // when arrival_primed().
+  double adaptive_timeout_s(double phi_threshold) const;
+
  private:
   // A clean (pre-fault) byte copy of an unacknowledged message.
   struct Inflight {
@@ -173,6 +186,11 @@ class Channel {
   std::uint64_t accepted_watermark_ = 0;
   std::set<std::uint64_t> accepted_ahead_;
   ChannelStats stats_;
+
+  // Message inter-arrival history (guarded by mutex_, fed in push).
+  PhiAccrualEstimator arrivals_;
+  std::chrono::steady_clock::time_point last_arrival_{};
+  bool has_arrival_ = false;
 };
 
 }  // namespace scalparc::mp

@@ -20,15 +20,15 @@ namespace scalparc::mp {
 
 double default_recv_timeout_s() {
   if (const char* text = std::getenv("SCALPARC_TEST_RECV_TIMEOUT_S")) {
-    char* end = nullptr;
-    const double v = std::strtod(text, &end);
-    if (end != text && *end == '\0' && v > 0.0) return v;
+    // A set-but-broken override must be loud: a typo silently reverting to
+    // the 120 s default turns a seconds-scale fault suite into minutes.
+    return parse_positive_health_value("SCALPARC_TEST_RECV_TIMEOUT_S", text);
   }
   return 120.0;
 }
 
 Hub::Hub(int nranks, const RunOptions& options)
-    : nranks_(nranks), options_(options) {
+    : nranks_(nranks), options_(options), health_(nranks, options.health) {
   if (nranks <= 0) throw std::invalid_argument("Hub: nranks must be positive");
   channels_ = std::vector<Channel>(static_cast<std::size_t>(nranks) *
                                    static_cast<std::size_t>(nranks));
@@ -61,13 +61,16 @@ ChannelStats Hub::transport_stats() const {
 }
 
 void Hub::mark_blocked(int rank, int src, std::int64_t tag) {
-  std::lock_guard<std::mutex> lock(wait_mutex_);
-  WaitState& w = waits_[static_cast<std::size_t>(rank)];
-  w.blocked = true;
-  w.src = src;
-  w.tag = tag;
-  w.heal_exhausted = false;  // fresh budget for every logical receive
-  ++w.epoch;
+  {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    WaitState& w = waits_[static_cast<std::size_t>(rank)];
+    w.blocked = true;
+    w.src = src;
+    w.tag = tag;
+    w.heal_exhausted = false;  // fresh budget for every logical receive
+    ++w.epoch;
+  }
+  if (health_.enabled()) health_.on_blocked(rank);
 }
 
 void Hub::mark_heal_exhausted(int rank) {
@@ -76,10 +79,13 @@ void Hub::mark_heal_exhausted(int rank) {
 }
 
 void Hub::mark_unblocked(int rank) {
-  std::lock_guard<std::mutex> lock(wait_mutex_);
-  WaitState& w = waits_[static_cast<std::size_t>(rank)];
-  w.blocked = false;
-  ++w.epoch;
+  {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    WaitState& w = waits_[static_cast<std::size_t>(rank)];
+    w.blocked = false;
+    ++w.epoch;
+  }
+  if (health_.enabled()) health_.on_unblocked(rank);
 }
 
 void Hub::mark_dead(int rank) {
@@ -115,13 +121,16 @@ std::uint64_t Hub::total_liveness_epoch_bumps() const {
 }
 
 void Hub::mark_finished(int rank) {
-  std::lock_guard<std::mutex> lock(wait_mutex_);
-  WaitState& w = waits_[static_cast<std::size_t>(rank)];
-  if (!w.finished) {
-    w.finished = true;
-    w.blocked = false;
-    --unfinished_;
+  {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    WaitState& w = waits_[static_cast<std::size_t>(rank)];
+    if (!w.finished) {
+      w.finished = true;
+      w.blocked = false;
+      --unfinished_;
+    }
   }
+  if (health_.enabled()) health_.on_finished(rank);
 }
 
 std::string Hub::deadlock_diagnostic() {
@@ -290,6 +299,11 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
       } catch (const RecvTimeout&) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         hub.poison_all();
+      } catch (const StragglerDetected&) {
+        // Like DeadlockDetected, the reporting rank is a victim: the
+        // straggler itself is alive and correct, so nobody is marked dead.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        hub.poison_all();
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         // Poison before registering the death: waiters must wake with
@@ -316,6 +330,18 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
         outcome.metrics.add("runtime.deadlock_probes",
                             static_cast<double>(comm.deadlock_probes()));
       }
+      if (comm.heartbeats_sent() > 0) {
+        outcome.metrics.add("health.heartbeats_sent",
+                            static_cast<double>(comm.heartbeats_sent()));
+      }
+      outcome.metrics.merge_histogram("health.suspicion_phi_x100",
+                                      comm.suspicion_histogram());
+      outcome.metrics.merge_histogram("health.watermark_lag",
+                                      comm.watermark_lag_histogram());
+      if (comm.adaptive_timeout_max_s() > 0.0) {
+        outcome.metrics.gauge_max("health.adaptive_timeout_s",
+                                  comm.adaptive_timeout_max_s());
+      }
       outcome.metrics.gauge_max(
           "memory.peak_bytes_per_rank",
           static_cast<double>(outcome.meter.peak_bytes()));
@@ -337,6 +363,11 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
     } catch (const RecvTimeout& e) {
       result.failure_kind = FailureKind::kTimeout;
       result.failure_message = e.what();
+    } catch (const StragglerDetected& e) {
+      result.failure_kind = FailureKind::kStraggler;
+      result.failure_message = e.what();
+      result.straggler_rank = hub.health().straggler_rank();
+      result.straggler_slowdown = hub.health().straggler_slowdown();
     } catch (const std::exception& e) {
       result.failure_kind = FailureKind::kRankDeath;
       result.failure_message = e.what();
@@ -374,6 +405,17 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
   absorb_channel_stats(result.metrics, result.transport);
   result.metrics.add("runtime.liveness_epoch_bumps",
                      static_cast<double>(hub.total_liveness_epoch_bumps()));
+  if (hub.health().heartbeats_received() > 0) {
+    result.metrics.add("health.heartbeats_received",
+                       static_cast<double>(hub.health().heartbeats_received()));
+  }
+  if (hub.health().watermark_advances() > 0) {
+    result.metrics.add("health.watermark_advances",
+                       static_cast<double>(hub.health().watermark_advances()));
+  }
+  if (result.failure_kind == FailureKind::kStraggler) {
+    result.metrics.add("health.stragglers_detected", 1.0);
+  }
   result.metrics.gauge_max("runtime.ranks", static_cast<double>(nranks));
   result.metrics.gauge_max("runtime.modeled_seconds", result.modeled_seconds);
   result.metrics.gauge_max("runtime.wall_seconds", result.wall_seconds);

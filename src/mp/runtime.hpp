@@ -25,6 +25,7 @@
 
 #include "mp/comm.hpp"
 #include "mp/costmodel.hpp"
+#include "mp/health.hpp"
 #include "mp/mailbox.hpp"
 #include "mp/stats.hpp"
 #include "util/memory_meter.hpp"
@@ -36,7 +37,9 @@ class FaultPlan;  // mp/fault.hpp
 // Default per-receive timeout: 120 s, overridable via the
 // SCALPARC_TEST_RECV_TIMEOUT_S environment variable so test binaries can make
 // fault-suite failures fail in seconds instead of minutes. Read on every call
-// (not cached) so tests can change it between runs.
+// (not cached) so tests can change it between runs. A set-but-malformed (or
+// non-positive) value throws std::invalid_argument naming the variable and
+// the offending text instead of silently falling back to the default.
 double default_recv_timeout_s();
 
 // Ack/retransmit layer configuration (see mp/mailbox.hpp). Enabled by
@@ -68,6 +71,10 @@ struct RunOptions {
   bool detect_deadlock = true;
   // Self-healing transport (ack/retransmit/dedupe).
   ReliabilityOptions reliability;
+  // Gray-failure subsystem (phi-accrual heartbeats, adaptive per-channel
+  // timeouts, straggler classification). All off by default; see
+  // mp/health.hpp.
+  HealthOptions health;
   // Elastic grow: world size of the previous (failed) attempt. 0 on a normal
   // run. When positive and smaller than this run's nranks, ranks in
   // [prior_world, nranks) are *joiners* that must pass the join_handshake
@@ -103,6 +110,12 @@ class Hub {
 
   // Aggregated reliability counters over all channels.
   ChannelStats transport_stats() const;
+
+  // Gray-failure health lanes (heartbeats, watermarks, busy time) shared by
+  // all ranks of the run. Always constructed; its hot paths are only driven
+  // when options().health.monitoring().
+  HealthRegistry& health() { return health_; }
+  const HealthRegistry& health() const { return health_; }
 
   // --- deadlock detection and liveness --------------------------------
   // Ranks register what they are blocked on; a rank whose wait slice
@@ -157,6 +170,7 @@ class Hub {
 
   int nranks_;
   RunOptions options_;
+  HealthRegistry health_;
   std::vector<Channel> channels_;
   mutable std::mutex wait_mutex_;
   std::vector<WaitState> waits_;
@@ -199,8 +213,11 @@ struct RankOutcome {
 // Classification of a failed run, derived from the primary error's type:
 // kRankDeath means a specific rank terminated (its partitions are gone and
 // the world can shrink to the survivors); kDeadlock / kTimeout mean no rank
-// provably died — only a full restart is sound.
-enum class FailureKind { kNone, kRankDeath, kDeadlock, kTimeout };
+// provably died — only a full restart is sound. kStraggler means every rank
+// is alive and correct but one is persistently slow (gray failure): the
+// recovery layer can rebalance work away from it and resume from the last
+// checkpoint.
+enum class FailureKind { kNone, kRankDeath, kDeadlock, kTimeout, kStraggler };
 
 struct RunResult {
   // Modeled parallel runtime: max over ranks of the final virtual clock.
@@ -216,6 +233,10 @@ struct RunResult {
   std::string failure_message;
   std::exception_ptr error;
   FailureKind failure_kind = FailureKind::kNone;
+  // kStraggler only: the rank classified as persistently slow and its
+  // estimated slowdown factor (busy-time ratio vs the median peer, clamped).
+  int straggler_rank = -1;
+  double straggler_slowdown = 0.0;
   // Every rank that terminated with its own primary error (liveness
   // registry); the complement are the survivors a shrink recovery keeps.
   std::vector<int> dead_ranks;

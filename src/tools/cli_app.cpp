@@ -80,11 +80,32 @@ commands:
                --recv-timeout SECS  per-receive timeout, <=0 disables
                                     (default 120, or
                                     SCALPARC_TEST_RECV_TIMEOUT_S)
-               --recovery-policy P  restart | shrink | grow: what a failed
-                                    run does after a rank death — restart the
-                                    full world, continue with the survivors,
-                                    or admit fresh joiner ranks (default
-                                    restart; needs --checkpoint-dir)
+               --recovery-policy P  restart | shrink | grow | rebalance: what
+                                    a failed run does after a rank death —
+                                    restart the full world, continue with the
+                                    survivors, or admit fresh joiner ranks.
+                                    rebalance handles *straggler* classifica-
+                                    tions: same world, attribute lists
+                                    re-tiled away from the slow rank, with
+                                    escalation to a demotion if the same rank
+                                    re-classifies (default restart; needs
+                                    --checkpoint-dir)
+               --detect-stragglers  classify a sustained slow-but-alive rank
+                                    as a straggler (phi-accrual heartbeats +
+                                    progress watermarks) instead of letting
+                                    it drag the whole run
+               --adaptive-timeouts  derive per-receive timeouts from each
+                                    channel's observed arrival cadence
+                                    (never exceeds --recv-timeout; escalates
+                                    only when the peer's heartbeat lane is
+                                    silent too)
+               --phi-threshold X    suspicion level treated as dead for
+                                    health purposes (default 8)
+               --straggler-sustain-s S
+                                    seconds the straggler evidence must hold
+                                    before classifying (default 1.5)
+               --slow-ratio R       minimum busy-time ratio vs the median
+                                    peer to call a rank slow (default 3)
                --join-ranks K       grow only: joiners admitted per recovery,
                                     new world = survivors + K (default 1)
                --max-recoveries N   recovery budget: total failures the run
@@ -232,9 +253,11 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
     policy = core::RecoveryPolicy::kShrink;
   } else if (policy_name == "grow") {
     policy = core::RecoveryPolicy::kGrow;
+  } else if (policy_name == "rebalance") {
+    policy = core::RecoveryPolicy::kRebalance;
   } else if (policy_name != "restart") {
     err << "unknown --recovery-policy '" << policy_name
-        << "' (restart | shrink | grow)\n";
+        << "' (restart | shrink | grow | rebalance)\n";
     return 2;
   }
   if (policy != core::RecoveryPolicy::kRestart &&
@@ -265,6 +288,37 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
   mp::RunOptions run_options;
   run_options.recv_timeout_s =
       args.get_double("recv-timeout", mp::default_recv_timeout_s());
+  run_options.health.detect_stragglers =
+      args.get_bool("detect-stragglers", false);
+  run_options.health.adaptive_timeouts =
+      args.get_bool("adaptive-timeouts", false);
+  // Health tuning knobs are rejected at parse time: a malformed value must
+  // name the flag and the value instead of silently falling back.
+  if (!run_options.health.monitoring() &&
+      (args.has("phi-threshold") || args.has("straggler-sustain-s") ||
+       args.has("slow-ratio"))) {
+    err << "train: --phi-threshold / --straggler-sustain-s / --slow-ratio "
+           "only apply with --detect-stragglers or --adaptive-timeouts\n";
+    return 2;
+  }
+  try {
+    if (args.has("phi-threshold")) {
+      run_options.health.phi_threshold = mp::parse_positive_health_value(
+          "--phi-threshold", args.get_string("phi-threshold", ""));
+    }
+    if (args.has("straggler-sustain-s")) {
+      run_options.health.sustain_s = mp::parse_positive_health_value(
+          "--straggler-sustain-s", args.get_string("straggler-sustain-s", ""));
+    }
+    if (args.has("slow-ratio")) {
+      run_options.health.slow_ratio = mp::parse_positive_health_value(
+          "--slow-ratio", args.get_string("slow-ratio", ""));
+    }
+    run_options.health.validate();
+  } catch (const std::exception& e) {
+    err << "train: " << e.what() << "\n";
+    return 2;
+  }
   const std::int64_t max_retransmits = args.get_int("max-retransmits", 8);
   if (max_retransmits < 0) {
     err << "train: --max-retransmits must be >= 0\n";
@@ -351,6 +405,20 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
         case core::RecoveryPolicy::kRestart:
           world_change =
               "restarted " + std::to_string(event.ranks_after) + " rank(s)";
+          break;
+        case core::RecoveryPolicy::kRebalance:
+          if (event.demoted) {
+            world_change = "demoted straggler rank " +
+                           std::to_string(event.straggler_rank) +
+                           ", shrunk to " +
+                           std::to_string(event.ranks_after) + " rank(s)";
+          } else {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "rebalanced away from slow rank %d (slowdown x%.1f)",
+                          event.straggler_rank, event.straggler_slowdown);
+            world_change = buf;
+          }
           break;
       }
       out << "recovered from rank " << event.failed_rank << " failure ("

@@ -12,7 +12,10 @@
 // get cross-checked too: elastic_restore spans must pair with the
 // checkpoint.elastic_restores / recovery.retile_bytes counters, and any
 // recovery.* family must carry the recovery.outcome gauge (a recovery that
-// escaped classification is exactly what the chaos soak hunts).
+// escaped classification is exactly what the chaos soak hunts). Health-
+// monitored runs get a heartbeat cross-check: the Hub's received counter
+// must agree with the summed per-rank health.heartbeats_sent, and a
+// straggler classification without received heartbeats is an error.
 //
 // usage: scalparc-trace-report TRACE.json [flags]
 //   --top K          slowest spans to list (default 5)
@@ -329,6 +332,32 @@ int validate(const Trace& trace, const std::string& metrics_path,
         has_elastic_spans) {
       fail("grow recoveries recorded but recovery.joiners_admitted is "
            "missing");
+    }
+
+    // Heartbeat cross-check: every per-rank heartbeat lands in the Hub's
+    // registry, so the run-level received counter must cover the summed
+    // per-rank sent counters. A shortfall means heartbeats were dropped on
+    // the lane — exactly the kind of gray failure the health layer exists
+    // to catch. Recovered runs merge counters across attempts, so the exact
+    // equality only binds single-attempt traces.
+    const double hb_sent = metrics.value("health.heartbeats_sent", 0.0);
+    const double hb_received = metrics.value("health.heartbeats_received", 0.0);
+    if (hb_sent > 0.0 && hb_received <= 0.0) {
+      fail("health.heartbeats_sent recorded but health.heartbeats_received "
+           "is missing or zero (heartbeat lane lost every beat)");
+    }
+    if (!recovered && hb_sent > 0.0 && hb_received != hb_sent) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "health.heartbeats_received (%.0f) disagrees with "
+                    "health.heartbeats_sent (%.0f)",
+                    hb_received, hb_sent);
+      fail(msg);
+    }
+    if (metrics.value("health.stragglers_detected", 0.0) > 0.0 &&
+        hb_received <= 0.0) {
+      fail("a straggler was detected but no heartbeats were received — "
+           "classification without evidence");
     }
   }
 

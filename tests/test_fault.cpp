@@ -888,10 +888,19 @@ TEST(RecvTimeoutDefault, EnvironmentVariableOverridesDefault) {
   EXPECT_DOUBLE_EQ(mp::default_recv_timeout_s(), 7.5);
   EXPECT_DOUBLE_EQ(mp::RunOptions{}.recv_timeout_s, 7.5);
 
-  // Malformed or non-positive values fall back to the built-in default.
+  // A set-but-broken override is rejected loudly at parse time (a typo
+  // silently reverting to 120 s would turn a seconds-scale fault suite into
+  // minutes), naming the variable and the offending text.
   for (const char* bad : {"0", "-3", "abc", "12x", ""}) {
     ::setenv("SCALPARC_TEST_RECV_TIMEOUT_S", bad, 1);
-    EXPECT_DOUBLE_EQ(mp::default_recv_timeout_s(), 120.0) << bad;
+    try {
+      (void)mp::default_recv_timeout_s();
+      FAIL() << "accepted '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("SCALPARC_TEST_RECV_TIMEOUT_S"),
+                std::string::npos)
+          << e.what();
+    }
   }
   ::unsetenv("SCALPARC_TEST_RECV_TIMEOUT_S");
   EXPECT_DOUBLE_EQ(mp::default_recv_timeout_s(), 120.0);
