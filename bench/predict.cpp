@@ -1,0 +1,355 @@
+// Inference-path bench: the compiled flat-tree batch evaluator against the
+// recursive TreeNode walk it replaces, on a tree trained from the paper's
+// Quest workload.
+//
+// Everything here is wall-clock (Stopwatch), not modeled vtime: the point of
+// the flat SoA layout and the branchless depth-step advance is what the
+// memory system does per record, which the cost model abstracts away.
+//
+// For each rank count p and batch size b, every rank scores its contiguous
+// shard of the evaluation set: the recursive baseline walks row by row, the
+// compiled engine calls predict_batch per b-row slice. Before any timing the
+// bench runs the differential oracle — compiled predictions must be
+// row-for-row identical to DecisionTree::predict — and refuses to emit
+// numbers from a kernel that disagrees with the tree it was compiled from.
+//
+//   ./predict [--records N] [--function F] [--seed S] [--max-depth D]
+//             [--train-ranks R] [--procs 1,4] [--batches 1,64,256,1024,4096]
+//             [--reps R] [--min-speedup X] [--csv DIR]
+//             [--out BENCH_predict.json] [--validate BENCH_predict.json]
+//
+// --out writes the machine-readable JSON document; --validate re-parses a
+// document and checks its schema, the differential-oracle record, and the
+// headline claim (compiled throughput >= min_speedup x recursive at every
+// batch >= 256, at p = 1 and at some p >= 4), exiting non-zero on violation.
+// The `perf` ctest label runs this at tiny scale as a smoke test; CI
+// revalidates the committed BENCH_predict.json with the shipped claim.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/compiled_tree.hpp"
+#include "core/predict.hpp"
+#include "core/tree.hpp"
+#include "mp/collectives.hpp"
+#include "mp/metrics.hpp"
+#include "mp/runtime.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using scalparc::util::Json;
+
+struct PredictRow {
+  int procs = 0;
+  int batch = 0;
+  double recursive_seconds = 0.0;
+  double compiled_seconds = 0.0;
+  double recursive_records_per_s = 0.0;
+  double compiled_records_per_s = 0.0;
+  double speedup = 0.0;
+  // Metrics registry of the compiled run (predict.batches / predict.records
+  // counters, predict.depth histogram), embedded under "details".
+  Json details;
+};
+
+// Schema + claim validation; prints the first violation and returns false.
+bool validate(const Json& doc) {
+  const auto complain = [](const std::string& why) {
+    std::fprintf(stderr, "BENCH_predict.json validation failed: %s\n",
+                 why.c_str());
+    return false;
+  };
+  try {
+    if (doc.at("bench").as_string() != "predict") {
+      return complain("bench name is not 'predict'");
+    }
+    if (doc.at("records").as_int() <= 0) return complain("records <= 0");
+    if (doc.at("tree_nodes").as_int() <= 0) return complain("tree_nodes <= 0");
+    if (doc.at("tree_depth").as_int() <= 0) return complain("tree_depth <= 0");
+    const double min_speedup = doc.at("min_speedup").as_double();
+    if (!(min_speedup > 0.0)) return complain("min_speedup <= 0");
+    // The differential oracle must have run over the full evaluation set and
+    // found zero disagreements — a fast kernel that mispredicts is worthless.
+    if (doc.at("differential_rows").as_int() <= 0) {
+      return complain("differential_rows <= 0");
+    }
+    if (doc.at("differential_mismatches").as_int() != 0) {
+      return complain("differential oracle found mismatches");
+    }
+    const auto& runs = doc.at("runs").as_array();
+    if (runs.empty()) return complain("runs is empty");
+    bool claim_p1 = false;
+    bool claim_p4 = false;
+    for (const Json& run : runs) {
+      const int procs = static_cast<int>(run.at("procs").as_int());
+      const int batch = static_cast<int>(run.at("batch").as_int());
+      if (procs <= 0) return complain("run has procs <= 0");
+      if (batch <= 0) return complain("run has batch <= 0");
+      const double recursive = run.at("recursive_records_per_s").as_double();
+      const double compiled = run.at("compiled_records_per_s").as_double();
+      const double speedup = run.at("speedup").as_double();
+      if (!(run.at("recursive_seconds").as_double() > 0.0) ||
+          !(run.at("compiled_seconds").as_double() > 0.0) ||
+          !(recursive > 0.0) || !(compiled > 0.0) || !(speedup > 0.0)) {
+        return complain("run has non-positive measurement");
+      }
+      // The headline claim: at serving batch sizes (>= 256) the compiled
+      // engine beats the recursive walk by at least min_speedup, both
+      // single-rank and across a fanned-out worker pool.
+      if (batch >= 256 && (procs == 1 || procs >= 4)) {
+        if (speedup < min_speedup) {
+          char why[128];
+          std::snprintf(why, sizeof(why),
+                        "compiled speedup %.3f below required %.2f at p=%d "
+                        "batch=%d",
+                        speedup, min_speedup, procs, batch);
+          return complain(why);
+        }
+        claim_p1 = claim_p1 || procs == 1;
+        claim_p4 = claim_p4 || procs >= 4;
+      }
+      // details.metrics must decode as a registry snapshot with the batch
+      // telemetry the compiled path emits.
+      const Json* details = run.find("details");
+      if (details != nullptr) {
+        const scalparc::mp::MetricsSnapshot snapshot =
+            scalparc::mp::MetricsSnapshot::from_json(details->at("metrics"));
+        if (snapshot.value("predict.records") <= 0.0) {
+          return complain("details.metrics lacks predict.records");
+        }
+      }
+    }
+    if (!claim_p1) return complain("no run at p=1 with batch >= 256");
+    if (!claim_p4) return complain("no run at p>=4 with batch >= 256");
+  } catch (const std::exception& e) {
+    return complain(e.what());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scalparc;
+  const util::CliArgs args(argc, argv);
+
+  const std::string out_path = args.get_string("out", "");
+  const std::string validate_path = args.get_string("validate", "");
+  if (out_path.empty() && !validate_path.empty()) {
+    // Validate-only mode.
+    std::ifstream in(validate_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", validate_path.c_str());
+      return 1;
+    }
+    return validate(util::Json::parse(buffer.str())) ? 0 : 1;
+  }
+
+  const auto records = static_cast<std::size_t>(args.get_int("records", 400000));
+  const int function = static_cast<int>(args.get_int("function", 6));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int max_depth = static_cast<int>(args.get_int("max-depth", 14));
+  const int train_ranks = static_cast<int>(args.get_int("train-ranks", 4));
+  const std::vector<std::int64_t> procs = args.get_int_list("procs", {1, 4});
+  const std::vector<std::int64_t> batches =
+      args.get_int_list("batches", {1, 64, 256, 1024, 4096});
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const double min_speedup = args.get_double("min-speedup", 2.0);
+  const auto model = mp::CostModel::zero();
+
+  // ---------------- workload ------------------------------------------------
+  // Train on the paper's Quest generator (function 6 splits on the elevel
+  // categorical attribute, so the compiled tree exercises the mixed kernel
+  // and its fallback-leaf arena, not just the branchless continuous path).
+  data::GeneratorConfig config;
+  config.seed = seed;
+  config.function = static_cast<data::LabelFunction>(function);
+  const data::QuestGenerator generator(config);
+  const data::Dataset dataset = generator.generate(0, records);
+
+  core::InductionControls controls;
+  controls.options.max_depth = max_depth;
+  const core::FitReport fit = core::ScalParC::fit(dataset, train_ranks, controls);
+  const core::DecisionTree& tree = fit.tree;
+  const core::CompiledTree compiled = core::CompiledTree::compile(tree);
+  std::printf(
+      "model: %d tree node(s) -> %d flat node(s), depth %d, %s kernel, "
+      "%.1f KiB payload\n",
+      tree.num_nodes(), compiled.num_nodes(), compiled.depth(),
+      compiled.all_continuous() ? "continuous" : "mixed",
+      static_cast<double>(compiled.payload_bytes()) / 1024.0);
+
+  // ---------------- differential oracle -------------------------------------
+  // Row-for-row agreement with the recursive walk before any timing: a fast
+  // kernel that disagrees with the tree it was compiled from is a bug, not a
+  // speedup.
+  std::int64_t mismatches = 0;
+  {
+    const std::vector<std::int32_t> got = compiled.predict_all(dataset);
+    for (std::size_t row = 0; row < records; ++row) {
+      if (got[row] != tree.predict(dataset, row)) ++mismatches;
+    }
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "differential oracle: %lld mismatch(es) over %zu rows — "
+                   "refusing to bench a wrong kernel\n",
+                   static_cast<long long>(mismatches), records);
+      return 1;
+    }
+    std::printf("differential oracle: %zu rows, 0 mismatches\n\n", records);
+  }
+
+  // Enough scoring passes per timed region to dwarf timer and thread-spawn
+  // noise even at smoke scale.
+  const int iters =
+      static_cast<int>(std::max<std::size_t>(1, 4000000 / records));
+
+  // Best-of-reps wall time at p ranks: each rank scores its contiguous shard
+  // of the evaluation set `iters` times, recursively (batch == 0) or through
+  // the compiled engine in `batch`-row slices. Returns the slowest rank's
+  // seconds; compiled runs also surface the run's metrics registry.
+  double checksum = 0.0;
+  const auto time_rank_loop = [&](int p, int batch, Json* details) {
+    double best_seconds = 0.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::vector<double> elapsed(static_cast<std::size_t>(p), 0.0);
+      std::vector<double> sinks(static_cast<std::size_t>(p), 0.0);
+      const mp::RunResult run = mp::run_ranks(p, model, [&](mp::Comm& comm) {
+        const auto r = static_cast<std::size_t>(comm.rank());
+        const auto np = static_cast<std::size_t>(comm.size());
+        const std::size_t lo = records * r / np;
+        const std::size_t hi = records * (r + 1) / np;
+        std::vector<std::int32_t> out(std::max<std::size_t>(
+            1, static_cast<std::size_t>(batch)));
+        mp::barrier(comm);
+        util::Stopwatch timer;
+        double sink = 0.0;
+        for (int iter = 0; iter < iters; ++iter) {
+          if (batch == 0) {
+            for (std::size_t row = lo; row < hi; ++row) {
+              sink += static_cast<double>(tree.predict(dataset, row));
+            }
+          } else {
+            for (std::size_t pos = lo; pos < hi;
+                 pos += static_cast<std::size_t>(batch)) {
+              const std::size_t end =
+                  std::min(hi, pos + static_cast<std::size_t>(batch));
+              compiled.predict_batch(
+                  dataset, pos, end,
+                  std::span<std::int32_t>(out.data(), end - pos));
+              sink += static_cast<double>(out[0]);
+            }
+          }
+        }
+        elapsed[r] = timer.elapsed_seconds();
+        sinks[r] = sink;
+      });
+      const double rep_seconds =
+          *std::max_element(elapsed.begin(), elapsed.end());
+      best_seconds = rep == 0 ? rep_seconds : std::min(best_seconds, rep_seconds);
+      for (const double s : sinks) checksum += s;
+      if (details != nullptr) {
+        *details = Json::object();
+        (*details)["metrics"] = run.metrics.to_json();
+      }
+    }
+    return best_seconds;
+  };
+
+  // ---------------- timing grid ---------------------------------------------
+  bench::CsvWriter csv(args, "predict.csv",
+                       "procs,batch,impl,seconds,records_per_s");
+  const double scored =
+      static_cast<double>(records) * static_cast<double>(iters);
+  std::printf("scoring %zu records x %d pass(es) per timing\n\n", records,
+              iters);
+  std::printf("%6s %7s %15s %15s %17s %17s %9s\n", "procs", "batch",
+              "recursive(ms)", "compiled(ms)", "recursive rec/s",
+              "compiled rec/s", "speedup");
+  std::vector<PredictRow> rows;
+  for (const std::int64_t p : procs) {
+    // One recursive baseline per rank count; it has no batch dimension.
+    const double recursive_seconds =
+        time_rank_loop(static_cast<int>(p), /*batch=*/0, nullptr);
+    csv.row("%d,-,recursive,%.6f,%.1f", static_cast<int>(p), recursive_seconds,
+            scored / recursive_seconds);
+    for (const std::int64_t b : batches) {
+      PredictRow row;
+      row.procs = static_cast<int>(p);
+      row.batch = static_cast<int>(b);
+      row.recursive_seconds = recursive_seconds;
+      row.compiled_seconds = time_rank_loop(row.procs, row.batch, &row.details);
+      row.recursive_records_per_s = scored / row.recursive_seconds;
+      row.compiled_records_per_s = scored / row.compiled_seconds;
+      row.speedup = row.compiled_records_per_s / row.recursive_records_per_s;
+      std::printf("%6d %7d %15.3f %15.3f %17.3e %17.3e %8.2fx\n", row.procs,
+                  row.batch, row.recursive_seconds * 1e3,
+                  row.compiled_seconds * 1e3, row.recursive_records_per_s,
+                  row.compiled_records_per_s, row.speedup);
+      csv.row("%d,%d,compiled,%.6f,%.1f", row.procs, row.batch,
+              row.compiled_seconds, row.compiled_records_per_s);
+      rows.push_back(std::move(row));
+    }
+  }
+  std::printf("\n(checksum %.3g keeps the kernels honest)\n", checksum);
+
+  // ---------------- JSON document ------------------------------------------
+  Json doc = Json::object();
+  doc["bench"] = "predict";
+  doc["records"] = static_cast<std::int64_t>(records);
+  doc["function"] = function;
+  doc["seed"] = seed;
+  doc["reps"] = reps;
+  doc["min_speedup"] = min_speedup;
+  doc["tree_nodes"] = tree.num_nodes();
+  doc["flat_nodes"] = compiled.num_nodes();
+  doc["tree_depth"] = compiled.depth();
+  doc["all_continuous"] = compiled.all_continuous();
+  doc["differential_rows"] = static_cast<std::int64_t>(records);
+  doc["differential_mismatches"] = mismatches;
+  Json runs = Json::array();
+  for (const PredictRow& row : rows) {
+    Json run = Json::object();
+    run["procs"] = row.procs;
+    run["batch"] = row.batch;
+    run["recursive_seconds"] = row.recursive_seconds;
+    run["compiled_seconds"] = row.compiled_seconds;
+    run["recursive_records_per_s"] = row.recursive_records_per_s;
+    run["compiled_records_per_s"] = row.compiled_records_per_s;
+    run["speedup"] = row.speedup;
+    run["details"] = row.details;
+    runs.push_back(std::move(run));
+  }
+  doc["runs"] = std::move(runs);
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << doc.dump(2) << '\n';
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("\nJSON written to %s\n", out_path.c_str());
+  }
+  if (!validate_path.empty()) {
+    std::ifstream in(validate_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", validate_path.c_str());
+      return 1;
+    }
+    if (!validate(util::Json::parse(buffer.str()))) return 1;
+    std::printf("validation OK: %s\n", validate_path.c_str());
+  }
+  return 0;
+}

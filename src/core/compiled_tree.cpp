@@ -1,0 +1,291 @@
+#include "core/compiled_tree.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "mp/metrics.hpp"
+
+namespace scalparc::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+CompiledTree CompiledTree::compile(const DecisionTree& tree) {
+  if (tree.empty()) {
+    throw std::logic_error("CompiledTree::compile: empty tree");
+  }
+  CompiledTree out;
+  out.schema_ = tree.schema();
+  out.source_nodes_ = tree.num_nodes();
+
+  // Flat size: every source node plus one synthesized fallback leaf per
+  // categorical split (the target of unseen / out-of-range value codes).
+  int total = tree.num_nodes();
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    const TreeNode& n = tree.node(id);
+    if (!n.is_leaf && n.split.kind == data::AttributeKind::kCategorical) {
+      ++total;
+      out.all_continuous_ = false;
+    }
+  }
+  const auto size = static_cast<std::size_t>(total);
+  out.attr_.resize(size);
+  out.threshold_.resize(size);
+  out.child_base_.resize(size);
+  out.label_.resize(size);
+  out.is_cat_.resize(size);
+  out.cat_offset_.assign(size, -1);
+  out.cat_card_.assign(size, 0);
+
+  // The zero scratch lane's slot in the evaluation column table; leaves test
+  // it against +inf so they self-loop without a branch.
+  const std::int32_t zero_slot = out.schema_.num_attributes();
+  const auto emit_leaf = [&](std::int32_t flat, std::int32_t majority) {
+    out.attr_[static_cast<std::size_t>(flat)] = zero_slot;
+    out.threshold_[static_cast<std::size_t>(flat)] = kInf;
+    out.child_base_[static_cast<std::size_t>(flat)] = flat;
+    out.label_[static_cast<std::size_t>(flat)] = majority;
+    out.is_cat_[static_cast<std::size_t>(flat)] = 0;
+  };
+
+  // Breadth-first numbering: children of one node (and its fallback leaf,
+  // when categorical) occupy consecutive flat ids, so the advance loop
+  // reaches `child_base + slot` inside one cache line run.
+  struct Pending {
+    int orig;
+    std::int32_t flat;
+    int depth;
+  };
+  std::deque<Pending> queue{{tree.root(), 0, 0}};
+  std::int32_t next = 1;
+  while (!queue.empty()) {
+    const Pending item = queue.front();
+    queue.pop_front();
+    if (item.depth > out.depth_) out.depth_ = item.depth;
+    const TreeNode& n = tree.node(item.orig);
+    const auto f = static_cast<std::size_t>(item.flat);
+    out.label_[f] = n.majority_class;
+    if (n.is_leaf) {
+      emit_leaf(item.flat, n.majority_class);
+      continue;
+    }
+    const int kids = n.split.num_children;
+    if (kids < 2 || static_cast<std::size_t>(kids) != n.children.size()) {
+      throw std::logic_error("CompiledTree::compile: malformed split node");
+    }
+    out.child_base_[f] = next;
+    if (n.split.kind == data::AttributeKind::kContinuous) {
+      out.attr_[f] = n.split.attribute;
+      out.threshold_[f] = n.split.threshold;
+      out.is_cat_[f] = 0;
+      for (int slot = 0; slot < kids; ++slot) {
+        queue.push_back({n.children[static_cast<std::size_t>(slot)],
+                         next + slot, item.depth + 1});
+      }
+      next += kids;
+    } else {
+      out.attr_[f] = n.split.attribute;
+      out.threshold_[f] = kInf;
+      out.is_cat_[f] = 1;
+      const std::int32_t fallback = next + kids;
+      out.cat_offset_[f] = static_cast<std::int32_t>(out.cat_arena_.size());
+      out.cat_card_[f] =
+          static_cast<std::int32_t>(n.split.value_to_child.size());
+      for (const std::int32_t slot : n.split.value_to_child) {
+        if (slot >= kids) {
+          throw std::logic_error("CompiledTree::compile: bad value_to_child");
+        }
+        out.cat_arena_.push_back(slot >= 0 ? next + slot : fallback);
+      }
+      // Sentinel slot for out-of-range codes (same fallback as unseen ones).
+      out.cat_arena_.push_back(fallback);
+      for (int slot = 0; slot < kids; ++slot) {
+        queue.push_back({n.children[static_cast<std::size_t>(slot)],
+                         next + slot, item.depth + 1});
+      }
+      emit_leaf(fallback, n.majority_class);
+      if (item.depth + 1 > out.depth_) out.depth_ = item.depth + 1;
+      next += kids + 1;
+    }
+  }
+  if (next != total) {
+    throw std::logic_error("CompiledTree::compile: node accounting mismatch");
+  }
+  return out;
+}
+
+std::size_t CompiledTree::payload_bytes() const {
+  return attr_.size() * sizeof(std::int32_t) +
+         threshold_.size() * sizeof(double) +
+         child_base_.size() * sizeof(std::int32_t) +
+         label_.size() * sizeof(std::int32_t) +
+         is_cat_.size() * sizeof(std::int8_t) +
+         cat_offset_.size() * sizeof(std::int32_t) +
+         cat_card_.size() * sizeof(std::int32_t) +
+         cat_arena_.size() * sizeof(std::int32_t);
+}
+
+void CompiledTree::advance_continuous(std::span<std::int32_t> cur,
+                                      std::span<const double* const> cont,
+                                      std::size_t rows) const {
+  const std::int32_t* const attr = attr_.data();
+  const double* const threshold = threshold_.data();
+  const std::int32_t* const base = child_base_.data();
+  const double* const* const columns = cont.data();
+  std::int32_t* const nodes = cur.data();
+  for (int step = 0; step < depth_; ++step) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto n = static_cast<std::size_t>(nodes[r]);
+      const double v = columns[attr[n]][r];
+      // Branchless: rows at leaves test the zero lane against +inf and
+      // self-loop; NaN compares false and takes slot 1 like the recursive
+      // walk.
+      nodes[r] = base[n] + static_cast<std::int32_t>(!(v < threshold[n]));
+    }
+  }
+}
+
+void CompiledTree::advance_mixed(std::span<std::int32_t> cur,
+                                 std::span<const double* const> cont,
+                                 std::span<const std::int32_t* const> cat,
+                                 std::size_t rows) const {
+  for (int step = 0; step < depth_; ++step) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto n = static_cast<std::size_t>(cur[r]);
+      const std::int32_t a = attr_[n];
+      if (is_cat_[n] == 0) {
+        const double v = cont[static_cast<std::size_t>(a)][r];
+        cur[r] = child_base_[n] + static_cast<std::int32_t>(!(v < threshold_[n]));
+      } else {
+        const std::int32_t code = cat[static_cast<std::size_t>(a)][r];
+        const auto card = static_cast<std::uint32_t>(cat_card_[n]);
+        // Unsigned clamp folds negative and >= cardinality codes onto the
+        // sentinel slot, whose arena entry is the fallback leaf.
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(code) < card
+                ? static_cast<std::uint32_t>(code)
+                : card;
+        cur[r] = cat_arena_[static_cast<std::size_t>(cat_offset_[n]) + idx];
+      }
+    }
+  }
+}
+
+void CompiledTree::predict_batch(const data::Dataset& dataset,
+                                 std::size_t begin, std::size_t end,
+                                 std::span<std::int32_t> out) const {
+  if (empty()) {
+    throw std::logic_error("CompiledTree::predict_batch: empty model");
+  }
+  if (begin > end || end > dataset.num_records()) {
+    throw std::out_of_range("CompiledTree::predict_batch: bad row range");
+  }
+  if (out.size() != end - begin) {
+    throw std::invalid_argument(
+        "CompiledTree::predict_batch: output span size mismatch");
+  }
+  if (begin == end) return;
+
+  // Reused per-thread scratch: cursor lane, the all-zeros leaf lane, and the
+  // shifted column-pointer tables — zero steady-state allocation once warm.
+  thread_local std::vector<std::int32_t> cur;
+  thread_local std::vector<double> zero_lane;
+  thread_local std::vector<const double*> cont_base;
+  thread_local std::vector<const double*> cont;
+  thread_local std::vector<const std::int32_t*> cat_base;
+  thread_local std::vector<const std::int32_t*> cat;
+  cur.resize(kChunk);
+  zero_lane.assign(kChunk, 0.0);
+  const auto num_attrs = static_cast<std::size_t>(schema_.num_attributes());
+  cont_base.assign(num_attrs + 1, nullptr);
+  cont.assign(num_attrs + 1, nullptr);
+  cat_base.assign(num_attrs, nullptr);
+  cat.assign(num_attrs, nullptr);
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    if (schema_.attribute(a).kind == data::AttributeKind::kContinuous) {
+      cont_base[static_cast<std::size_t>(a)] =
+          dataset.continuous_column(a).data();
+    } else {
+      cat_base[static_cast<std::size_t>(a)] =
+          dataset.categorical_column(a).data();
+    }
+  }
+
+  for (std::size_t pos = begin; pos < end; pos += kChunk) {
+    const std::size_t rows = std::min(kChunk, end - pos);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      cont[a] = cont_base[a] == nullptr ? nullptr : cont_base[a] + pos;
+      cat[a] = cat_base[a] == nullptr ? nullptr : cat_base[a] + pos;
+    }
+    cont[num_attrs] = zero_lane.data();
+    for (std::size_t r = 0; r < rows; ++r) cur[r] = 0;
+    if (all_continuous_) {
+      advance_continuous(std::span<std::int32_t>(cur.data(), rows),
+                         std::span<const double* const>(cont), rows);
+    } else {
+      advance_mixed(std::span<std::int32_t>(cur.data(), rows),
+                    std::span<const double* const>(cont),
+                    std::span<const std::int32_t* const>(cat), rows);
+    }
+    std::int32_t* const dst = out.data() + (pos - begin);
+    for (std::size_t r = 0; r < rows; ++r) {
+      dst[r] = label_[static_cast<std::size_t>(cur[r])];
+    }
+  }
+
+  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+    sink->add("predict.batches");
+    sink->add("predict.records", static_cast<double>(end - begin));
+    sink->observe("predict.depth", static_cast<std::uint64_t>(depth_));
+  }
+}
+
+std::vector<std::int32_t> CompiledTree::predict_all(
+    const data::Dataset& dataset) const {
+  std::vector<std::int32_t> out(dataset.num_records());
+  predict_batch(dataset, 0, dataset.num_records(), out);
+  return out;
+}
+
+std::int32_t CompiledTree::predict(const data::Dataset& dataset,
+                                   std::size_t row) const {
+  if (empty()) {
+    throw std::logic_error("CompiledTree::predict: empty model");
+  }
+  std::int32_t node = 0;
+  for (;;) {
+    const auto n = static_cast<std::size_t>(node);
+    if (child_base_[n] == node) return label_[n];  // absorbing leaf
+    if (is_cat_[n] == 0) {
+      const double v = dataset.continuous_value(attr_[n], row);
+      node = child_base_[n] + static_cast<std::int32_t>(!(v < threshold_[n]));
+    } else {
+      const std::int32_t code = dataset.categorical_value(attr_[n], row);
+      const auto card = static_cast<std::uint32_t>(cat_card_[n]);
+      const std::uint32_t idx = static_cast<std::uint32_t>(code) < card
+                                    ? static_cast<std::uint32_t>(code)
+                                    : card;
+      node = cat_arena_[static_cast<std::size_t>(cat_offset_[n]) + idx];
+    }
+  }
+}
+
+void ModelHandle::swap(std::shared_ptr<const CompiledTree> next) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_ = std::move(next);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+    sink->add("predict.swaps");
+  }
+}
+
+}  // namespace scalparc::core

@@ -57,6 +57,20 @@ double ConfusionMatrix::recall(std::int32_t cls) const {
   return row == 0 ? 0.0 : static_cast<double>(at(cls, cls)) / static_cast<double>(row);
 }
 
+double ConfusionMatrix::precision(std::int32_t cls) const {
+  std::int64_t column = 0;
+  for (std::int32_t i = 0; i < num_classes_; ++i) column += at(i, cls);
+  return column == 0
+             ? 0.0
+             : static_cast<double>(at(cls, cls)) / static_cast<double>(column);
+}
+
+double ConfusionMatrix::f1(std::int32_t cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
 std::string ConfusionMatrix::to_string() const {
   std::ostringstream out;
   out << "actual\\predicted";
@@ -93,11 +107,15 @@ ConfusionMatrix evaluate_distributed(mp::Comm& comm, const DecisionTree& tree,
   std::vector<std::int64_t> local(
       static_cast<std::size_t>(num_classes) * static_cast<std::size_t>(num_classes),
       0);
-  for (std::size_t row = 0; row < local_block.num_records(); ++row) {
-    const std::int32_t actual = local_block.label(row);
-    const std::int32_t predicted = tree.predict(local_block, row);
-    ++local[static_cast<std::size_t>(actual) * static_cast<std::size_t>(num_classes) +
-            static_cast<std::size_t>(predicted)];
+  if (!local_block.empty()) {
+    const CompiledTree compiled = CompiledTree::compile(tree);
+    const std::vector<std::int32_t> predicted = compiled.predict_all(local_block);
+    for (std::size_t row = 0; row < local_block.num_records(); ++row) {
+      const std::int32_t actual = local_block.label(row);
+      ++local[static_cast<std::size_t>(actual) *
+                  static_cast<std::size_t>(num_classes) +
+              static_cast<std::size_t>(predicted[row])];
+    }
   }
   comm.add_work(static_cast<double>(local_block.num_records()));
   const std::vector<std::int64_t> global = mp::allreduce_vec(
@@ -113,19 +131,33 @@ ConfusionMatrix evaluate(const DecisionTree& tree, const data::Dataset& dataset)
   return matrix;
 }
 
+ConfusionMatrix evaluate(const CompiledTree& model, const data::Dataset& dataset) {
+  ConfusionMatrix matrix(dataset.schema().num_classes());
+  if (dataset.empty()) return matrix;
+  const std::vector<std::int32_t> predicted = model.predict_all(dataset);
+  for (std::size_t row = 0; row < dataset.num_records(); ++row) {
+    matrix.record(dataset.label(row), predicted[row]);
+  }
+  return matrix;
+}
+
 double holdout_accuracy(const DecisionTree& tree,
                         const data::QuestGenerator& generator,
                         std::uint64_t first_rid, std::size_t count) {
   if (count == 0) return 0.0;
   constexpr std::size_t kBatch = 8192;
+  const CompiledTree compiled = CompiledTree::compile(tree);
+  std::vector<std::int32_t> predicted(kBatch);
   std::size_t correct = 0;
   std::uint64_t rid = first_rid;
   std::size_t remaining = count;
   while (remaining > 0) {
     const std::size_t n = remaining < kBatch ? remaining : kBatch;
     const data::Dataset batch = generator.generate(rid, n);
+    compiled.predict_batch(batch, 0, n,
+                           std::span<std::int32_t>(predicted.data(), n));
     for (std::size_t row = 0; row < n; ++row) {
-      correct += tree.predict(batch, row) == batch.label(row);
+      correct += predicted[row] == batch.label(row);
     }
     rid += n;
     remaining -= n;

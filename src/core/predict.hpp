@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compiled_tree.hpp"
 #include "core/tree.hpp"
 #include "data/dataset.hpp"
 #include "data/synthetic.hpp"
@@ -27,6 +28,10 @@ class ConfusionMatrix {
   double accuracy() const;
   // Recall of one class (0 if the class never occurs).
   double recall(std::int32_t cls) const;
+  // Precision of one class (0 if the class is never predicted).
+  double precision(std::int32_t cls) const;
+  // Harmonic mean of precision and recall (0 when both are 0).
+  double f1(std::int32_t cls) const;
 
   std::string to_string() const;
 
@@ -41,18 +46,25 @@ class ConfusionMatrix {
   std::int64_t total_ = 0;
 };
 
-// Applies `tree` to every row of `dataset` and tallies the outcome.
+// Applies `tree` to every row of `dataset` and tallies the outcome, one
+// recursive walk per row. This is the differential oracle for the compiled
+// evaluator below — keep it per-row.
 ConfusionMatrix evaluate(const DecisionTree& tree, const data::Dataset& dataset);
 
-// Collective distributed evaluation: each rank scores its block of the
-// evaluation set; every rank returns the *global* confusion matrix (one
-// small allreduce). Blocks may be empty on some ranks.
+// Batched evaluation through the compiled flat-tree engine (identical
+// tallies, serving-path speed).
+ConfusionMatrix evaluate(const CompiledTree& model, const data::Dataset& dataset);
+
+// Collective distributed evaluation: each rank compiles the tree once and
+// scores its block in record batches; every rank returns the *global*
+// confusion matrix (one small allreduce). Blocks may be empty on some ranks.
 ConfusionMatrix evaluate_distributed(mp::Comm& comm, const DecisionTree& tree,
                                      const data::Dataset& local_block);
 
 // Accuracy of `tree` on `count` freshly generated held-out records starting
 // at `first_rid` (use an id range disjoint from training). Labels are the
 // generator's noisy labels, matching what a real held-out set would contain.
+// Scored in batches through the compiled engine.
 double holdout_accuracy(const DecisionTree& tree,
                         const data::QuestGenerator& generator,
                         std::uint64_t first_rid, std::size_t count);

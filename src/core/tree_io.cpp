@@ -21,17 +21,52 @@ namespace {
   throw std::runtime_error("tree_io: " + what);
 }
 
+// Every parse error names the 1-based line it found the problem on, so a
+// rejected snapshot (the serve ingestion path) is diagnosable without a hex
+// dump of the file.
+[[noreturn]] void fail_at(int line, const std::string& what) {
+  fail(what + " (line " + std::to_string(line) + ")");
+}
+
 std::string double_to_hex(double value) {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%a", value);
   return buffer;
 }
 
-double hex_to_double(const std::string& text) {
+double hex_to_double(const std::string& text, int line) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  if (end == text.c_str()) fail("bad threshold '" + text + "'");
+  if (end == text.c_str() || *end != '\0') {
+    fail_at(line, "bad threshold '" + text + "'");
+  }
   return value;
+}
+
+// Line-at-a-time reader tracking the current line number. The format is
+// line-oriented (one node per line), so structural errors always have a
+// well-defined location.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  bool next(std::string& out) {
+    if (!std::getline(in_, out)) return false;
+    if (!out.empty() && out.back() == '\r') out.pop_back();
+    ++line_;
+    return true;
+  }
+
+  int line() const { return line_; }
+
+ private:
+  std::istream& in_;
+  int line_ = 0;
+};
+
+// True when `text` contains nothing but whitespace.
+bool blank(const std::string& text) {
+  return text.find_first_not_of(" \t") == std::string::npos;
 }
 
 }  // namespace
@@ -84,90 +119,185 @@ void save_tree_file(const DecisionTree& tree, const std::string& path) {
 }
 
 DecisionTree load_tree(std::istream& in) {
+  LineReader reader(in);
   std::string line;
-  if (!std::getline(in, line) || line != "scalparc-tree v1") {
-    fail("missing 'scalparc-tree v1' header");
-  }
-  std::int32_t num_classes = 0;
-  if (!(in >> line >> num_classes) || line != "classes" || num_classes < 2) {
-    fail("bad classes line");
+  if (!reader.next(line) || line != "scalparc-tree v1") {
+    fail_at(1, "missing 'scalparc-tree v1' header");
   }
 
+  std::int32_t num_classes = 0;
+  {
+    if (!reader.next(line)) fail_at(reader.line() + 1, "missing classes line");
+    std::istringstream fields(line);
+    std::string token;
+    if (!(fields >> token >> num_classes) || token != "classes" ||
+        num_classes < 2) {
+      fail_at(reader.line(), "bad classes line");
+    }
+  }
+
+  // Attribute lines until the 'nodes <count>' line.
   std::vector<data::AttributeInfo> attributes;
-  std::string token;
+  int num_nodes = -1;
   for (;;) {
-    if (!(in >> token)) fail("unexpected end of input");
-    if (token == "nodes") break;
-    if (token != "attr") fail("expected 'attr' or 'nodes', got '" + token + "'");
+    if (!reader.next(line)) {
+      fail_at(reader.line() + 1, "unexpected end of input (no nodes line)");
+    }
+    std::istringstream fields(line);
+    std::string token;
+    if (!(fields >> token)) fail_at(reader.line(), "blank line in header");
+    if (token == "nodes") {
+      if (!(fields >> num_nodes) || num_nodes < 0) {
+        fail_at(reader.line(), "bad node count");
+      }
+      std::string extra;
+      if (fields >> extra) fail_at(reader.line(), "trailing field on nodes line");
+      break;
+    }
+    if (token != "attr") {
+      fail_at(reader.line(), "expected 'attr' or 'nodes', got '" + token + "'");
+    }
     std::string name;
     std::string kind;
-    if (!(in >> name >> kind)) fail("bad attr line");
+    if (!(fields >> name >> kind)) fail_at(reader.line(), "bad attr line");
     if (kind == "cont") {
       attributes.push_back(data::Schema::continuous(name));
     } else if (kind == "cat") {
       std::int32_t cardinality = 0;
-      if (!(in >> cardinality)) fail("bad categorical cardinality");
+      if (!(fields >> cardinality) || cardinality < 1) {
+        fail_at(reader.line(), "bad categorical cardinality");
+      }
       attributes.push_back(data::Schema::categorical(name, cardinality));
     } else {
-      fail("bad attribute kind '" + kind + "'");
+      fail_at(reader.line(), "bad attribute kind '" + kind + "'");
     }
+    std::string extra;
+    if (fields >> extra) fail_at(reader.line(), "trailing field on attr line");
   }
 
-  int num_nodes = 0;
-  if (!(in >> num_nodes) || num_nodes < 0) fail("bad node count");
   DecisionTree tree(data::Schema(std::move(attributes), num_classes));
   const data::Schema& schema = tree.schema();
 
+  // Structural audit state: the writer emits nodes in an order where every
+  // child id exceeds its parent's (level-order induction, pre-order
+  // compaction after pruning), and every non-root node is referenced by
+  // exactly one parent. Enforcing both makes self-references, back-edge
+  // cycles and shared subtrees unrepresentable, so a hostile snapshot can
+  // never smuggle a non-tree graph past the loader.
+  std::vector<char> has_parent(static_cast<std::size_t>(num_nodes), 0);
+
   for (int expected = 0; expected < num_nodes; ++expected) {
+    if (!reader.next(line)) {
+      fail_at(reader.line() + 1,
+              "unexpected end of input: node count says " +
+                  std::to_string(num_nodes) + " node(s), got " +
+                  std::to_string(expected));
+    }
+    std::istringstream fields(line);
+    std::string token;
     int id = 0;
     std::string kind;
-    if (!(in >> token >> id >> kind) || token != "node" || id != expected) {
-      fail("bad node line (expected node " + std::to_string(expected) + ")");
+    if (!(fields >> token >> id >> kind) || token != "node" || id != expected) {
+      fail_at(reader.line(),
+              "bad node line (expected node " + std::to_string(expected) + ")");
     }
     TreeNode node;
-    if (!(in >> node.depth >> node.num_records >> node.majority_class)) {
-      fail("bad node header");
+    if (!(fields >> node.depth >> node.num_records >> node.majority_class)) {
+      fail_at(reader.line(), "bad node header");
+    }
+    if (node.majority_class < 0 || node.majority_class >= num_classes) {
+      fail_at(reader.line(), "majority class out of range");
     }
     node.class_counts.resize(static_cast<std::size_t>(num_classes));
     for (auto& count : node.class_counts) {
-      if (!(in >> count)) fail("bad class counts");
+      if (!(fields >> count)) fail_at(reader.line(), "bad class counts");
     }
     if (kind == "leaf") {
       node.is_leaf = true;
     } else if (kind == "cont" || kind == "cat") {
       node.is_leaf = false;
-      if (!(in >> node.split.attribute)) fail("bad split attribute");
+      if (!(fields >> node.split.attribute)) {
+        fail_at(reader.line(), "bad split attribute");
+      }
       if (node.split.attribute < 0 ||
           node.split.attribute >= schema.num_attributes()) {
-        fail("split attribute out of range");
+        fail_at(reader.line(), "split attribute out of range");
       }
+      const data::AttributeInfo& info = schema.attribute(node.split.attribute);
       if (kind == "cont") {
+        if (info.kind != data::AttributeKind::kContinuous) {
+          fail_at(reader.line(),
+                  "continuous split on categorical attribute '" + info.name +
+                      "'");
+        }
         node.split.kind = data::AttributeKind::kContinuous;
         node.split.num_children = 2;
-        if (!(in >> token)) fail("bad threshold");
-        node.split.threshold = hex_to_double(token);
+        if (!(fields >> token)) fail_at(reader.line(), "bad threshold");
+        node.split.threshold = hex_to_double(token, reader.line());
       } else {
-        node.split.kind = data::AttributeKind::kCategorical;
-        if (!(in >> node.split.num_children) || node.split.num_children < 2) {
-          fail("bad child count");
+        if (info.kind != data::AttributeKind::kCategorical) {
+          fail_at(reader.line(), "categorical split on continuous attribute '" +
+                                     info.name + "'");
         }
-        const std::int32_t cardinality =
-            schema.attribute(node.split.attribute).cardinality;
-        node.split.value_to_child.resize(static_cast<std::size_t>(cardinality));
+        node.split.kind = data::AttributeKind::kCategorical;
+        if (!(fields >> node.split.num_children) ||
+            node.split.num_children < 2) {
+          fail_at(reader.line(), "bad child count");
+        }
+        node.split.value_to_child.resize(
+            static_cast<std::size_t>(info.cardinality));
         for (auto& slot : node.split.value_to_child) {
-          if (!(in >> slot)) fail("bad value_to_child");
+          if (!(fields >> slot)) fail_at(reader.line(), "bad value_to_child");
+          if (slot < -1 || slot >= node.split.num_children) {
+            fail_at(reader.line(), "value_to_child slot " +
+                                       std::to_string(slot) + " out of range");
+          }
         }
       }
       node.children.resize(static_cast<std::size_t>(node.split.num_children));
       for (auto& child : node.children) {
-        if (!(in >> child) || child < 0 || child >= num_nodes) {
-          fail("bad child id");
+        if (!(fields >> child)) fail_at(reader.line(), "bad child id");
+        if (child < 0 || child >= num_nodes) {
+          fail_at(reader.line(), "child id " + std::to_string(child) +
+                                     " out of range [0, " +
+                                     std::to_string(num_nodes) + ")");
         }
+        if (child <= id) {
+          fail_at(reader.line(),
+                  "child id " + std::to_string(child) +
+                      " does not exceed its parent id " + std::to_string(id) +
+                      " (self-reference or cycle)");
+        }
+        if (has_parent[static_cast<std::size_t>(child)] != 0) {
+          fail_at(reader.line(), "node " + std::to_string(child) +
+                                     " is claimed by more than one parent");
+        }
+        has_parent[static_cast<std::size_t>(child)] = 1;
       }
     } else {
-      fail("bad node kind '" + kind + "'");
+      fail_at(reader.line(), "bad node kind '" + kind + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      fail_at(reader.line(), "trailing field '" + extra + "' on node line");
     }
     tree.add_node(std::move(node));
+  }
+
+  // Node-count audit: the declared count must be exact — extra node lines
+  // (or any other trailing content) mean the file and its count disagree.
+  while (reader.next(line)) {
+    if (!blank(line)) {
+      fail_at(reader.line(), "trailing content after the declared " +
+                                 std::to_string(num_nodes) + " node(s)");
+    }
+  }
+  // Reachability audit: every non-root node must have been claimed as
+  // someone's child; an orphan is a severed subtree the writer never emits.
+  for (int id = 1; id < num_nodes; ++id) {
+    if (has_parent[static_cast<std::size_t>(id)] == 0) {
+      fail("node " + std::to_string(id) + " is unreachable (no parent)");
+    }
   }
   return tree;
 }

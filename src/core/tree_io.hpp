@@ -15,6 +15,15 @@
 //        <attribute> <num_children> <value_to_child...> <children...>
 //
 // Thresholds are serialized as hex doubles so the round trip is exact.
+//
+// `load_tree` is the serving layer's snapshot-ingestion point, so it is
+// strict about structure, not just syntax: child ids must be in range and
+// strictly exceed their parent's id (making self-references and cycles
+// unrepresentable), every non-root node must be claimed by exactly one
+// parent (no shared subtrees, no orphans), split kinds must match the
+// declared attribute kinds, and the declared node count must be exact —
+// extra node lines are rejected as trailing content. Every error names the
+// offending line.
 #pragma once
 
 #include <iosfwd>

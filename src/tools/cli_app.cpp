@@ -513,10 +513,24 @@ int cmd_predict(const util::CliArgs& args, std::ostream& out,
     err << "predict: data schema does not match the model's schema\n";
     return 2;
   }
-  const core::ConfusionMatrix matrix = core::evaluate(tree, dataset);
+  // Score through the compiled flat-tree engine (the serving path); the
+  // recursive walk stays available as the differential oracle in tests.
+  const core::CompiledTree compiled = core::CompiledTree::compile(tree);
+  const std::vector<std::int32_t> predicted = compiled.predict_all(dataset);
+  core::ConfusionMatrix matrix(tree.schema().num_classes());
+  for (std::size_t row = 0; row < dataset.num_records(); ++row) {
+    matrix.record(dataset.label(row), predicted[row]);
+  }
   out << "evaluated " << matrix.total() << " records\n";
   out << "accuracy: " << matrix.accuracy() << "\n";
   out << "confusion matrix:\n" << matrix.to_string();
+  out << "class  precision  recall  f1\n";
+  for (std::int32_t cls = 0; cls < tree.schema().num_classes(); ++cls) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "%5d  %9.4f  %6.4f  %6.4f\n", cls,
+                  matrix.precision(cls), matrix.recall(cls), matrix.f1(cls));
+    out << line;
+  }
   const std::string out_path = args.get_string("out", "");
   if (!out_path.empty()) {
     std::ofstream predictions(out_path);
@@ -527,7 +541,7 @@ int cmd_predict(const util::CliArgs& args, std::ostream& out,
     predictions << "row,actual,predicted\n";
     for (std::size_t row = 0; row < dataset.num_records(); ++row) {
       predictions << row << ',' << dataset.label(row) << ','
-                  << tree.predict(dataset, row) << '\n';
+                  << predicted[row] << '\n';
     }
     out << "predictions written to " << out_path << "\n";
   }
