@@ -124,6 +124,16 @@ bool validate(const Json& doc) {
         if (snapshot.value("predict.records") <= 0.0) {
           return complain("details.metrics lacks predict.records");
         }
+        if (snapshot.value("predict.batches") <= 0.0) {
+          return complain("details.metrics lacks predict.batches");
+        }
+        const scalparc::mp::Metric* depth = snapshot.find("predict.depth");
+        if (depth == nullptr ||
+            depth->kind != scalparc::mp::MetricKind::kHistogram ||
+            depth->histogram.count == 0) {
+          return complain(
+              "details.metrics predict.depth is not a populated histogram");
+        }
       }
     }
     if (!claim_p1) return complain("no run at p=1 with batch >= 256");

@@ -37,6 +37,7 @@
 #include "bench_common.hpp"
 #include "core/tree_io.hpp"
 #include "mp/fault.hpp"
+#include "mp/metrics.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -77,6 +78,23 @@ bool validate(const Json& doc) {
     if (!clean.at("tree_matches_oracle").as_bool()) {
       return complain("clean tree diverged from the oracle");
     }
+    // details.metrics (absent in documents written before it existed) must
+    // decode as a registry snapshot whose health counters agree with the
+    // summary fields next to it.
+    const Json* clean_details = clean.find("details");
+    if (clean_details != nullptr) {
+      const scalparc::mp::MetricsSnapshot snapshot =
+          scalparc::mp::MetricsSnapshot::from_json(
+              clean_details->at("metrics"));
+      if (snapshot.value("induction.levels") <= 0.0) {
+        return complain("clean details.metrics lacks induction.levels");
+      }
+      if (snapshot.value("health.stragglers_detected", 0.0) !=
+          static_cast<double>(clean.at("stragglers_detected").as_int())) {
+        return complain(
+            "clean details.metrics disagrees with stragglers_detected");
+      }
+    }
     const Json& unmitigated = doc.at("unmitigated");
     if (!unmitigated.at("tree_matches_oracle").as_bool()) {
       return complain("unmitigated tree diverged from the oracle");
@@ -94,6 +112,18 @@ bool validate(const Json& doc) {
     }
     if (mitigated.at("rebalances").as_int() < 1) {
       return complain("mitigated run never applied a rebalance");
+    }
+    const Json* mitigated_details = mitigated.find("details");
+    if (mitigated_details != nullptr) {
+      const scalparc::mp::MetricsSnapshot snapshot =
+          scalparc::mp::MetricsSnapshot::from_json(
+              mitigated_details->at("metrics"));
+      if (snapshot.value("induction.levels") <= 0.0) {
+        return complain("mitigated details.metrics lacks induction.levels");
+      }
+      if (snapshot.value("comm.bytes_sent") <= 0.0) {
+        return complain("mitigated details.metrics lacks comm.bytes_sent");
+      }
     }
     const double speedup = mitigated.at("speedup_vs_unmitigated").as_double();
     const double min_speedup = doc.at("min_speedup").as_double();
@@ -284,6 +314,9 @@ int main(int argc, char** argv) {
   clean_json["wall_s"] = Json(clean_s);
   clean_json["stragglers_detected"] = Json(static_cast<double>(clean_stragglers));
   clean_json["tree_matches_oracle"] = Json(clean_matches);
+  Json clean_details = Json::object();
+  clean_details["metrics"] = clean.run.metrics.to_json();
+  clean_json["details"] = std::move(clean_details);
   doc["clean"] = std::move(clean_json);
   Json unmitigated_json = Json::object();
   unmitigated_json["wall_s"] = Json(unmitigated_s);
@@ -298,6 +331,9 @@ int main(int argc, char** argv) {
   mitigated_json["demotions"] = Json(static_cast<double>(demotions));
   mitigated_json["resumed_level"] = Json(static_cast<double>(resumed_level));
   mitigated_json["tree_matches_oracle"] = Json(mitigated_matches);
+  Json mitigated_details = Json::object();
+  mitigated_details["metrics"] = mitigated.fit.run.metrics.to_json();
+  mitigated_json["details"] = std::move(mitigated_details);
   doc["mitigated"] = std::move(mitigated_json);
 
   if (!out_path.empty()) {

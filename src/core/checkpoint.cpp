@@ -19,6 +19,7 @@
 #endif
 
 #include "core/tree_io.hpp"
+#include "mp/telemetry.hpp"
 #include "util/crc32.hpp"
 
 namespace scalparc::core {
@@ -338,6 +339,10 @@ void retry_transient_io(const std::string& what,
       throw;  // a nested hardened write already spent its own budget
     } catch (const std::exception& e) {
       if (tries >= kMaxAttempts) {
+        telemetry::record_event("checkpoint_io_error",
+                                what + " failed after " +
+                                    std::to_string(tries) +
+                                    " attempts: " + e.what());
         throw CheckpointIoError(what + " failed after " +
                                 std::to_string(tries) +
                                 " attempts: " + e.what());
@@ -345,6 +350,10 @@ void retry_transient_io(const std::string& what,
       if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
         sink->add("checkpoint.write_retries", 1);
       }
+      telemetry::record_event(
+          "checkpoint_io_error",
+          what + " attempt " + std::to_string(tries) + " failed (" + e.what() +
+              "), retrying in " + std::to_string(backoff_ms) + "ms");
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));
       backoff_ms = std::min(backoff_ms * 4.0, kBackoffCapMs);

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "mp/metrics.hpp"
+#include "mp/telemetry.hpp"
 
 namespace scalparc::core {
 
@@ -282,10 +283,13 @@ void ModelHandle::swap(std::shared_ptr<const CompiledTree> next) {
     std::lock_guard<std::mutex> lock(mutex_);
     model_ = std::move(next);
   }
-  swaps_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t swap_no =
+      swaps_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
     sink->add("predict.swaps");
   }
+  telemetry::record_event("model_swap",
+                          "hot-swap #" + std::to_string(swap_no));
 }
 
 }  // namespace scalparc::core

@@ -23,6 +23,7 @@
 #include "mp/collectives.hpp"
 #include "mp/metrics.hpp"
 #include "mp/runtime.hpp"
+#include "mp/telemetry.hpp"
 #include "sort/partition_util.hpp"
 #include "sort/sample_sort.hpp"
 #include "util/trace.hpp"
@@ -943,6 +944,17 @@ InductionResult induce_tree_quantized(mp::Comm& comm,
           mp::allreduce_value(comm, sent, mp::MaxOp{});
       level.vtime_end = comm.vtime();
       stats.per_level.push_back(level);
+    }
+
+    // Live telemetry: same per-level publish as the exact path (see
+    // induction.cpp) so `train --telemetry-out` covers every split mode.
+    if (telemetry::live_metrics_enabled()) {
+      if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+        mp::MetricsSnapshot live = *sink;
+        absorb_induction_stats(live, stats);
+        mp::absorb_comm_stats(live, comm.stats());
+        telemetry::publish_metrics("rank" + std::to_string(comm.rank()), live);
+      }
     }
 
     ++level_index;

@@ -25,6 +25,7 @@
 #include "mp/collectives.hpp"
 #include "mp/metrics.hpp"
 #include "mp/runtime.hpp"
+#include "mp/telemetry.hpp"
 #include "sort/rebalance.hpp"
 #include "sort/sample_sort.hpp"
 #include "util/arena.hpp"
@@ -1262,6 +1263,18 @@ InductionResult induce_tree_distributed(mp::Comm& comm,
           mp::allreduce_value(comm, sent, mp::MaxOp{});
       level.vtime_end = comm.vtime();
       stats.per_level.push_back(level);
+    }
+
+    // Live telemetry: publish a copy of this rank's cumulative counters so
+    // the exporter can sample mid-run. The real sink is untouched; cost when
+    // telemetry is off is one relaxed atomic load.
+    if (telemetry::live_metrics_enabled()) {
+      if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+        mp::MetricsSnapshot live = *sink;
+        absorb_induction_stats(live, stats);
+        mp::absorb_comm_stats(live, comm.stats());
+        telemetry::publish_metrics("rank" + std::to_string(comm.rank()), live);
+      }
     }
 
     ++level_index;

@@ -10,6 +10,7 @@
 
 #include "core/checkpoint.hpp"
 #include "mp/fault.hpp"
+#include "mp/telemetry.hpp"
 #include "sort/partition_util.hpp"
 
 namespace scalparc::core {
@@ -253,6 +254,10 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
 
     const auto fail_fast = [&](RecoveryOutcome outcome) {
       report.outcome = outcome;
+      telemetry::record_event("recovery",
+                              std::string("terminal: ") + to_string(outcome) +
+                                  " after " + std::to_string(report.attempts) +
+                                  " attempt(s)");
       report.fit.run = std::move(attempt.run);  // metrics + failure report
       absorb_recovery_metrics(report.fit.run.metrics, report, recovery.budget);
       return report;
@@ -368,6 +373,21 @@ RecoveryReport ScalParC::fit_with_recovery(const data::Dataset& training,
         checkpoint_latest_level(controls.checkpoint.directory);
     attempt_controls.checkpoint.resume = latest.has_value();
     event.resumed_level = latest ? *latest : -1;
+    {
+      const char* policy = "restart";
+      switch (event.policy) {
+        case RecoveryPolicy::kShrink: policy = "shrink"; break;
+        case RecoveryPolicy::kGrow: policy = "grow"; break;
+        case RecoveryPolicy::kRebalance: policy = "rebalance"; break;
+        case RecoveryPolicy::kRestart: break;
+      }
+      telemetry::record_event(
+          "recovery", std::string(policy) + " after rank " +
+                          std::to_string(event.failed_rank) +
+                          " failure; world " + std::to_string(event.ranks_after) +
+                          ", resume level " +
+                          std::to_string(event.resumed_level));
+    }
     report.events.push_back(std::move(event));
   }
 }

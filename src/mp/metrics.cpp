@@ -39,6 +39,31 @@ Histogram& Histogram::operator+=(const Histogram& other) {
   return *this;
 }
 
+double histogram_quantile(const Histogram& histogram, double q) {
+  if (histogram.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil so p100 == last).
+  const double target = q * static_cast<double>(histogram.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (histogram.buckets[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += histogram.buckets[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (b == 0) return 0.0;  // bucket 0 holds only zeros
+    const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(b));
+    const double within =
+        (target - static_cast<double>(before)) /
+        static_cast<double>(histogram.buckets[b]);
+    const double estimate = lo + (hi - lo) * within;
+    const double observed_max = static_cast<double>(histogram.max);
+    return estimate < observed_max ? estimate : observed_max;
+  }
+  return static_cast<double>(histogram.max);
+}
+
 std::string_view metric_kind_name(MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:
@@ -119,6 +144,12 @@ util::Json MetricsSnapshot::to_json() const {
       entry["count"] = h.count;
       entry["sum"] = h.sum;
       entry["max"] = h.max;
+      // Derived summaries so readers stop hand-interpolating log2 buckets.
+      // from_json ignores unknown keys, and they are deterministic functions
+      // of the buckets, so round-trips stay byte-identical.
+      entry["p50"] = histogram_quantile(h, 0.50);
+      entry["p95"] = histogram_quantile(h, 0.95);
+      entry["p99"] = histogram_quantile(h, 0.99);
       // Sparse encoding: only non-empty buckets, as [index, count] pairs.
       util::Json buckets = util::Json::array();
       for (std::size_t i = 0; i < kHistogramBuckets; ++i) {

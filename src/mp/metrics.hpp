@@ -52,6 +52,12 @@ struct Histogram {
   Histogram& operator+=(const Histogram& other);
 };
 
+// Quantile estimate from the log2 buckets: walks the cumulative counts to
+// the bucket holding the q-th observation and interpolates linearly inside
+// its [2^(b-1), 2^b) value range, clamped to the observed max. Returns 0
+// for an empty histogram. q is clamped to [0, 1].
+double histogram_quantile(const Histogram& histogram, double q);
+
 enum class MetricKind { kCounter, kGauge, kHistogram };
 
 std::string_view metric_kind_name(MetricKind kind);

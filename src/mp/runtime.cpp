@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mp/fault.hpp"
+#include "mp/telemetry.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -415,6 +416,11 @@ RunResult try_run_ranks(int nranks, const CostModel& model,
   }
   if (result.failure_kind == FailureKind::kStraggler) {
     result.metrics.add("health.stragglers_detected", 1.0);
+    telemetry::record_event(
+        "straggler", "rank " + std::to_string(result.straggler_rank) +
+                         " classified slow (x" +
+                         std::to_string(result.straggler_slowdown) + "): " +
+                         result.failure_message);
   }
   result.metrics.gauge_max("runtime.ranks", static_cast<double>(nranks));
   result.metrics.gauge_max("runtime.modeled_seconds", result.modeled_seconds);

@@ -1,0 +1,538 @@
+#include "mp/telemetry.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/json.hpp"
+#include "util/logging.hpp"
+
+namespace scalparc::telemetry {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Live registry state.
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_live_enabled{false};
+std::mutex g_live_mutex;
+std::map<std::string, mp::MetricsSnapshot, std::less<>>& live_sources() {
+  static auto* sources =
+      new std::map<std::string, mp::MetricsSnapshot, std::less<>>();
+  return *sources;
+}
+
+// ---------------------------------------------------------------------------
+// Flight-recorder state.
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_flight_enabled{false};
+std::mutex g_flight_mutex;
+struct FlightState {
+  std::size_t capacity = 0;
+  std::deque<FlightEvent> ring;
+  std::uint64_t dropped = 0;
+  std::string armed_path;
+};
+FlightState& flight_state() {
+  static auto* state = new FlightState();
+  return *state;
+}
+
+extern "C" void flight_signal_handler(int sig) {
+  // Best-effort postmortem: the dump allocates and locks, which is not
+  // async-signal-safe, but on SIGINT/SIGTERM the alternative is losing the
+  // ring entirely. Restore the default disposition first so a second
+  // signal (or the re-raise below) terminates unconditionally.
+  std::signal(sig, SIG_DFL);
+  dump_armed_flight();
+  std::raise(sig);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Live registry.
+// ---------------------------------------------------------------------------
+
+bool live_metrics_enabled() {
+  return g_live_enabled.load(std::memory_order_relaxed);
+}
+
+void set_live_metrics_enabled(bool enabled) {
+  g_live_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void publish_metrics(std::string_view source,
+                     const mp::MetricsSnapshot& snapshot) {
+  if (!live_metrics_enabled()) return;
+  std::lock_guard<std::mutex> lock(g_live_mutex);
+  auto& sources = live_sources();
+  auto it = sources.find(source);
+  if (it == sources.end()) {
+    sources.emplace(std::string(source), snapshot);
+  } else {
+    it->second = snapshot;
+  }
+}
+
+mp::MetricsSnapshot merged_live_metrics() {
+  std::lock_guard<std::mutex> lock(g_live_mutex);
+  mp::MetricsSnapshot merged;
+  for (const auto& [source, snapshot] : live_sources()) {
+    merged.merge(snapshot);
+  }
+  return merged;
+}
+
+void reset_live_metrics() {
+  std::lock_guard<std::mutex> lock(g_live_mutex);
+  live_sources().clear();
+}
+
+// ---------------------------------------------------------------------------
+// RollingQuantiles.
+// ---------------------------------------------------------------------------
+
+struct RollingImpl {
+  mutable std::mutex mutex;
+  std::vector<mp::Histogram> ring;  // ring[head] is the current epoch
+  std::size_t head = 0;
+};
+
+RollingQuantiles::RollingQuantiles(std::size_t window_epochs)
+    : impl_(new RollingImpl()) {
+  impl_->ring.resize(window_epochs == 0 ? 1 : window_epochs);
+}
+
+RollingQuantiles::~RollingQuantiles() { delete impl_; }
+
+std::size_t RollingQuantiles::window_epochs() const {
+  return impl_->ring.size();
+}
+
+void RollingQuantiles::observe(std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->ring[impl_->head].observe(value);
+}
+
+void RollingQuantiles::advance_epoch() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->head = (impl_->head + 1) % impl_->ring.size();
+  impl_->ring[impl_->head] = mp::Histogram{};  // evict the oldest epoch
+}
+
+mp::Histogram RollingQuantiles::windowed() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  mp::Histogram merged;
+  for (const mp::Histogram& epoch : impl_->ring) merged += epoch;
+  return merged;
+}
+
+double RollingQuantiles::quantile(double q) const {
+  return mp::histogram_quantile(windowed(), q);
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker.
+// ---------------------------------------------------------------------------
+
+struct SloImpl {
+  SloImpl(double target, std::size_t window_epochs)
+      : target_p99_us(target), window(window_epochs) {}
+
+  double target_p99_us;
+  RollingQuantiles window;
+
+  mutable std::mutex mutex;
+  double latest_p99_us = 0.0;
+  std::uint64_t breaches = 0;
+  double burn_seconds = 0.0;
+  double violation_streak_s = 0.0;
+  bool in_violation = false;
+};
+
+SloTracker::SloTracker(double target_p99_us, std::size_t window_epochs)
+    : impl_(new SloImpl(target_p99_us, window_epochs)) {}
+
+SloTracker::~SloTracker() { delete impl_; }
+
+void SloTracker::observe_latency_us(std::uint64_t us) {
+  impl_->window.observe(us);
+}
+
+bool SloTracker::epoch_tick(double epoch_seconds) {
+  const double p99 = impl_->window.quantile(0.99);
+  impl_->window.advance_epoch();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->latest_p99_us = p99;
+  const bool violating = p99 > impl_->target_p99_us;
+  if (violating) {
+    ++impl_->breaches;
+    impl_->burn_seconds += epoch_seconds;
+    impl_->violation_streak_s += epoch_seconds;
+    if (!impl_->in_violation) {
+      std::ostringstream detail;
+      detail << "windowed p99 " << p99 << "us > target "
+             << impl_->target_p99_us << "us";
+      record_event("slo_breach", detail.str());
+    }
+  } else {
+    impl_->violation_streak_s = 0.0;
+  }
+  impl_->in_violation = violating;
+  return violating;
+}
+
+double SloTracker::windowed_p99_us() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->latest_p99_us;
+}
+
+mp::MetricsSnapshot SloTracker::metrics() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  mp::MetricsSnapshot out;
+  out.gauge_max("slo.target_p99_us", impl_->target_p99_us);
+  out.gauge_max("slo.p99_us", impl_->latest_p99_us);
+  out.add("slo.breaches", static_cast<double>(impl_->breaches));
+  out.add("slo.burn_seconds", impl_->burn_seconds);
+  out.gauge_max("slo.time_in_violation_s", impl_->violation_streak_s);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+// ---------------------------------------------------------------------------
+
+void set_flight_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(g_flight_mutex);
+  FlightState& state = flight_state();
+  state.capacity = capacity;
+  state.ring.clear();
+  state.dropped = 0;
+  g_flight_enabled.store(capacity > 0, std::memory_order_relaxed);
+}
+
+std::size_t flight_capacity() {
+  std::lock_guard<std::mutex> lock(g_flight_mutex);
+  return flight_state().capacity;
+}
+
+void record_event(std::string_view kind, std::string_view detail) {
+  if (!g_flight_enabled.load(std::memory_order_relaxed)) return;
+  FlightEvent event;
+  event.t_s = util::monotonic_seconds();
+  event.rank = util::thread_rank();
+  event.kind = std::string(kind);
+  event.detail = std::string(detail);
+  std::lock_guard<std::mutex> lock(g_flight_mutex);
+  FlightState& state = flight_state();
+  if (state.capacity == 0) return;
+  if (state.ring.size() >= state.capacity) {
+    state.ring.pop_front();
+    ++state.dropped;
+  }
+  state.ring.push_back(std::move(event));
+}
+
+std::vector<FlightEvent> flight_events() {
+  std::lock_guard<std::mutex> lock(g_flight_mutex);
+  const FlightState& state = flight_state();
+  return std::vector<FlightEvent>(state.ring.begin(), state.ring.end());
+}
+
+std::uint64_t flight_dropped() {
+  std::lock_guard<std::mutex> lock(g_flight_mutex);
+  return flight_state().dropped;
+}
+
+void clear_flight() {
+  std::lock_guard<std::mutex> lock(g_flight_mutex);
+  FlightState& state = flight_state();
+  state.ring.clear();
+  state.dropped = 0;
+}
+
+bool dump_flight(const std::string& path) {
+  std::size_t capacity = 0;
+  std::uint64_t dropped = 0;
+  std::vector<FlightEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(g_flight_mutex);
+    const FlightState& state = flight_state();
+    if (state.capacity == 0) return false;
+    capacity = state.capacity;
+    dropped = state.dropped;
+    events.assign(state.ring.begin(), state.ring.end());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SCALPARC_LOG_ERROR << "flight recorder: cannot open '" << path
+                       << "' for writing";
+    return false;
+  }
+  util::Json header = util::Json::object();
+  header["format"] = "scalparc-flight-v1";
+  header["capacity"] = static_cast<std::uint64_t>(capacity);
+  header["dropped"] = dropped;
+  header["events"] = static_cast<std::uint64_t>(events.size());
+  out << header.dump(0) << "\n";
+  for (const FlightEvent& event : events) {
+    util::Json line = util::Json::object();
+    line["t_s"] = event.t_s;
+    line["rank"] = event.rank;
+    line["kind"] = event.kind;
+    line["detail"] = event.detail;
+    out << line.dump(0) << "\n";
+  }
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+void arm_flight_dump(std::string path) {
+  const bool armed = !path.empty();
+  {
+    std::lock_guard<std::mutex> lock(g_flight_mutex);
+    flight_state().armed_path = std::move(path);
+  }
+  if (armed) {
+    std::signal(SIGINT, flight_signal_handler);
+    std::signal(SIGTERM, flight_signal_handler);
+  }
+}
+
+void dump_armed_flight() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_flight_mutex);
+    path = flight_state().armed_path;
+  }
+  if (!path.empty()) dump_flight(path);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition rendering.
+// ---------------------------------------------------------------------------
+
+std::string exposition_name(std::string_view metric_name) {
+  std::string out = "scalparc_";
+  out.reserve(out.size() + metric_name.size());
+  for (const char c : metric_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+namespace {
+
+void append_sample(std::string& out, const std::string& name,
+                   const std::string& labels, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += name;
+  out += labels;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string render_exposition(const mp::MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, metric] : snapshot.metrics()) {
+    const std::string sample = exposition_name(name);
+    switch (metric.kind) {
+      case mp::MetricKind::kCounter:
+        out += "# TYPE " + sample + " counter\n";
+        append_sample(out, sample, "", metric.value);
+        break;
+      case mp::MetricKind::kGauge:
+        out += "# TYPE " + sample + " gauge\n";
+        append_sample(out, sample, "", metric.value);
+        break;
+      case mp::MetricKind::kHistogram: {
+        const mp::Histogram& h = metric.histogram;
+        out += "# TYPE " + sample + " summary\n";
+        append_sample(out, sample, "{quantile=\"0.5\"}",
+                      mp::histogram_quantile(h, 0.50));
+        append_sample(out, sample, "{quantile=\"0.95\"}",
+                      mp::histogram_quantile(h, 0.95));
+        append_sample(out, sample, "{quantile=\"0.99\"}",
+                      mp::histogram_quantile(h, 0.99));
+        append_sample(out, sample + "_sum", "", static_cast<double>(h.sum));
+        append_sample(out, sample + "_count", "",
+                      static_cast<double>(h.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryExporter.
+// ---------------------------------------------------------------------------
+
+struct ExporterImpl {
+  TelemetryOptions options;
+  std::ofstream timeseries;
+  std::thread worker;
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool stopping = false;
+  bool stopped = false;
+  std::atomic<int> epochs{0};
+  // Per-counter totals and per-histogram counts from the previous epoch,
+  // for delta computation.
+  std::map<std::string, double> prev_counters;
+  std::map<std::string, std::uint64_t> prev_hist_counts;
+  std::chrono::steady_clock::time_point last_epoch_at;
+  double t0_s = 0.0;
+};
+
+namespace {
+
+void export_epoch(ExporterImpl& impl) {
+  const auto now = std::chrono::steady_clock::now();
+  const double epoch_seconds =
+      std::chrono::duration<double>(now - impl.last_epoch_at).count();
+  impl.last_epoch_at = now;
+
+  mp::MetricsSnapshot merged = merged_live_metrics();
+  if (impl.options.epoch_hook) {
+    impl.options.epoch_hook(merged, epoch_seconds);
+  }
+  const int epoch = impl.epochs.fetch_add(1);
+
+  if (impl.timeseries.is_open()) {
+    util::Json record = util::Json::object();
+    record["format"] = "scalparc-timeseries-v1";
+    record["epoch"] = static_cast<std::int64_t>(epoch);
+    record["t_s"] = util::monotonic_seconds() - impl.t0_s;
+    record["interval_ms"] =
+        static_cast<std::int64_t>(impl.options.interval_ms);
+    util::Json counters = util::Json::object();
+    util::Json gauges = util::Json::object();
+    util::Json histograms = util::Json::object();
+    for (const auto& [name, metric] : merged.metrics()) {
+      switch (metric.kind) {
+        case mp::MetricKind::kCounter: {
+          util::Json entry = util::Json::object();
+          entry["total"] = metric.value;
+          auto [it, inserted] = impl.prev_counters.emplace(name, 0.0);
+          entry["delta"] = metric.value - it->second;
+          it->second = metric.value;
+          counters[name] = std::move(entry);
+          break;
+        }
+        case mp::MetricKind::kGauge:
+          gauges[name] = metric.value;
+          break;
+        case mp::MetricKind::kHistogram: {
+          const mp::Histogram& h = metric.histogram;
+          util::Json entry = util::Json::object();
+          entry["count"] = h.count;
+          auto [it, inserted] = impl.prev_hist_counts.emplace(name, 0);
+          entry["delta_count"] =
+              static_cast<std::uint64_t>(h.count - it->second);
+          it->second = h.count;
+          entry["sum"] = h.sum;
+          entry["max"] = h.max;
+          entry["p50"] = mp::histogram_quantile(h, 0.50);
+          entry["p95"] = mp::histogram_quantile(h, 0.95);
+          entry["p99"] = mp::histogram_quantile(h, 0.99);
+          histograms[name] = std::move(entry);
+          break;
+        }
+      }
+    }
+    record["counters"] = std::move(counters);
+    record["gauges"] = std::move(gauges);
+    record["histograms"] = std::move(histograms);
+    impl.timeseries << record.dump(0) << "\n";
+    impl.timeseries.flush();
+  }
+
+  if (!impl.options.expose_path.empty()) {
+    // Atomic rewrite: scrapers never observe a half-written snapshot.
+    const std::string tmp = impl.options.expose_path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (out) {
+      out << render_exposition(merged);
+      out.flush();
+      out.close();
+      if (std::rename(tmp.c_str(), impl.options.expose_path.c_str()) != 0) {
+        SCALPARC_LOG_ERROR << "telemetry: rename '" << tmp << "' -> '"
+                           << impl.options.expose_path << "' failed";
+      }
+    } else {
+      SCALPARC_LOG_ERROR << "telemetry: cannot open '" << tmp
+                         << "' for writing";
+    }
+  }
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(TelemetryOptions options)
+    : impl_(new ExporterImpl()) {
+  impl_->options = std::move(options);
+  if (impl_->options.interval_ms < 1) impl_->options.interval_ms = 1;
+  impl_->t0_s = util::monotonic_seconds();
+  impl_->last_epoch_at = std::chrono::steady_clock::now();
+  if (!impl_->options.timeseries_path.empty()) {
+    impl_->timeseries.open(impl_->options.timeseries_path, std::ios::trunc);
+    if (!impl_->timeseries) {
+      SCALPARC_LOG_ERROR << "telemetry: cannot open '"
+                         << impl_->options.timeseries_path << "' for writing";
+    }
+  }
+  set_live_metrics_enabled(true);
+  impl_->worker = std::thread([impl = impl_] {
+    std::unique_lock<std::mutex> lock(impl->mutex);
+    for (;;) {
+      impl->cv.wait_for(
+          lock, std::chrono::milliseconds(impl->options.interval_ms),
+          [impl] { return impl->stopping; });
+      if (impl->stopping) return;
+      export_epoch(*impl);
+    }
+  });
+}
+
+void TelemetryExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->worker.joinable()) impl_->worker.join();
+  // Final epoch so short runs still produce at least one record and the
+  // exposition file reflects the end state.
+  export_epoch(*impl_);
+  set_live_metrics_enabled(false);
+}
+
+TelemetryExporter::~TelemetryExporter() {
+  stop();
+  delete impl_;
+}
+
+int TelemetryExporter::epochs() const { return impl_->epochs.load(); }
+
+}  // namespace scalparc::telemetry

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -16,9 +17,11 @@
 #include "data/csv.hpp"
 #include "data/synthetic.hpp"
 #include "mp/fault.hpp"
+#include "mp/telemetry.hpp"
 #include "sprint/parallel_sprint.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/trace.hpp"
 
 namespace scalparc::tools {
@@ -126,6 +129,14 @@ commands:
                                     (default 1 = all)
                --metrics-out FILE   write the run's merged metrics registry
                                     as JSON (scalparc-metrics-v1)
+               --telemetry-out FILE append live scalparc-timeseries-v1 JSONL
+                                    epochs sampled from the running ranks
+               --telemetry-interval-ms N
+                                    telemetry sampling epoch (default 1000)
+               --expose-out FILE    Prometheus text exposition, atomically
+                                    rewritten every telemetry epoch
+               --flight-out FILE    dump the flight-recorder event ring as
+                                    scalparc-flight-v1 JSONL at exit
   predict    evaluate a saved model on a CSV
                --model FILE         saved tree (required)
                --data FILE          CSV with labels (required)
@@ -373,6 +384,31 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
     }
   }
 
+  // Continuous telemetry (off by default; docs/observability.md). The rank
+  // threads publish per-level snapshot copies; the exporter samples them on
+  // the interval.
+  const std::string telemetry_path = args.get_string("telemetry-out", "");
+  const std::string expose_path = args.get_string("expose-out", "");
+  const std::string flight_path = args.get_string("flight-out", "");
+  const std::int64_t telemetry_interval_ms =
+      args.get_int("telemetry-interval-ms", 1000);
+  if (telemetry_interval_ms < 1) {
+    err << "train: --telemetry-interval-ms must be >= 1\n";
+    return 2;
+  }
+  if (!flight_path.empty()) {
+    telemetry::set_flight_capacity(256);
+    telemetry::arm_flight_dump(flight_path);
+  }
+  std::unique_ptr<telemetry::TelemetryExporter> exporter;
+  if (!telemetry_path.empty() || !expose_path.empty()) {
+    telemetry::TelemetryOptions topts;
+    topts.timeseries_path = telemetry_path;
+    topts.expose_path = expose_path;
+    topts.interval_ms = static_cast<int>(telemetry_interval_ms);
+    exporter = std::make_unique<telemetry::TelemetryExporter>(std::move(topts));
+  }
+
   const data::Dataset training = data::read_csv_file(data_path);
   core::FitReport report;
   if (controls.checkpoint.resume) {
@@ -439,12 +475,28 @@ int cmd_train(const util::CliArgs& args, std::ostream& out, std::ostream& err) {
         }
       }
       err << "\n";
+      if (exporter != nullptr) exporter->stop();
+      telemetry::dump_armed_flight();
       return 1;
     }
     report = std::move(recovered.fit);
   } else {
     report = core::ScalParC::fit(training, ranks, controls,
                                  mp::CostModel::zero(), run_options);
+  }
+  // Final epoch captures the end-of-run registry state.
+  if (exporter != nullptr) {
+    exporter->stop();
+    out << "telemetry: " << exporter->epochs() << " epoch(s) every "
+        << telemetry_interval_ms << " ms";
+    if (!telemetry_path.empty()) out << " -> " << telemetry_path;
+    if (!expose_path.empty()) out << ", expose " << expose_path;
+    out << "\n";
+  }
+  if (!flight_path.empty()) {
+    if (telemetry::dump_flight(flight_path)) {
+      out << "flight recorder written to " << flight_path << "\n";
+    }
   }
   if (!trace_path.empty()) {
     const util::TraceDump dump = util::TraceCollector::instance().stop();
@@ -608,6 +660,9 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   const std::string command = argv[1];
   const util::CliArgs args(argc - 1, argv + 1);
   try {
+    // Force the SCALPARC_LOG_FORMAT env parse up front: a garbage value must
+    // fail the run loudly, not lie dormant until the first log line.
+    util::log_format();
     if (command == "generate") return cmd_generate(args, out, err);
     if (command == "train") return cmd_train(args, out, err);
     if (command == "predict") return cmd_predict(args, out, err);
@@ -620,6 +675,8 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     err << "unknown command '" << command << "'\n\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {
+    // Error exit: flush the flight-recorder ring for the postmortem.
+    telemetry::dump_armed_flight();
     err << "error: " << e.what() << "\n";
     return 1;
   }

@@ -17,6 +17,7 @@
 // family of the metrics registry (docs/observability.md).
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -34,8 +35,10 @@
 #include "mp/collectives.hpp"
 #include "mp/metrics.hpp"
 #include "mp/runtime.hpp"
+#include "mp/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
+#include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -62,6 +65,17 @@ usage: scalparc-serve --model FILE [flags]
   --quality         print the per-class precision/recall/F1 table
   --report FILE     write a scalparc-serve-v1 JSON report
   --metrics-out FILE  write the merged metrics registry as JSON
+
+continuous telemetry (all off by default; docs/observability.md):
+  --telemetry-out FILE        append scalparc-timeseries-v1 JSONL epochs
+  --telemetry-interval-ms N   sampling epoch length (default 250)
+  --expose-out FILE           Prometheus text exposition, atomically
+                              rewritten each epoch
+  --flight-out FILE           flight-recorder ring dumped as
+                              scalparc-flight-v1 JSONL at exit (and on
+                              SIGINT/SIGTERM or error exit)
+  --slo-p99-us X              rolling-window p99 latency target; maintains
+                              the slo.* metrics family
 )";
 
 double percentile(const std::vector<double>& sorted, double p) {
@@ -80,6 +94,14 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stdout);
     return 0;
   }
+  try {
+    // Force the SCALPARC_LOG_FORMAT env parse up front: a garbage value must
+    // fail the run loudly, not lie dormant until the first log line.
+    util::log_format();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scalparc-serve: %s\n", e.what());
+    return 2;
+  }
 
   const std::string model_path = args.get_string("model", "");
   if (model_path.empty()) {
@@ -94,6 +116,30 @@ int main(int argc, char** argv) {
     std::fputs("scalparc-serve: --ranks, --batch and --rounds must be >= 1\n",
                stderr);
     return 2;
+  }
+
+  // ---- continuous telemetry knobs ----------------------------------------
+  const std::string telemetry_path = args.get_string("telemetry-out", "");
+  const std::string expose_path = args.get_string("expose-out", "");
+  const std::string flight_path = args.get_string("flight-out", "");
+  const auto telemetry_interval_ms =
+      static_cast<int>(args.get_int("telemetry-interval-ms", 250));
+  if (telemetry_interval_ms < 1) {
+    std::fputs("scalparc-serve: --telemetry-interval-ms must be >= 1\n",
+               stderr);
+    return 2;
+  }
+  const double slo_p99_us = args.get_double("slo-p99-us", 0.0);
+  if (args.has("slo-p99-us") && slo_p99_us <= 0.0) {
+    std::fputs("scalparc-serve: --slo-p99-us must be > 0\n", stderr);
+    return 2;
+  }
+
+  // Arm the flight recorder before anything can fail so error exits always
+  // leave a (possibly empty) postmortem document behind.
+  if (!flight_path.empty()) {
+    telemetry::set_flight_capacity(256);
+    telemetry::arm_flight_dump(flight_path);
   }
 
   try {
@@ -173,6 +219,29 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // ---- continuous telemetry -------------------------------------------
+    std::unique_ptr<telemetry::SloTracker> slo;
+    if (slo_p99_us > 0.0) {
+      slo = std::make_unique<telemetry::SloTracker>(slo_p99_us);
+    }
+    std::unique_ptr<telemetry::TelemetryExporter> exporter;
+    if (!telemetry_path.empty() || !expose_path.empty() || slo != nullptr) {
+      telemetry::TelemetryOptions topts;
+      topts.timeseries_path = telemetry_path;
+      topts.expose_path = expose_path;
+      topts.interval_ms = telemetry_interval_ms;
+      if (slo != nullptr) {
+        telemetry::SloTracker* tracker = slo.get();
+        topts.epoch_hook = [tracker](mp::MetricsSnapshot& merged,
+                                     double epoch_seconds) {
+          tracker->epoch_tick(epoch_seconds);
+          merged.merge(tracker->metrics());
+        };
+      }
+      exporter =
+          std::make_unique<telemetry::TelemetryExporter>(std::move(topts));
+    }
+
     // ---- the scoring run -------------------------------------------------
     const std::int32_t num_classes = tree.schema().num_classes();
     std::vector<std::vector<double>> latencies(
@@ -186,7 +255,7 @@ int main(int argc, char** argv) {
     std::atomic<std::uint64_t> served{0};
     std::atomic<bool> swapped{false};
 
-    const mp::RunResult run = mp::run_ranks(
+    mp::RunResult run = mp::run_ranks(
         ranks, mp::CostModel::zero(), [&](mp::Comm& comm) {
           const auto rank = static_cast<std::size_t>(comm.rank());
           const std::size_t lo = records * rank /
@@ -195,6 +264,15 @@ int main(int argc, char** argv) {
                                  static_cast<std::size_t>(ranks);
           std::vector<std::int32_t> out(batch);
           latencies[rank].reserve(rounds * ((hi - lo) / batch + 1));
+          // Live publishing is rate-limited to half the sampling epoch so
+          // the exporter always sees fresh counters while the per-batch
+          // cost stays one steady_clock read (and nothing at all when
+          // telemetry is off — the enabled() gate is a relaxed load).
+          const std::string publish_source =
+              "serve-rank" + std::to_string(rank);
+          const auto publish_every =
+              std::chrono::milliseconds(std::max(1, telemetry_interval_ms / 2));
+          auto last_publish = std::chrono::steady_clock::now();
           mp::barrier(comm);
           for (std::size_t round = 0; round < rounds; ++round) {
             for (std::size_t begin = lo; begin < hi; begin += batch) {
@@ -209,10 +287,11 @@ int main(int argc, char** argv) {
                   std::span<std::int32_t>(out.data(), end - begin));
               const double seconds = timer.elapsed_seconds();
               latencies[rank].push_back(seconds);
+              const auto micros = static_cast<std::uint64_t>(seconds * 1e6);
               if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
-                sink->observe("predict.batch_us",
-                              static_cast<std::uint64_t>(seconds * 1e6));
+                sink->observe("predict.batch_us", micros);
               }
+              if (slo != nullptr) slo->observe_latency_us(micros);
               for (std::size_t i = 0; i < end - begin; ++i) {
                 const auto actual = static_cast<std::size_t>(
                     workload.label(begin + i));
@@ -226,9 +305,31 @@ int main(int argc, char** argv) {
                   !swapped.exchange(true, std::memory_order_acq_rel)) {
                 handle.swap(next_model);
               }
+              if (telemetry::live_metrics_enabled()) {
+                const auto now = std::chrono::steady_clock::now();
+                if (now - last_publish >= publish_every) {
+                  last_publish = now;
+                  if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+                    telemetry::publish_metrics(publish_source, *sink);
+                  }
+                }
+              }
+            }
+          }
+          // Final publish so the exporter's last epoch matches this rank's
+          // end state.
+          if (telemetry::live_metrics_enabled()) {
+            if (mp::MetricsSnapshot* sink = mp::metrics_sink()) {
+              telemetry::publish_metrics(publish_source, *sink);
             }
           }
         });
+
+    // Final telemetry epoch (every rank has published its end state), then
+    // fold the exporter-owned slo.* family into the merged registry so the
+    // report and --metrics-out carry it.
+    if (exporter != nullptr) exporter->stop();
+    if (slo != nullptr) run.metrics.merge(slo->metrics());
 
     // ---- aggregation -----------------------------------------------------
     std::vector<double> all_latencies;
@@ -269,6 +370,23 @@ int main(int argc, char** argv) {
                 records_per_s, records_per_s / ranks);
     std::printf("batch latency: p50 %.1f us, p95 %.1f us, p99 %.1f us, max %.1f us\n",
                 p50, p95, p99, max_us);
+    if (slo != nullptr) {
+      const mp::MetricsSnapshot slo_metrics = slo->metrics();
+      std::printf(
+          "slo: target p99 %.1f us, windowed p99 %.1f us, %d breach(es), "
+          "%.3f s burn\n",
+          slo_p99_us, slo->windowed_p99_us(),
+          static_cast<int>(slo_metrics.value("slo.breaches")),
+          slo_metrics.value("slo.burn_seconds"));
+    }
+    if (exporter != nullptr) {
+      std::printf("telemetry: %d epoch(s) every %d ms%s%s\n",
+                  exporter->epochs(), telemetry_interval_ms,
+                  telemetry_path.empty() ? ""
+                                         : (" -> " + telemetry_path).c_str(),
+                  expose_path.empty() ? ""
+                                      : (", expose " + expose_path).c_str());
+    }
     std::printf("accuracy: %.4f over %lld record(s)\n", quality.accuracy(),
                 static_cast<long long>(quality.total()));
     if (args.get_bool("quality", false)) {
@@ -338,8 +456,16 @@ int main(int argc, char** argv) {
       }
       std::printf("metrics written to %s\n", metrics_path.c_str());
     }
+    if (!flight_path.empty()) {
+      if (telemetry::dump_flight(flight_path)) {
+        std::printf("flight recorder written to %s (%zu event(s))\n",
+                    flight_path.c_str(), telemetry::flight_events().size());
+      }
+    }
     return 0;
   } catch (const std::exception& e) {
+    // Error exit: the postmortem starts with the last things the system did.
+    scalparc::telemetry::dump_armed_flight();
     std::fprintf(stderr, "scalparc-serve: %s\n", e.what());
     return 1;
   }

@@ -17,18 +17,36 @@
 // must agree with the summed per-rank health.heartbeats_sent, and a
 // straggler classification without received heartbeats is an error.
 //
-// usage: scalparc-trace-report TRACE.json [flags]
+// The tool also reads the continuous-telemetry documents (PR 10): a
+// scalparc-timeseries-v1 JSONL (--timeseries, rendered with --timeline),
+// a Prometheus text-exposition snapshot (--expose), and a
+// scalparc-flight-v1 flight-recorder dump (--flight). --validate covers all
+// of them: monotone epochs and counter-delta consistency for the
+// timeseries (including agreement with the final registry when --metrics
+// is given), well-formed TYPE-declared samples for the exposition, and
+// flight events cross-checked against the recovery.* / predict.swaps
+// counters. --critical-path prints a per-level table attributing modeled
+// time to the slowest rank per phase lane with a compute vs. wait split.
+//
+// usage: scalparc-trace-report [TRACE.json] [flags]
 //   --top K          slowest spans to list (default 5)
 //   --metrics FILE   also check/print a --metrics-out file
+//   --critical-path  per-level slowest-rank table (compute vs wait split)
+//   --timeseries F   scalparc-timeseries-v1 JSONL from --telemetry-out
+//   --timeline       render the timeseries as a textual timeline
+//   --expose F       Prometheus exposition snapshot from --expose-out
+//   --flight F       scalparc-flight-v1 JSONL from --flight-out
 //   --validate       run the CI checks; non-zero exit on any failure
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -425,12 +443,15 @@ void print_metrics(const std::string& path, std::ostream& out) {
   char line[256];
   for (const auto& [name, metric] : snapshot.metrics()) {
     if (metric.kind == scalparc::mp::MetricKind::kHistogram) {
+      const scalparc::mp::Histogram& h = metric.histogram;
       std::snprintf(line, sizeof(line),
-                    "  %-40s histogram  count=%llu sum=%llu max=%llu\n",
-                    name.c_str(),
-                    static_cast<unsigned long long>(metric.histogram.count),
-                    static_cast<unsigned long long>(metric.histogram.sum),
-                    static_cast<unsigned long long>(metric.histogram.max));
+                    "  %-40s histogram  count=%llu p50=%.4g p95=%.4g "
+                    "p99=%.4g max=%llu\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count),
+                    scalparc::mp::histogram_quantile(h, 0.50),
+                    scalparc::mp::histogram_quantile(h, 0.95),
+                    scalparc::mp::histogram_quantile(h, 0.99),
+                    static_cast<unsigned long long>(h.max));
     } else {
       std::snprintf(
           line, sizeof(line), "  %-40s %-9s %.6g\n", name.c_str(),
@@ -441,26 +462,505 @@ void print_metrics(const std::string& path, std::ostream& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Critical-path analysis: per (level, phase lane) the run can only be as
+// fast as its slowest rank, and the gap between that rank and the mean is
+// time every other rank spends blocked at the next collective. Summing the
+// per-lane maxima gives the critical path; summing the gaps gives the
+// recoverable imbalance.
+// ---------------------------------------------------------------------------
+
+void print_critical_path(const Trace& trace, std::ostream& out) {
+  std::set<int> ranks;
+  for (const SpanRow& row : trace.spans) ranks.insert(row.rank);
+  // level -> phase -> rank -> summed vtime
+  std::map<int, std::map<std::string, std::map<int, double>>> table;
+  for (const SpanRow& row : trace.spans) {
+    if (row.level < 0) continue;
+    table[row.level][row.name][row.rank] += vtime_of(row);
+  }
+  if (table.empty()) {
+    out << "\ncritical path: no per-level spans in this trace\n";
+    return;
+  }
+  out << "\ncritical path per level (slowest rank per phase lane; wait = "
+         "crit - mean, the time the other ranks block):\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %5s %-18s %5s %12s %12s %12s %7s\n",
+                "level", "phase", "crit", "crit-s", "mean-s", "wait-s",
+                "wait%");
+  out << line;
+  double critical_total = 0.0;
+  double wait_total = 0.0;
+  for (const auto& [level, phases] : table) {
+    for (const char* phase : kLevelPhases) {
+      const auto it = phases.find(phase);
+      if (it == phases.end()) continue;
+      int crit_rank = -1;
+      double crit = -1.0;
+      double sum = 0.0;
+      for (const auto& [rank, v] : it->second) {
+        sum += v;
+        if (v > crit) {
+          crit = v;
+          crit_rank = rank;
+        }
+      }
+      if (crit < 0.0) crit = 0.0;
+      // Absent ranks contribute zero: a lane a rank never entered still
+      // waits out the slowest rank's lane time at the next collective.
+      const double mean = ranks.empty()
+                              ? 0.0
+                              : sum / static_cast<double>(ranks.size());
+      const double wait = crit - mean;
+      critical_total += crit;
+      wait_total += wait;
+      std::snprintf(line, sizeof(line),
+                    "  %5d %-18s %5d %12.6f %12.6f %12.6f %6.1f%%\n", level,
+                    phase, crit_rank, crit, mean, wait,
+                    crit > 0.0 ? 100.0 * wait / crit : 0.0);
+      out << line;
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "  critical path %.6fs, imbalance wait %.6fs (%.1f%% "
+                "recoverable by perfect balance)\n",
+                critical_total, wait_total,
+                critical_total > 0.0 ? 100.0 * wait_total / critical_total
+                                     : 0.0);
+  out << line;
+}
+
+// ---------------------------------------------------------------------------
+// Continuous-telemetry documents.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "'");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<Json> load_jsonl(const std::string& path) {
+  std::vector<Json> docs;
+  std::size_t n = 0;
+  for (const std::string& line : read_lines(path)) {
+    ++n;
+    try {
+      docs.push_back(Json::parse(line));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ":" + std::to_string(n) + ": " +
+                               e.what());
+    }
+  }
+  return docs;
+}
+
+// Renders a scalparc-timeseries-v1 document as a textual timeline: one row
+// per epoch with the busiest counter deltas and every histogram's p99.
+void print_timeline(const std::vector<Json>& epochs, std::ostream& out) {
+  out << "\ntimeline (" << epochs.size() << " epoch(s)):\n";
+  char line[512];
+  for (const Json& record : epochs) {
+    const double t_s = record.at("t_s").as_double();
+    const std::int64_t epoch = record.at("epoch").as_int();
+    // Top 3 counter deltas by magnitude.
+    std::vector<std::pair<double, std::string>> deltas;
+    for (const auto& [name, entry] : record.at("counters").as_object()) {
+      const double delta = entry.at("delta").as_double();
+      if (delta != 0.0) deltas.emplace_back(delta, name);
+    }
+    std::sort(deltas.begin(), deltas.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::string activity;
+    const std::size_t shown = std::min<std::size_t>(3, deltas.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      char cell[96];
+      std::snprintf(cell, sizeof(cell), "%s%s +%.6g", i ? ", " : "",
+                    deltas[i].second.c_str(), deltas[i].first);
+      activity += cell;
+    }
+    if (activity.empty()) activity = "(idle)";
+    std::string tails;
+    for (const auto& [name, entry] : record.at("histograms").as_object()) {
+      const double delta_count = entry.at("delta_count").as_double();
+      if (delta_count <= 0.0) continue;
+      char cell[96];
+      std::snprintf(cell, sizeof(cell), "%s%s p99=%.4g", tails.empty() ? "" : ", ",
+                    name.c_str(), entry.at("p99").as_double());
+      tails += cell;
+    }
+    std::snprintf(line, sizeof(line), "  epoch %4lld  t=%9.3fs  %s%s%s\n",
+                  static_cast<long long>(epoch), t_s, activity.c_str(),
+                  tails.empty() ? "" : "  |  ", tails.c_str());
+    out << line;
+  }
+}
+
+// CI checks for a scalparc-timeseries-v1 document: monotone epochs and
+// clocks, monotone counter totals with self-consistent deltas, and (when
+// the final registry is available) last-epoch totals that never exceed it.
+int validate_timeseries(
+    const std::vector<Json>& epochs,
+    const std::optional<scalparc::mp::MetricsSnapshot>& final_metrics,
+    std::ostream& out) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    out << "FAIL: timeseries: " << what << "\n";
+    ++failures;
+  };
+  if (epochs.empty()) {
+    fail("document holds no epoch records");
+    return failures;
+  }
+  std::int64_t prev_epoch = -1;
+  double prev_t = -1.0;
+  std::map<std::string, double> prev_totals;
+  std::map<std::string, double> prev_counts;
+  for (const Json& record : epochs) {
+    try {
+      if (record.at("format").as_string() != "scalparc-timeseries-v1") {
+        fail("record has unexpected format tag");
+        continue;
+      }
+      const std::int64_t epoch = record.at("epoch").as_int();
+      const double t_s = record.at("t_s").as_double();
+      if (epoch <= prev_epoch) {
+        fail("epoch " + std::to_string(epoch) + " does not increase on " +
+             std::to_string(prev_epoch));
+      }
+      if (t_s < prev_t) {
+        fail("t_s moves backwards at epoch " + std::to_string(epoch));
+      }
+      prev_epoch = epoch;
+      prev_t = t_s;
+      for (const auto& [name, entry] : record.at("counters").as_object()) {
+        const double total = entry.at("total").as_double();
+        const double delta = entry.at("delta").as_double();
+        auto [it, inserted] = prev_totals.emplace(name, 0.0);
+        if (total + 1e-9 < it->second) {
+          fail("counter '" + name + "' total decreases at epoch " +
+               std::to_string(epoch));
+        }
+        if (std::fabs(delta - (total - it->second)) >
+            1e-6 * std::max(1.0, std::fabs(total))) {
+          fail("counter '" + name + "' delta disagrees with totals at epoch " +
+               std::to_string(epoch));
+        }
+        it->second = total;
+      }
+      for (const auto& [name, entry] : record.at("histograms").as_object()) {
+        const double count = entry.at("count").as_double();
+        const double delta = entry.at("delta_count").as_double();
+        auto [it, inserted] = prev_counts.emplace(name, 0.0);
+        if (count + 1e-9 < it->second) {
+          fail("histogram '" + name + "' count decreases at epoch " +
+               std::to_string(epoch));
+        }
+        if (std::fabs(delta - (count - it->second)) > 1e-6) {
+          fail("histogram '" + name +
+               "' delta_count disagrees with counts at epoch " +
+               std::to_string(epoch));
+        }
+        it->second = count;
+      }
+    } catch (const std::exception& e) {
+      fail(std::string("malformed epoch record: ") + e.what());
+    }
+  }
+  // Delta-consistency with the final registry: live totals are published
+  // mid-run, so they may lag the end-of-run merge but can never exceed it.
+  if (final_metrics.has_value()) {
+    for (const auto& [name, total] : prev_totals) {
+      const scalparc::mp::Metric* metric = final_metrics->find(name);
+      if (metric == nullptr) {
+        // slo.* lives only in the exporter epochs unless serve merged it
+        // into the final registry; anything else must be in the registry.
+        if (name.rfind("slo.", 0) != 0) {
+          fail("counter '" + name + "' absent from the final registry");
+        }
+        continue;
+      }
+      if (total > metric->value * (1.0 + 1e-9) + 1e-9) {
+        char msg[192];
+        std::snprintf(msg, sizeof(msg),
+                      "counter '%s' last live total %.6g exceeds the final "
+                      "registry value %.6g",
+                      name.c_str(), total, metric->value);
+        fail(msg);
+      }
+    }
+  }
+  return failures;
+}
+
+// CI checks for a Prometheus text-exposition snapshot: every sample line
+// parses as `name[{labels}] value`, carries the scalparc_ prefix, and is
+// covered by a preceding # TYPE declaration.
+int validate_exposition(const std::string& path, std::ostream& out) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    out << "FAIL: exposition: " << what << "\n";
+    ++failures;
+  };
+  std::vector<std::string> lines;
+  try {
+    lines = read_lines(path);
+  } catch (const std::exception& e) {
+    fail(e.what());
+    return failures;
+  }
+  if (lines.empty()) {
+    fail("document is empty");
+    return failures;
+  }
+  std::set<std::string> declared;
+  std::size_t samples = 0;
+  std::size_t n = 0;
+  for (const std::string& line : lines) {
+    ++n;
+    const std::string where = " (line " + std::to_string(n) + ")";
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream in(line.substr(7));
+      std::string name, kind;
+      in >> name >> kind;
+      if (name.empty() ||
+          (kind != "counter" && kind != "gauge" && kind != "summary")) {
+        fail("malformed TYPE declaration" + where);
+        continue;
+      }
+      declared.insert(name);
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal
+    // Sample line: name[{labels}] value
+    std::size_t name_end = line.find_first_of(" {");
+    if (name_end == std::string::npos) {
+      fail("malformed sample line" + where);
+      continue;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (name.rfind("scalparc_", 0) != 0) {
+      fail("sample '" + name + "' lacks the scalparc_ prefix" + where);
+    }
+    std::size_t value_begin = name_end;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      if (close == std::string::npos) {
+        fail("unterminated label set" + where);
+        continue;
+      }
+      value_begin = close + 1;
+    }
+    const std::string value = line.substr(value_begin);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || end == nullptr || *end != '\0') {
+      fail("sample value does not parse as a number" + where);
+    }
+    // A summary's _sum/_count samples are declared under the base name.
+    std::string base = name;
+    for (const char* suffix : {"_sum", "_count"}) {
+      const std::string s(suffix);
+      if (base.size() > s.size() &&
+          base.compare(base.size() - s.size(), s.size(), s) == 0 &&
+          declared.count(base.substr(0, base.size() - s.size()))) {
+        base = base.substr(0, base.size() - s.size());
+        break;
+      }
+    }
+    if (!declared.count(base)) {
+      fail("sample '" + name + "' has no preceding TYPE declaration" + where);
+    }
+    ++samples;
+  }
+  if (samples == 0) fail("document declares types but holds no samples");
+  return failures;
+}
+
+// CI checks for a scalparc-flight-v1 dump: well-formed header and events,
+// nondecreasing timestamps, and event counts cross-checked against the
+// recovery.* / predict.swaps / health.* counters of the final registry.
+int validate_flight(
+    const std::vector<Json>& lines,
+    const std::optional<scalparc::mp::MetricsSnapshot>& final_metrics,
+    std::ostream& out) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    out << "FAIL: flight: " << what << "\n";
+    ++failures;
+  };
+  if (lines.empty()) {
+    fail("document is empty");
+    return failures;
+  }
+  double dropped = 0.0;
+  try {
+    const Json& header = lines.front();
+    if (header.at("format").as_string() != "scalparc-flight-v1") {
+      fail("header has unexpected format tag");
+    }
+    if (header.at("capacity").as_double() < 1.0) {
+      fail("header capacity must be >= 1");
+    }
+    dropped = header.at("dropped").as_double();
+    if (dropped < 0.0) fail("header dropped count is negative");
+    const double announced = header.at("events").as_double();
+    if (announced != static_cast<double>(lines.size() - 1)) {
+      fail("header announces " + std::to_string(announced) +
+           " event(s) but the document holds " +
+           std::to_string(lines.size() - 1));
+    }
+  } catch (const std::exception& e) {
+    fail(std::string("malformed header: ") + e.what());
+    return failures;
+  }
+  double prev_t = -1.0;
+  std::map<std::string, double> by_kind;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    try {
+      const Json& event = lines[i];
+      const double t_s = event.at("t_s").as_double();
+      const std::string& kind = event.at("kind").as_string();
+      (void)event.at("rank").as_int();
+      (void)event.at("detail").as_string();
+      if (kind.empty()) fail("event " + std::to_string(i) + " has no kind");
+      if (t_s < prev_t) {
+        fail("event " + std::to_string(i) +
+             " timestamp moves backwards (ring dump must be "
+             "oldest-to-newest)");
+      }
+      prev_t = t_s;
+      by_kind[kind] += 1.0;
+    } catch (const std::exception& e) {
+      fail("malformed event " + std::to_string(i) + ": " + e.what());
+    }
+  }
+  // Counter cross-checks. Every recorded event of these kinds bumps (or is
+  // bumped alongside) a registry counter, so with an unsaturated ring the
+  // counts must agree exactly; once the ring dropped events the document
+  // may only undercount.
+  if (final_metrics.has_value()) {
+    const auto cross_check = [&](const std::string& kind,
+                                 const std::string& counter, double counted) {
+      const double expected = final_metrics->value(counter, 0.0);
+      if (counted > expected) {
+        char msg[192];
+        std::snprintf(msg, sizeof(msg),
+                      "%.0f '%s' event(s) but the registry counter %s says "
+                      "%.0f",
+                      counted, kind.c_str(), counter.c_str(), expected);
+        fail(msg);
+      } else if (dropped == 0.0 && counted < expected) {
+        char msg[192];
+        std::snprintf(msg, sizeof(msg),
+                      "registry counter %s says %.0f but only %.0f '%s' "
+                      "event(s) recorded with zero drops",
+                      counter.c_str(), expected, counted, kind.c_str());
+        fail(msg);
+      }
+    };
+    cross_check("model_swap", "predict.swaps", by_kind["model_swap"]);
+    cross_check("straggler", "health.stragglers_detected",
+                by_kind["straggler"]);
+    // Non-terminal recovery events pair 1:1 with survived failures.
+    double recoveries = 0.0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      const Json& event = lines[i];
+      const Json* kind = event.find("kind");
+      const Json* detail = event.find("detail");
+      if (kind != nullptr && kind->is_string() &&
+          kind->as_string() == "recovery" && detail != nullptr &&
+          detail->is_string() &&
+          detail->as_string().rfind("terminal:", 0) != 0) {
+        recoveries += 1.0;
+      }
+    }
+    cross_check("recovery", "recovery.recoveries", recoveries);
+  }
+  return failures;
+}
+
+std::optional<scalparc::mp::MetricsSnapshot> load_metrics_doc(
+    const std::string& path) {
+  if (path.empty()) return std::nullopt;
+  std::ifstream file(path);
+  if (!file) return std::nullopt;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  try {
+    const Json doc = Json::parse(buffer.str());
+    return scalparc::mp::MetricsSnapshot::from_json(doc.at("metrics"));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const scalparc::util::CliArgs args(argc, const_cast<const char* const*>(argv));
-  if (args.positional().empty()) {
-    std::cerr << "usage: scalparc-trace-report TRACE.json [--top K] "
-                 "[--metrics FILE] [--validate]\n";
+  const std::string metrics_path = args.get_string("metrics", "");
+  const std::string timeseries_path = args.get_string("timeseries", "");
+  const std::string expose_path = args.get_string("expose", "");
+  const std::string flight_path = args.get_string("flight", "");
+  const int top_k = static_cast<int>(args.get_int("top", 5));
+  const bool validate_mode = args.get_bool("validate", false);
+
+  // The trace positional is optional once any telemetry document is named:
+  // `--validate --timeseries F` checks just that document.
+  const bool has_docs = !metrics_path.empty() || !timeseries_path.empty() ||
+                        !expose_path.empty() || !flight_path.empty();
+  if (args.positional().empty() && !has_docs) {
+    std::cerr << "usage: scalparc-trace-report [TRACE.json] [--top K] "
+                 "[--metrics FILE] [--critical-path] [--timeseries F] "
+                 "[--timeline] [--expose F] [--flight F] [--validate]\n";
     return 2;
   }
-  const std::string trace_path = args.positional().front();
-  const std::string metrics_path = args.get_string("metrics", "");
-  const int top_k = static_cast<int>(args.get_int("top", 5));
 
   try {
-    const Trace trace = load_trace(trace_path);
-    std::cout << "trace: " << trace_path << "\n";
-    print_report(trace, top_k, std::cout);
+    int failures = 0;
+    if (!args.positional().empty()) {
+      const std::string trace_path = args.positional().front();
+      const Trace trace = load_trace(trace_path);
+      std::cout << "trace: " << trace_path << "\n";
+      print_report(trace, top_k, std::cout);
+      if (args.get_bool("critical-path", false)) {
+        print_critical_path(trace, std::cout);
+      }
+      if (validate_mode) failures += validate(trace, metrics_path, std::cout);
+    }
     if (!metrics_path.empty()) print_metrics(metrics_path, std::cout);
-    if (args.get_bool("validate", false)) {
-      const int failures = validate(trace, metrics_path, std::cout);
+    // The final registry (when given) anchors the cross-document checks.
+    const std::optional<scalparc::mp::MetricsSnapshot> final_metrics =
+        load_metrics_doc(metrics_path);
+    if (!timeseries_path.empty()) {
+      const std::vector<Json> epochs = load_jsonl(timeseries_path);
+      std::cout << "timeseries: " << timeseries_path << " (" << epochs.size()
+                << " epoch(s))\n";
+      if (args.get_bool("timeline", false)) print_timeline(epochs, std::cout);
+      if (validate_mode) {
+        failures += validate_timeseries(epochs, final_metrics, std::cout);
+      }
+    }
+    if (!expose_path.empty()) {
+      std::cout << "exposition: " << expose_path << "\n";
+      if (validate_mode) failures += validate_exposition(expose_path, std::cout);
+    }
+    if (!flight_path.empty()) {
+      const std::vector<Json> lines = load_jsonl(flight_path);
+      std::cout << "flight: " << flight_path << " ("
+                << (lines.empty() ? 0 : lines.size() - 1) << " event(s))\n";
+      if (validate_mode) {
+        failures += validate_flight(lines, final_metrics, std::cout);
+      }
+    }
+    if (validate_mode) {
       if (failures > 0) {
         std::cout << "validation: " << failures << " failure(s)\n";
         return 1;

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <stdexcept>
+
+#include "util/json.hpp"
 
 namespace scalparc::util {
 
@@ -45,6 +48,16 @@ int initial_level() {
   return static_cast<int>(level);
 }
 
+// -1 = "take the initial format from the SCALPARC_LOG_FORMAT env var".
+constexpr int kFormatUnset = -1;
+std::atomic<int> g_format{kFormatUnset};
+
+int initial_format() {
+  const char* env = std::getenv("SCALPARC_LOG_FORMAT");
+  if (env == nullptr) return static_cast<int>(LogFormat::kText);
+  return static_cast<int>(parse_log_format(env));
+}
+
 }  // namespace
 
 LogLevel log_level() {
@@ -75,6 +88,33 @@ LogLevel parse_log_level(std::string_view name) {
   return LogLevel::kWarn;
 }
 
+LogFormat log_format() {
+  int format = g_format.load(std::memory_order_relaxed);
+  if (format == kFormatUnset) {
+    // Same benign-race CAS as log_level(): every thread computes the same
+    // env-derived value. A garbage env value throws out of initial_format,
+    // which is the loud rejection the other knobs get.
+    int expected = kFormatUnset;
+    const int from_env = initial_format();
+    g_format.compare_exchange_strong(expected, from_env,
+                                     std::memory_order_relaxed);
+    format = g_format.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogFormat>(format);
+}
+
+void set_log_format(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat parse_log_format(std::string_view name) {
+  if (name == "text") return LogFormat::kText;
+  if (name == "json") return LogFormat::kJson;
+  throw std::invalid_argument(
+      "SCALPARC_LOG_FORMAT: expected 'text' or 'json', got '" +
+      std::string(name) + "'");
+}
+
 void set_thread_rank(int rank) { t_rank = rank; }
 
 int thread_rank() { return t_rank; }
@@ -86,6 +126,19 @@ double monotonic_seconds() {
 }
 
 void log_line(LogLevel level, std::string_view message) {
+  if (log_format() == LogFormat::kJson) {
+    // One JSON object per line (the Json writer handles escaping); built
+    // outside the sink lock, emitted under it so lines never interleave.
+    Json record = Json::object();
+    record["ts"] = monotonic_seconds();
+    record["rank"] = t_rank;
+    record["level"] = std::string(level_tag(level));
+    record["msg"] = std::string(message);
+    const std::string line = record.dump(0);
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::fprintf(stderr, "%s\n", line.c_str());
+    return;
+  }
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   if (t_rank >= 0) {
     std::fprintf(stderr, "[scalparc r%d +%.6fs %s] %.*s\n", t_rank,

@@ -32,6 +32,17 @@ void set_log_level(LogLevel level);
 // Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn.
 LogLevel parse_log_level(std::string_view name);
 
+// Output shape of every log line. kText is the human prefix format; kJson
+// emits one JSON object per line ({"ts":..,"rank":..,"level":..,"msg":..})
+// for log shippers. The first read initializes from the SCALPARC_LOG_FORMAT
+// environment variable ("text"/"json"); any other value throws loudly
+// (std::invalid_argument naming the variable), matching the other env knobs.
+enum class LogFormat : int { kText = 0, kJson = 1 };
+
+LogFormat log_format();
+void set_log_format(LogFormat format);
+LogFormat parse_log_format(std::string_view name);
+
 // Emits one complete line to stderr under a global mutex.
 void log_line(LogLevel level, std::string_view message);
 
